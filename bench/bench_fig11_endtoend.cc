@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Reproduces Figure 11: mean and max aggregate CPU allocation and the
+ * probability of meeting QoS for Sinan, AutoScaleOpt, AutoScaleCons,
+ * and PowerChief, across the load sweep of both applications.
+ *
+ * Expected shape (paper Sec. 5.3): only Sinan and AutoScaleCons meet QoS
+ * across all loads; Sinan uses substantially less CPU than
+ * AutoScaleCons (paper: -25.9% avg hotel, -59.0% avg social);
+ * AutoScaleOpt and PowerChief start violating QoS as load grows.
+ */
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "baselines/autoscale.h"
+#include "baselines/powerchief.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+
+namespace sinan {
+namespace {
+
+using bench::GetTrainedSinan;
+using bench::PrintHeader;
+using bench::RunSeconds;
+
+struct SweepResult {
+    std::map<std::string, std::vector<RunResult>> by_manager;
+};
+
+SweepResult
+SweepApp(const Application& app, TrainedSinan& trained,
+         const std::vector<double>& loads)
+{
+    SchedulerConfig scfg;
+    SinanScheduler sinan(*trained.model, scfg);
+    AutoScaler opt = MakeAutoScaleOpt();
+    AutoScaler cons = MakeAutoScaleCons();
+    PowerChief pchief;
+    std::vector<ResourceManager*> managers = {&sinan, &opt, &cons,
+                                              &pchief};
+
+    SweepResult out;
+    for (ResourceManager* mgr : managers) {
+        for (double users : loads) {
+            ConstantLoad load(users);
+            RunConfig rcfg;
+            rcfg.duration_s = RunSeconds(100.0);
+            rcfg.warmup_s = 20.0;
+            rcfg.seed = 7;
+            const RunResult r = RunManaged(app, *mgr, load, rcfg);
+            out.by_manager[mgr->Name()].push_back(r);
+            std::printf("  %-14s users=%5.0f  meanCPU=%7.1f  "
+                        "maxCPU=%7.1f  P(meet QoS)=%.3f\n",
+                        mgr->Name(), users, r.mean_cpu, r.max_cpu,
+                        r.qos_meet_prob);
+        }
+    }
+    return out;
+}
+
+void
+PrintTables(const Application& app, const std::vector<double>& loads,
+            const SweepResult& sweep)
+{
+    std::vector<std::string> headers = {"manager"};
+    for (double u : loads)
+        headers.push_back(FormatDouble(u, 0));
+
+    auto emit = [&](const char* title, auto getter) {
+        std::printf("\n%s — %s\n", app.name.c_str(), title);
+        TextTable t(headers);
+        for (const auto& [name, results] : sweep.by_manager) {
+            t.Row().Add(name);
+            for (const RunResult& r : results)
+                t.Add(getter(r), 2);
+        }
+        std::printf("%s", t.Render().c_str());
+    };
+    emit("mean CPU allocation (cores)",
+         [](const RunResult& r) { return r.mean_cpu; });
+    emit("max CPU allocation (cores)",
+         [](const RunResult& r) { return r.max_cpu; });
+    emit("P(meet QoS)",
+         [](const RunResult& r) { return r.qos_meet_prob; });
+
+    // Headline claim: Sinan's CPU savings vs the other QoS-meeting
+    // manager (AutoScaleCons), over loads where both meet QoS >= 95%.
+    const auto& sinan_r = sweep.by_manager.at("Sinan");
+    const auto& cons_r = sweep.by_manager.at("AutoScaleCons");
+    double sum_save = 0.0, max_save = 0.0;
+    int n = 0;
+    for (size_t i = 0; i < loads.size(); ++i) {
+        if (sinan_r[i].qos_meet_prob < 0.95 ||
+            cons_r[i].qos_meet_prob < 0.95) {
+            continue;
+        }
+        const double save = 1.0 - sinan_r[i].mean_cpu /
+                                      cons_r[i].mean_cpu;
+        sum_save += save;
+        max_save = std::max(max_save, save);
+        ++n;
+    }
+    if (n) {
+        std::printf("\nSinan CPU savings vs AutoScaleCons (QoS-meeting "
+                    "loads): avg %.1f%%, max %.1f%%\n",
+                    100.0 * sum_save / n, 100.0 * max_save);
+    }
+}
+
+} // namespace
+} // namespace sinan
+
+int
+main()
+{
+    using namespace sinan;
+    bench::PrintHeader("Figure 11 — end-to-end manager comparison",
+                       "Fig. 11 (a) Hotel Reservation, (b) Social "
+                       "Network: mean/max CPU allocation and P(meet QoS)");
+
+    {
+        const Application app = BuildHotelReservation();
+        std::printf("[hotel] training Sinan (bandit collection + hybrid "
+                    "model)...\n");
+        TrainedSinan trained =
+            bench::GetTrainedSinan(app, bench::HotelPipeline(), "hotel");
+        std::printf("[hotel] CNN val RMSE: %.1f ms\n",
+                    trained.model->ValRmseMs());
+        const auto loads = bench::HotelLoads();
+        const auto sweep = SweepApp(app, trained, loads);
+        PrintTables(app, loads, sweep);
+    }
+    {
+        const Application app = BuildSocialNetwork();
+        std::printf("\n[social] training Sinan...\n");
+        TrainedSinan trained = bench::GetTrainedSinan(
+            app, bench::SocialPipeline(), "social");
+        std::printf("[social] CNN val RMSE: %.1f ms\n",
+                    trained.model->ValRmseMs());
+        const auto loads = bench::SocialLoads();
+        const auto sweep = SweepApp(app, trained, loads);
+        PrintTables(app, loads, sweep);
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces Figure 12: detailed Sinan timelines on the Social Network —
+ * (top) constant 250 emulated users, (bottom) a diurnal load pattern.
+ * For each decision interval we report the offered RPS, the measured
+ * p99, the model's predicted p99 and violation probability for the
+ * chosen action, and the aggregate and per-tier CPU allocation.
+ *
+ * Expected shape: predicted latency tracks measured latency, violations
+ * are avoided, and the allocation follows the diurnal load.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+
+namespace sinan {
+namespace {
+
+void
+PrintTimeline(const Application& app, const RunResult& r, int stride)
+{
+    std::printf("%6s %7s %9s %10s %7s %9s\n", "t(s)", "RPS", "p99(ms)",
+                "pred(ms)", "P(viol)", "CPU(cores)");
+    for (size_t i = 0; i < r.timeline.size(); i += stride) {
+        const IntervalRecord& rec = r.timeline[i];
+        std::printf("%6.0f %7.0f %9.1f %10.1f %7.2f %9.1f\n", rec.time_s,
+                    rec.rps, rec.p99_ms, rec.predicted_p99_ms,
+                    rec.predicted_violation, rec.total_cpu);
+    }
+    std::printf("\nP(meet QoS)=%.3f  mean CPU=%.1f  max CPU=%.1f\n",
+                r.qos_meet_prob, r.mean_cpu, r.max_cpu);
+
+    // Per-tier average allocation (the paper's right-hand column).
+    std::printf("\nPer-tier mean CPU allocation (cores):\n");
+    std::vector<double> acc(app.tiers.size(), 0.0);
+    for (const IntervalRecord& rec : r.timeline)
+        for (size_t t = 0; t < rec.alloc.size(); ++t)
+            acc[t] += rec.alloc[t];
+    for (size_t t = 0; t < acc.size(); ++t) {
+        std::printf("  %-22s %6.2f\n", app.tiers[t].name.c_str(),
+                    acc[t] / static_cast<double>(r.timeline.size()));
+    }
+
+    // Prediction tracking quality over intervals with a prediction.
+    double abs_err = 0.0;
+    int n = 0;
+    for (const IntervalRecord& rec : r.timeline) {
+        if (rec.predicted_p99_ms < 0.0 || rec.time_s < 20.0)
+            continue;
+        abs_err += std::abs(rec.predicted_p99_ms - rec.p99_ms);
+        ++n;
+    }
+    if (n) {
+        std::printf("\nMean |predicted - measured| p99: %.1f ms over %d "
+                    "intervals\n",
+                    abs_err / n, n);
+    }
+}
+
+} // namespace
+} // namespace sinan
+
+int
+main()
+{
+    using namespace sinan;
+    bench::PrintHeader(
+        "Figure 12 — Sinan timelines on Social Network",
+        "Fig. 12 top: 250 users constant; bottom: diurnal load");
+
+    const Application app = BuildSocialNetwork();
+    TrainedSinan trained =
+        bench::GetTrainedSinan(app, bench::SocialPipeline(), "social");
+    std::printf("CNN val RMSE: %.1f ms\n\n", trained.model->ValRmseMs());
+
+    {
+        std::printf("--- constant load: 250 users ---\n");
+        SinanScheduler sinan(*trained.model, SchedulerConfig{});
+        ConstantLoad load(250.0);
+        RunConfig cfg;
+        cfg.duration_s = bench::RunSeconds(300.0);
+        cfg.warmup_s = 20.0;
+        cfg.seed = 21;
+        const RunResult r = RunManaged(app, sinan, load, cfg);
+        PrintTimeline(app, r, 10);
+    }
+    {
+        std::printf("\n--- diurnal load: 100..300 users ---\n");
+        SinanScheduler sinan(*trained.model, SchedulerConfig{});
+        DiurnalLoad load(100.0, 300.0, bench::RunSeconds(600.0));
+        RunConfig cfg;
+        cfg.duration_s = bench::RunSeconds(600.0);
+        cfg.warmup_s = 20.0;
+        cfg.seed = 22;
+        const RunResult r = RunManaged(app, sinan, load, cfg);
+        PrintTimeline(app, r, 20);
+    }
+    return 0;
+}

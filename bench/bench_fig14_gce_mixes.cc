@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Figure 14: average CPU allocation of Sinan on the
+ * "GCE-scale" Social Network deployment (slower cores, scaled-out
+ * replicas, fine-tuned model per Sec. 5.4) for the four request mixes
+ * W0..W3 across the user sweep.
+ *
+ * Expected shape: allocation grows with load for every mix; W1
+ * (compose-heavy) needs the most CPU, W2 (read-heavy) the least.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "collect/bandit.h"
+#include "collect/collector.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+
+
+int
+main()
+{
+    using namespace sinan;
+    bench::PrintHeader(
+        "Figure 14 — Sinan on GCE: CPU allocation per request mix",
+        "Fig. 14: mean CPU allocation, mixes W0..W3, 50..450 users");
+
+    Application app = BuildSocialNetwork();
+    ClusterConfig gce;
+    gce.speed_factor = 0.85;
+    gce.replica_scale = 2;
+    TrainedSinan trained = bench::GceFineTunedSinan(app, gce);
+
+    const auto mixes = SocialNetworkMixes();
+    const auto loads = bench::SocialLoads();
+    std::vector<std::string> headers = {"mix"};
+    for (double u : loads)
+        headers.push_back(FormatDouble(u, 0));
+    TextTable mean_cpu(headers);
+    TextTable meet(headers);
+
+    for (size_t w = 0; w < mixes.size(); ++w) {
+        SetRequestMix(app, mixes[w]);
+        mean_cpu.Row().Add("W" + std::to_string(w));
+        meet.Row().Add("W" + std::to_string(w));
+        for (double users : loads) {
+            SinanScheduler sinan(*trained.model, SchedulerConfig{});
+            ConstantLoad load(users);
+            RunConfig cfg;
+            cfg.duration_s = bench::RunSeconds(80.0);
+            cfg.warmup_s = 20.0;
+            cfg.cluster = gce;
+            cfg.seed = 40 + static_cast<uint64_t>(w);
+            const RunResult r = RunManaged(app, sinan, load, cfg);
+            mean_cpu.Add(r.mean_cpu, 1);
+            meet.Add(r.qos_meet_prob, 2);
+            std::printf("  W%zu users=%3.0f meanCPU=%6.1f P(meet)=%.2f\n",
+                        w, users, r.mean_cpu, r.qos_meet_prob);
+        }
+    }
+    std::printf("\nmean CPU allocation (cores):\n%s",
+                mean_cpu.Render().c_str());
+    std::printf("\nP(meet QoS):\n%s", meet.Render().c_str());
+    return 0;
+}

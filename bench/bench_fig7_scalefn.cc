@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reproduces Figure 7: the scaling function phi(.) of Eq. 2 with knee
+ * t = 100 and alpha in {0.005, 0.01, 0.02} — identity below the knee,
+ * progressively compressed above it.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "nn/loss.h"
+
+int
+main()
+{
+    using namespace sinan;
+    std::printf("Figure 7 — scaling function phi(x) (Eq. 2), t = 100\n\n");
+    TextTable t({"x(ms)", "alpha=0.005", "alpha=0.01", "alpha=0.02"});
+    for (double x = 0.0; x <= 300.0 + 1e-9; x += 25.0) {
+        t.Row()
+            .Add(x, 0)
+            .Add(ScalePhi(x, 100.0, 0.005), 1)
+            .Add(ScalePhi(x, 100.0, 0.01), 1)
+            .Add(ScalePhi(x, 100.0, 0.02), 1);
+    }
+    std::printf("%s", t.Render().c_str());
+    std::printf("\nAsymptotes: t + 1/alpha = %.0f / %.0f / %.0f ms\n",
+                100.0 + 1.0 / 0.005, 100.0 + 1.0 / 0.01,
+                100.0 + 1.0 / 0.02);
+    return 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks backing the paper's performance
+ * claims: model inference is far below the 1 s decision interval
+ * (Sec. 5.2: CNN inference within 1% of the interval), boosted-trees
+ * prediction is microseconds, a full scheduler decision (candidate
+ * enumeration + hybrid evaluation) fits comfortably in the interval, and
+ * the simulator substrate itself is fast enough for the experiment
+ * sweeps.
+ */
+#include <benchmark/benchmark.h>
+
+#include "app/apps.h"
+#include "cluster/cluster.h"
+#include "models/baseline_nets.h"
+#include "models/hybrid.h"
+#include "models/sinan_cnn.h"
+#include "workload/workload.h"
+
+namespace sinan {
+namespace {
+
+FeatureConfig
+SocialFeatures()
+{
+    FeatureConfig f;
+    f.n_tiers = 28;
+    f.qos_ms = 500.0;
+    return f;
+}
+
+/** A random but deterministic batch of model inputs. */
+Batch
+MakeBatch(const FeatureConfig& f, int n)
+{
+    Rng rng(11);
+    Batch b;
+    b.xrh = Tensor::Randn({n, FeatureConfig::kChannels, f.n_tiers,
+                           f.history},
+                          rng, 0.2f);
+    b.xlh = Tensor::Randn({n, f.LatFeatures()}, rng, 0.2f);
+    b.xrc = Tensor::Randn({n, f.n_tiers}, rng, 0.2f);
+    return b;
+}
+
+void
+BM_CnnInference(benchmark::State& state)
+{
+    const FeatureConfig f = SocialFeatures();
+    SinanCnn cnn(f, SinanCnnConfig{}, 3);
+    const Batch batch = MakeBatch(f, static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cnn.Forward(batch));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CnnInference)->Arg(1)->Arg(32)->Arg(128);
+
+void
+BM_MlpInference(benchmark::State& state)
+{
+    const FeatureConfig f = SocialFeatures();
+    MlpPredictor mlp(f, 160, 64, 3);
+    const Batch batch = MakeBatch(f, static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mlp.Forward(batch));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpInference)->Arg(32)->Arg(128);
+
+void
+BM_LstmInference(benchmark::State& state)
+{
+    const FeatureConfig f = SocialFeatures();
+    LstmPredictor lstm(f, 48, 3);
+    const Batch batch = MakeBatch(f, static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lstm.Forward(batch));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LstmInference)->Arg(32)->Arg(128);
+
+void
+BM_BoostedTreesPredict(benchmark::State& state)
+{
+    Rng rng(5);
+    GbtDataset train;
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<float> row(64);
+        for (float& v : row)
+            v = static_cast<float>(rng.Uniform());
+        train.AddRow(row, row[0] > 0.5f ? 1.0f : 0.0f);
+    }
+    BoostedTrees bt;
+    bt.Train(train);
+    std::vector<float> row(64, 0.4f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bt.Predict(row.data()));
+}
+BENCHMARK(BM_BoostedTreesPredict);
+
+void
+BM_ClusterTickSocial(benchmark::State& state)
+{
+    const Application app = BuildSocialNetwork();
+    Cluster cluster(app, ClusterConfig{}, 3);
+    ConstantLoad load(static_cast<double>(state.range(0)));
+    WorkloadGenerator gen(cluster, load, 7);
+    double now = 0.0;
+    for (auto _ : state) {
+        gen.Tick(now, 0.01);
+        cluster.Tick(now, 0.01);
+        now += 0.01;
+    }
+    state.SetLabel("simulated_seconds_per_second");
+    state.counters["sim_speedup"] = benchmark::Counter(
+        0.01 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterTickSocial)->Arg(100)->Arg(450);
+
+void
+BM_ClusterTickHotel(benchmark::State& state)
+{
+    const Application app = BuildHotelReservation();
+    Cluster cluster(app, ClusterConfig{}, 3);
+    ConstantLoad load(static_cast<double>(state.range(0)));
+    WorkloadGenerator gen(cluster, load, 7);
+    double now = 0.0;
+    for (auto _ : state) {
+        gen.Tick(now, 0.01);
+        cluster.Tick(now, 0.01);
+        now += 0.01;
+    }
+    state.counters["sim_speedup"] = benchmark::Counter(
+        0.01 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterTickHotel)->Arg(1000)->Arg(3700);
+
+void
+BM_HybridEvaluateCandidates(benchmark::State& state)
+{
+    // A full scheduler-style evaluation: ~120 candidate allocations
+    // against one window (the per-interval cost of Sinan's decision).
+    const FeatureConfig f = SocialFeatures();
+    HybridConfig cfg;
+    cfg.train.epochs = 1;
+    HybridModel model(f, cfg, 3);
+
+    MetricWindow window(f);
+    for (int t = 0; t < f.history; ++t) {
+        IntervalObservation obs;
+        obs.time_s = t;
+        obs.rps = 200;
+        obs.tiers.assign(f.n_tiers, TierMetrics{});
+        for (TierMetrics& m : obs.tiers) {
+            m.cpu_limit = 2.0;
+            m.cpu_used = 1.0;
+            m.rss_mb = 100;
+            m.cache_mb = 50;
+            m.rx_pps = 800;
+            m.tx_pps = 800;
+        }
+        obs.latency_ms = {80, 90, 100, 110, 120};
+        window.Push(obs);
+    }
+    std::vector<std::vector<double>> cands(
+        static_cast<size_t>(state.range(0)),
+        std::vector<double>(f.n_tiers, 2.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.Evaluate(window, cands));
+}
+BENCHMARK(BM_HybridEvaluateCandidates)->Arg(120);
+
+} // namespace
+} // namespace sinan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table 3: accuracy, false positives/negatives, tree count,
+ * and training time of the Boosted-Trees violation predictor (on the
+ * CNN's latent variable), anticipating QoS violations over the next
+ * k = 5 decision intervals, for both applications.
+ *
+ * Expected shape (paper): validation accuracy above ~94%, small tree
+ * ensembles, training in seconds.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace sinan {
+namespace {
+
+void
+RunApp(const Application& app, const PipelineConfig& pcfg, TextTable& t)
+{
+    std::printf("[%s] collecting + training hybrid model...\n",
+                app.name.c_str());
+    const TrainedSinan trained = TrainSinanForApp(app, pcfg);
+    const HybridReport& r = trained.report;
+    std::printf("[%s] dataset violation rate %.2f, CNN val RMSE %.1f ms\n",
+                app.name.c_str(), trained.train.ViolationRate(),
+                r.cnn.val_rmse_ms);
+    t.Row()
+        .Add(app.name)
+        .Add(100.0 * r.bt_train_accuracy, 1)
+        .Add(100.0 * r.bt_val_accuracy, 1)
+        .Add(100.0 * (r.bt_val_false_pos + r.bt_val_false_neg), 1)
+        .Add(static_cast<long long>(r.bt_trees))
+        .Add(r.bt_train_time_s, 2);
+}
+
+} // namespace
+} // namespace sinan
+
+int
+main()
+{
+    using namespace sinan;
+    bench::PrintHeader(
+        "Table 3 — Boosted-Trees violation predictor",
+        "Table 3: accuracy / #trees / training time, k=5 lookahead");
+    TextTable t({"app", "train acc(%)", "val acc(%)",
+                 "val FP+FN(%)", "#trees", "train time(s)"});
+    RunApp(BuildHotelReservation(), bench::HotelPipeline(), t);
+    RunApp(BuildSocialNetwork(), bench::SocialPipeline(), t);
+    std::printf("\n%s", t.Render().c_str());
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Reproduces Table 4 and the Sec. 5.6 debugging story: with the
+ * social-graph Redis minutely log synchronization enabled, LIME on the
+ * latency predictor ranks graph-redis among the most important tiers for
+ * QoS, and its memory channels (RSS / cache) as the critical resources —
+ * pointing at the logging pathology. After "disabling" the logging and
+ * retraining, graph-redis's importance collapses.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "collect/bandit.h"
+#include "collect/collector.h"
+#include "common/table.h"
+#include "explain/lime.h"
+#include "models/hybrid.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace sinan {
+namespace {
+
+const char* kChannelNames[] = {"cpu limit", "cpu used", "RSS",
+                               "cache memory", "rx packets",
+                               "tx packets"};
+
+struct Trained {
+    FeatureConfig features;
+    std::unique_ptr<HybridModel> model;
+    Dataset data;
+};
+
+Trained
+TrainVariant(bool log_sync, const PipelineConfig& pcfg)
+{
+    SocialOptions opts;
+    opts.redis_log_sync = log_sync;
+    const Application app = BuildSocialNetwork(opts);
+
+    Trained out;
+    out.features.n_tiers = static_cast<int>(app.tiers.size());
+    out.features.history = pcfg.history;
+    out.features.violation_lookahead = pcfg.violation_lookahead;
+    out.features.qos_ms = app.qos_ms;
+
+    CollectionConfig col;
+    col.duration_s = pcfg.collect_s;
+    col.users_min = pcfg.users_min;
+    col.users_max = pcfg.users_max;
+    col.features = out.features;
+    col.seed = pcfg.seed;
+    BanditConfig bcfg;
+    bcfg.qos_ms = app.qos_ms;
+    BanditExplorer bandit(bcfg);
+    out.data = Collect(app, bandit, col);
+    Rng rng(pcfg.seed ^ 0x5eed);
+    auto [train, valid] = out.data.Split(0.9, rng);
+    out.model = std::make_unique<HybridModel>(out.features, pcfg.hybrid,
+                                              pcfg.seed ^ 0xcafe);
+    out.model->Train(train, valid);
+    return out;
+}
+
+/** Picks samples from timesteps where QoS violations occur
+ *  (Sec. 5.6.1's "we choose samples X from the timesteps where QoS
+ *  violations occur"). */
+std::vector<Sample>
+ViolationSamples(const Dataset& data, double qos_ms, size_t max_n)
+{
+    std::vector<Sample> out;
+    for (const Sample& s : data.samples) {
+        if (s.p99_ms > qos_ms) {
+            out.push_back(s);
+            if (out.size() >= max_n)
+                break;
+        }
+    }
+    return out;
+}
+
+void
+Explain(const char* label, Trained& t, const Application& app)
+{
+    LimeExplainer lime(t.model->Cnn(), t.features);
+    const std::vector<Sample> xs =
+        ViolationSamples(t.data, t.features.qos_ms, 24);
+    if (xs.empty()) {
+        std::printf("%s: no violation samples to explain\n", label);
+        return;
+    }
+    const LimeExplanation tiers = lime.ExplainTiersAveraged(xs);
+
+    std::printf("\n%s — top-5 tiers by LIME weight:\n", label);
+    TextTable tt({"rank", "tier", "weight"});
+    int rank = 1;
+    for (int idx : tiers.TopK(5)) {
+        tt.Row()
+            .Add(static_cast<long long>(rank++))
+            .Add(app.tiers[idx].name)
+            .Add(tiers.weights[idx], 4);
+    }
+    std::printf("%s", tt.Render().c_str());
+
+    const int redis = app.TierIndex("graph-redis");
+    std::printf("graph-redis weight: %.4f (rank ", tiers.weights[redis]);
+    const auto order = tiers.TopK(static_cast<int>(app.tiers.size()));
+    for (size_t r = 0; r < order.size(); ++r) {
+        if (order[r] == redis) {
+            std::printf("%zu of %zu)\n", r + 1, order.size());
+            break;
+        }
+    }
+
+    const LimeExplanation res = lime.ExplainResources(xs.front(), redis);
+    std::printf("\n%s — graph-redis resource importance:\n", label);
+    TextTable rt({"resource", "weight"});
+    for (int idx : res.TopK(FeatureConfig::kChannels))
+        rt.Row().Add(kChannelNames[idx]).Add(res.weights[idx], 4);
+    std::printf("%s", rt.Render().c_str());
+}
+
+} // namespace
+} // namespace sinan
+
+int
+main()
+{
+    using namespace sinan;
+    bench::PrintHeader(
+        "Table 4 — explainable ML: the Redis log-sync diagnosis",
+        "Table 4: top-5 critical tiers/resources with and without log "
+        "synchronization");
+
+    const PipelineConfig pcfg = bench::SocialPipeline(17);
+    SocialOptions sync_opts;
+    sync_opts.redis_log_sync = true;
+    const Application app_sync = BuildSocialNetwork(sync_opts);
+    const Application app_fixed = BuildSocialNetwork();
+
+    std::printf("training on the deployment WITH Redis log sync...\n");
+    Trained with_sync = TrainVariant(true, pcfg);
+    Explain("w/ sync", with_sync, app_sync);
+
+    std::printf("\ntraining on the deployment WITHOUT log sync...\n");
+    Trained without_sync = TrainVariant(false, pcfg);
+    Explain("w/o sync", without_sync, app_fixed);
+
+    std::printf("\nExpected shape: with sync enabled, graph-redis ranks "
+                "among the top tiers and its memory channels dominate; "
+                "without it, its importance drops sharply (paper Table 4 "
+                "and Fig. 16).\n");
+    return 0;
+}

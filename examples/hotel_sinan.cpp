@@ -1,0 +1,68 @@
+/**
+ * @file
+ * End-to-end Sinan on the Hotel Reservation application: collect
+ * training data with the multi-armed-bandit explorer, train the hybrid
+ * CNN + Boosted-Trees model, then manage the cluster online and compare
+ * against the conservative autoscaler.
+ *
+ * (Scaled-down collection/training settings so the example runs in
+ * about a minute; the bench suite uses the full pipeline.)
+ */
+#include <cstdio>
+
+#include "app/apps.h"
+#include "baselines/autoscale.h"
+#include "core/scheduler.h"
+#include "harness/harness.h"
+
+int
+main()
+{
+    using namespace sinan;
+
+    const Application app = BuildHotelReservation();
+    std::printf("== offline phase: explore + train ==\n");
+
+    PipelineConfig pcfg;
+    pcfg.collect_s = 800.0; // simulated seconds of bandit exploration
+    pcfg.users_min = 500.0;
+    pcfg.users_max = 3700.0;
+    pcfg.hybrid = DefaultHybridConfig();
+    pcfg.hybrid.train.epochs = 8;
+    pcfg.seed = 3;
+
+    const TrainedSinan trained = TrainSinanForApp(app, pcfg);
+    std::printf("dataset: %zu train samples (violation rate %.2f)\n",
+                trained.train.samples.size(),
+                trained.train.ViolationRate());
+    std::printf("CNN validation RMSE: %.1f ms (sub-QoS: %.1f ms)\n",
+                trained.report.cnn.val_rmse_ms,
+                trained.report.cnn.val_rmse_subqos_ms);
+    std::printf("BT validation accuracy: %.1f%% (%d trees)\n",
+                100.0 * trained.report.bt_val_accuracy,
+                trained.report.bt_trees);
+
+    std::printf("\n== online phase: manage 2500 users ==\n");
+    ConstantLoad load(2500.0);
+    RunConfig rcfg;
+    rcfg.duration_s = 120.0;
+    rcfg.warmup_s = 20.0;
+
+    SinanScheduler sinan(*trained.model, SchedulerConfig{});
+    const RunResult rs = RunManaged(app, sinan, load, rcfg);
+
+    AutoScaler cons = MakeAutoScaleCons();
+    const RunResult rc = RunManaged(app, cons, load, rcfg);
+
+    std::printf("%-14s  P(meet QoS)  mean CPU  max CPU\n", "manager");
+    std::printf("%-14s  %11.3f  %8.1f  %7.1f\n", "Sinan",
+                rs.qos_meet_prob, rs.mean_cpu, rs.max_cpu);
+    std::printf("%-14s  %11.3f  %8.1f  %7.1f\n", "AutoScaleCons",
+                rc.qos_meet_prob, rc.mean_cpu, rc.max_cpu);
+    if (rs.qos_meet_prob >= rc.qos_meet_prob - 0.02 &&
+        rs.mean_cpu < rc.mean_cpu) {
+        std::printf("\nSinan met QoS with %.0f%% less CPU.\n",
+                    100.0 * (1.0 - rs.mean_cpu / rc.mean_cpu));
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: simulate the Social Network microservice application under
+ * a utilization autoscaler and print what happened.
+ *
+ * This demonstrates the minimal public API surface:
+ *   - BuildSocialNetwork() gives an Application (tiers + request types);
+ *   - RunManaged() drives a resource manager against the simulated
+ *     cluster under a load shape;
+ *   - RunResult carries the QoS / CPU accounting.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "app/apps.h"
+#include "baselines/autoscale.h"
+#include "harness/harness.h"
+
+int
+main()
+{
+    using namespace sinan;
+
+    // The 28-tier Social Network of the Sinan paper (Fig. 2), with a
+    // 500 ms p99 QoS target.
+    const Application app = BuildSocialNetwork();
+    std::printf("application: %s (%zu tiers, QoS %.0f ms p99)\n",
+                app.name.c_str(), app.tiers.size(), app.qos_ms);
+
+    // An industry-standard step autoscaler as the resource manager.
+    AutoScaler manager = MakeAutoScaleCons();
+
+    // 200 emulated users, each issuing ~1 request per second.
+    ConstantLoad load(200.0);
+
+    RunConfig cfg;
+    cfg.duration_s = 120.0;
+    cfg.warmup_s = 20.0;
+    const RunResult result = RunManaged(app, manager, load, cfg);
+
+    std::printf("\nafter %.0f simulated seconds under %s:\n",
+                cfg.duration_s, manager.Name());
+    std::printf("  P(meet QoS)         : %.3f\n", result.qos_meet_prob);
+    std::printf("  mean CPU allocation : %.1f cores\n", result.mean_cpu);
+    std::printf("  max CPU allocation  : %.1f cores\n", result.max_cpu);
+    std::printf("  mean p99 latency    : %.1f ms\n", result.mean_p99_ms);
+
+    std::printf("\nlast five intervals:\n");
+    std::printf("  %6s %8s %9s %10s\n", "t(s)", "rps", "p99(ms)",
+                "CPU(cores)");
+    const size_t n = result.timeline.size();
+    for (size_t i = n - 5; i < n; ++i) {
+        const IntervalRecord& rec = result.timeline[i];
+        std::printf("  %6.0f %8.0f %9.1f %10.1f\n", rec.time_s, rec.rps,
+                    rec.p99_ms, rec.total_cpu);
+    }
+    return 0;
+}

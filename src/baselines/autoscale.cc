@@ -1,0 +1,52 @@
+#include "baselines/autoscale.h"
+
+#include <algorithm>
+
+namespace sinan {
+
+AutoScaler::AutoScaler(std::string name, std::vector<ScalingRule> rules)
+    : name_(std::move(name)), rules_(std::move(rules))
+{
+}
+
+std::vector<double>
+AutoScaler::Decide(const IntervalObservation& obs,
+                   const std::vector<double>& alloc, const Application& app)
+{
+    std::vector<double> next(alloc);
+    for (size_t i = 0; i < alloc.size(); ++i) {
+        const double util = obs.tiers[i].Utilization();
+        for (const ScalingRule& r : rules_) {
+            if (util >= r.util_low && util < r.util_high) {
+                next[i] = alloc[i] * (1.0 + r.ratio);
+                break;
+            }
+        }
+        next[i] = std::clamp(next[i], app.tiers[i].min_cpu,
+                             app.tiers[i].max_cpu);
+    }
+    return next;
+}
+
+AutoScaler
+MakeAutoScaleOpt()
+{
+    return AutoScaler("AutoScaleOpt", {
+        {0.70, 1.01, 0.30},
+        {0.60, 0.70, 0.10},
+        {0.30, 0.40, -0.10},
+        {0.00, 0.30, -0.30},
+    });
+}
+
+AutoScaler
+MakeAutoScaleCons()
+{
+    return AutoScaler("AutoScaleCons", {
+        {0.50, 1.01, 0.30},
+        {0.30, 0.50, 0.10},
+        {0.00, 0.10, -0.10},
+    });
+}
+
+} // namespace sinan

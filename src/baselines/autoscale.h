@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Utilization-driven step autoscaling, the industry-standard baseline of
+ * the paper's Sec. 5.3 (configured after the AWS step-scaling tutorial):
+ *
+ *  - AutoScaleOpt: +10% at [60,70)% utilization, +30% at [70,100]%,
+ *    -10% at [30,40)%, -30% at [0,30)%. Resource-efficient but violates
+ *    QoS under load.
+ *  - AutoScaleCons: +10% at [30,50)%, +30% at [50,100]%, -10% at
+ *    [0,10)%. Meets QoS by heavy overprovisioning.
+ */
+#ifndef SINAN_BASELINES_AUTOSCALE_H
+#define SINAN_BASELINES_AUTOSCALE_H
+
+#include <string>
+#include <vector>
+
+#include "core/manager.h"
+
+namespace sinan {
+
+/** One utilization band and its scaling response. */
+struct ScalingRule {
+    double util_low = 0.0;  // inclusive
+    double util_high = 1.0; // exclusive (1.01 to include 100%)
+    double ratio = 0.0;     // +0.10 = grow 10%, -0.30 = shrink 30%
+};
+
+/** Generic per-tier step autoscaler. */
+class AutoScaler : public ResourceManager {
+  public:
+    AutoScaler(std::string name, std::vector<ScalingRule> rules);
+
+    std::vector<double> Decide(const IntervalObservation& obs,
+                               const std::vector<double>& alloc,
+                               const Application& app) override;
+
+    const char* Name() const override { return name_.c_str(); }
+
+  private:
+    std::string name_;
+    std::vector<ScalingRule> rules_;
+};
+
+/** The paper's AutoScaleOpt configuration. */
+AutoScaler MakeAutoScaleOpt();
+
+/** The paper's AutoScaleCons configuration. */
+AutoScaler MakeAutoScaleCons();
+
+} // namespace sinan
+
+#endif // SINAN_BASELINES_AUTOSCALE_H

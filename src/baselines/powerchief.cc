@@ -1,0 +1,55 @@
+#include "baselines/powerchief.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sinan {
+
+PowerChief::PowerChief(const PowerChiefConfig& cfg)
+    : cfg_(cfg)
+{
+}
+
+std::vector<double>
+PowerChief::Decide(const IntervalObservation& obs,
+                   const std::vector<double>& alloc, const Application& app)
+{
+    const int n = static_cast<int>(alloc.size());
+    std::vector<double> next(alloc);
+
+    // Rank tiers by estimated ingress queueing (mean admission wait
+    // weighted by queue length — what network-trace analysis would see).
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    auto queueing = [&](int i) {
+        return obs.tiers[i].queue_wait_s * (1.0 + obs.tiers[i].queue_len);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return queueing(a) > queueing(b); });
+
+    // Boost the apparent bottlenecks.
+    for (int r = 0; r < cfg_.boost_top_k && r < n; ++r) {
+        const int i = order[r];
+        if (queueing(i) <= cfg_.idle_wait_s)
+            break; // nothing is queueing anywhere
+        next[i] = alloc[i] * (1.0 + cfg_.boost_ratio) + 0.2;
+    }
+
+    // Reclaim from stages that show no queue and low utilization, but
+    // never below a headroom multiple of their measured usage.
+    for (int i = 0; i < n; ++i) {
+        if (queueing(i) <= cfg_.idle_wait_s &&
+            obs.tiers[i].Utilization() < cfg_.idle_util) {
+            next[i] = std::max(alloc[i] * (1.0 - cfg_.reclaim_ratio),
+                               obs.tiers[i].cpu_used *
+                                   cfg_.reclaim_floor_headroom);
+        }
+    }
+
+    for (int i = 0; i < n; ++i)
+        next[i] = std::clamp(next[i], app.tiers[i].min_cpu,
+                             app.tiers[i].max_cpu);
+    return next;
+}
+
+} // namespace sinan

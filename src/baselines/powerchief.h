@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PowerChief-style queueing-analysis manager (Yang et al., ISCA'17), the
+ * paper's research baseline: it estimates per-tier queueing from network
+ * traces, declares the tier with the longest ingress queue the
+ * bottleneck, and boosts that tier's resources while reclaiming from
+ * apparently idle stages.
+ *
+ * As the paper argues (Sec. 5.3), in microservice graphs the longest
+ * queue is often a symptom of a downstream culprit rather than the
+ * culprit itself, so this policy misdirects resources under
+ * back-pressure — the behaviour our Figure 11 reproduction shows.
+ */
+#ifndef SINAN_BASELINES_POWERCHIEF_H
+#define SINAN_BASELINES_POWERCHIEF_H
+
+#include "core/manager.h"
+
+namespace sinan {
+
+/** PowerChief knobs. */
+struct PowerChiefConfig {
+    /** Boost ratio applied to the bottleneck tier. */
+    double boost_ratio = 0.30;
+    /** How many of the longest-queue tiers get boosted per interval. */
+    int boost_top_k = 3;
+    /** Reclaim ratio for idle tiers. */
+    double reclaim_ratio = 0.10;
+    /** Utilization below which an unqueued tier is considered idle. */
+    double idle_util = 0.30;
+    /** Queueing time (s) below which a tier is queue-free. */
+    double idle_wait_s = 0.002;
+    /** Reclaim floor as a multiple of measured usage (keeps the manager
+     *  from starving tiers outright at low load). */
+    double reclaim_floor_headroom = 1.4;
+};
+
+/** Queue-driven boosting manager. */
+class PowerChief : public ResourceManager {
+  public:
+    explicit PowerChief(const PowerChiefConfig& cfg = PowerChiefConfig());
+
+    std::vector<double> Decide(const IntervalObservation& obs,
+                               const std::vector<double>& alloc,
+                               const Application& app) override;
+
+    const char* Name() const override { return "PowerChief"; }
+
+  private:
+    PowerChiefConfig cfg_;
+};
+
+} // namespace sinan
+
+#endif // SINAN_BASELINES_POWERCHIEF_H

@@ -1,0 +1,469 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sinan {
+
+namespace {
+
+/** Progress below this is treated as zero to terminate sharing rounds. */
+constexpr double kEpsWork = 1e-12;
+
+/** Upper bound on sharing rounds per tier per tick (safety net). */
+constexpr int kMaxRounds = 64;
+
+} // namespace
+
+Cluster::Cluster(const Application& app, const ClusterConfig& cfg,
+                 uint64_t seed)
+    : app_(app), cfg_(cfg), rng_(seed)
+{
+    if (app.tiers.empty())
+        throw std::invalid_argument("Cluster: application has no tiers");
+    if (app.request_types.empty())
+        throw std::invalid_argument("Cluster: application has no requests");
+    if (cfg.replica_scale < 1)
+        throw std::invalid_argument("Cluster: replica_scale must be >= 1");
+
+    tiers_.resize(app.tiers.size());
+    for (size_t i = 0; i < app.tiers.size(); ++i) {
+        TierState& t = tiers_[i];
+        t.spec = app.tiers[i];
+        t.cpu_limit = t.spec.init_cpu;
+        t.slots = t.spec.concurrency_per_replica * t.spec.replicas *
+                  cfg.replica_scale;
+        t.cache_mb = t.spec.base_cache_mb;
+        t.next_sync_at = t.spec.log_sync_period_s;
+    }
+
+    trees_.resize(app.request_types.size());
+    for (size_t r = 0; r < app.request_types.size(); ++r) {
+        const int32_t root = FlattenTree(app.request_types[r].root,
+                                         trees_[r]);
+        if (root != 0)
+            throw std::logic_error("Cluster: tree root must flatten to 0");
+    }
+}
+
+int32_t
+Cluster::FlattenTree(const CallNode& node, std::vector<FlatNode>& out)
+{
+    if (node.tier < 0 || node.tier >= static_cast<int>(tiers_.size()))
+        throw std::invalid_argument("Cluster: call node has bad tier index");
+    const int32_t idx = static_cast<int32_t>(out.size());
+    out.push_back(FlatNode{node.tier, node.demand_s, node.demand_cv,
+                           node.hit_prob, node.async, 0, 0});
+    // Depth-first layout: a node's first child is at idx+1 and sibling
+    // k+1 starts right after sibling k's whole subtree, so FinishLocalWork
+    // can enumerate children by skipping subtrees. We only store the first
+    // child index and the child count.
+    std::vector<int32_t> child_idx;
+    child_idx.reserve(node.children.size());
+    for (const CallNode& c : node.children)
+        child_idx.push_back(FlattenTree(c, out));
+    FlatNode& fn = out[idx];
+    fn.child_begin = child_idx.empty() ? 0 : child_idx.front();
+    fn.child_count = static_cast<int32_t>(child_idx.size());
+    return idx;
+}
+
+int32_t
+Cluster::AllocStage()
+{
+    if (free_head_ >= 0) {
+        const int32_t h = free_head_;
+        free_head_ = stages_[h].next_free;
+        stages_[h] = Stage{};
+        return h;
+    }
+    stages_.emplace_back();
+    return static_cast<int32_t>(stages_.size()) - 1;
+}
+
+void
+Cluster::FreeStage(int32_t handle)
+{
+    stages_[handle].state = 0;
+    stages_[handle].next_free = free_head_;
+    free_head_ = handle;
+}
+
+int32_t
+Cluster::SpawnStage(int16_t type, int32_t node, int32_t parent,
+                    bool record_latency, double now, double birth)
+{
+    const FlatNode& fn = trees_[type][node];
+    const int32_t h = AllocStage();
+    Stage& s = stages_[h];
+    s.node = node;
+    s.type = type;
+    s.state = 1; // queued
+    s.record_latency = record_latency;
+    s.parent = parent;
+    s.pending_children = 0;
+    s.remaining_s = rng_.LogNormal(fn.demand_s, fn.demand_cv);
+    s.enqueue_time = now;
+    s.birth_time = birth;
+    s.ready_tick = in_tick_ ? tick_id_ + 1 : tick_id_;
+
+    TierState& tier = tiers_[fn.tier];
+    tier.queue.push_back(h);
+    tier.rx_pkts += tier.spec.pkts_per_rpc;
+    if (parent >= 0) {
+        const FlatNode& pn = trees_[type][stages_[parent].node];
+        tiers_[pn.tier].tx_pkts += tiers_[pn.tier].spec.pkts_per_rpc;
+    }
+    return h;
+}
+
+void
+Cluster::Inject(int request_type, double now)
+{
+    if (request_type < 0 ||
+        request_type >= static_cast<int>(trees_.size())) {
+        throw std::out_of_range("Cluster::Inject: bad request type");
+    }
+    const int32_t h = SpawnStage(static_cast<int16_t>(request_type), 0,
+                                 -1, true, now, now);
+    ++injected_;
+    ++in_flight_;
+
+    if (cfg_.trace_sample > 0.0 && rng_.Bernoulli(cfg_.trace_sample)) {
+        int32_t idx;
+        if (!trace_free_.empty()) {
+            idx = trace_free_.back();
+            trace_free_.pop_back();
+            active_traces_[idx] = Trace{};
+            trace_open_spans_[idx] = 0;
+        } else {
+            idx = static_cast<int32_t>(active_traces_.size());
+            active_traces_.emplace_back();
+            trace_open_spans_.push_back(0);
+        }
+        Trace& trace = active_traces_[idx];
+        trace.trace_id = ++trace_counter_;
+        trace.request_type = request_type;
+        trace.begin_s = now;
+        AttachSpan(h, idx, -1, false, now);
+    }
+}
+
+void
+Cluster::AttachSpan(int32_t handle, int32_t trace_idx, int parent_span,
+                    bool async, double now)
+{
+    Stage& s = stages_[handle];
+    Trace& trace = active_traces_[trace_idx];
+    Span span;
+    span.tier = trees_[s.type][s.node].tier;
+    span.span_id = static_cast<int>(trace.spans.size());
+    span.parent_span = parent_span;
+    span.async = async;
+    span.enqueue_s = now;
+    span.start_s = now;
+    span.end_s = now;
+    s.trace_idx = trace_idx;
+    s.span_idx = span.span_id;
+    trace.spans.push_back(span);
+    ++trace_open_spans_[trace_idx];
+}
+
+void
+Cluster::CloseSpan(const Stage& s, double end_time)
+{
+    Trace& trace = active_traces_[s.trace_idx];
+    Span& span = trace.spans[s.span_idx];
+    span.end_s = end_time;
+    if (s.record_latency)
+        trace.end_s = end_time;
+    if (--trace_open_spans_[s.trace_idx] == 0) {
+        completed_traces_.push_back(std::move(trace));
+        trace_free_.push_back(s.trace_idx);
+    }
+}
+
+std::vector<Trace>
+Cluster::TakeTraces()
+{
+    std::vector<Trace> out;
+    out.swap(completed_traces_);
+    return out;
+}
+
+void
+Cluster::AdmitFromQueue(TierState& tier, double now)
+{
+    while (tier.active < tier.slots && !tier.queue.empty()) {
+        const int32_t h = tier.queue.front();
+        tier.queue.pop_front();
+        Stage& s = stages_[h];
+        s.state = 2; // running
+        // Children spawned mid-tick carry the tick-end timestamp while
+        // admission runs at tick start, so the difference is clamped.
+        tier.wait_acc += std::max(0.0, now - s.enqueue_time);
+        ++tier.wait_count;
+        ++tier.active;
+        tier.running.push_back(h);
+        if (s.trace_idx >= 0) {
+            Span& span =
+                active_traces_[s.trace_idx].spans[s.span_idx];
+            span.start_s = std::max(now, span.enqueue_s);
+        }
+    }
+}
+
+void
+Cluster::FinishLocalWork(int32_t handle, double end_time)
+{
+    // Copy what we need up front: SpawnStage can grow the stage arena and
+    // invalidate references into it.
+    const int16_t type = stages_[handle].type;
+    const int32_t node = stages_[handle].node;
+    const double birth = stages_[handle].birth_time;
+    const FlatNode& fn = trees_[type][node];
+
+    const bool invoke_children =
+        fn.child_count > 0 && !rng_.Bernoulli(fn.hit_prob);
+
+    if (!invoke_children) {
+        CompleteStage(handle, end_time);
+        return;
+    }
+
+    // Spawn all children in parallel. Depth-first flattening means the
+    // k-th child's root index is the previous child's root plus the size
+    // of that child's subtree; the subtree is skipped by a preorder walk.
+    const int32_t parent_trace = stages_[handle].trace_idx;
+    const int32_t parent_span = stages_[handle].span_idx;
+    int32_t child = fn.child_begin;
+    int sync_children = 0;
+    for (int k = 0; k < fn.child_count; ++k) {
+        const bool async = trees_[type][child].async;
+        const int32_t ch = SpawnStage(type, child,
+                                      async ? -1 : handle, false,
+                                      end_time, birth);
+        if (parent_trace >= 0)
+            AttachSpan(ch, parent_trace, parent_span, async, end_time);
+        if (!async)
+            ++sync_children;
+        int32_t cursor = child;
+        int32_t remaining = 1;
+        while (remaining > 0) {
+            remaining += trees_[type][cursor].child_count - 1;
+            ++cursor;
+        }
+        child = cursor;
+    }
+
+    if (sync_children == 0) {
+        CompleteStage(handle, end_time);
+    } else {
+        Stage& s = stages_[handle];
+        s.pending_children = sync_children;
+        s.state = 3; // blocked, still holding its slot
+    }
+}
+
+void
+Cluster::CompleteStage(int32_t handle, double end_time)
+{
+    Stage s = stages_[handle]; // copy: FreeStage invalidates the slot
+    const FlatNode& fn = trees_[s.type][s.node];
+    TierState& tier = tiers_[fn.tier];
+
+    --tier.active;
+    ++tier.completions;
+    tier.tx_pkts += tier.spec.pkts_per_rpc;
+    tier.written_mb += tier.spec.written_mb_per_req;
+    tier.cache_mb = std::min(tier.spec.max_cache_mb,
+                             tier.cache_mb + tier.spec.cache_per_req_mb);
+    if (s.parent >= 0) {
+        const FlatNode& pn = trees_[s.type][stages_[s.parent].node];
+        tiers_[pn.tier].rx_pkts += tiers_[pn.tier].spec.pkts_per_rpc;
+    }
+
+    if (s.record_latency) {
+        latency_.Add((end_time - s.birth_time) * 1000.0);
+        ++completed_;
+        --in_flight_;
+    }
+    if (s.trace_idx >= 0)
+        CloseSpan(s, end_time);
+
+    const int32_t parent = s.parent;
+    FreeStage(handle);
+
+    if (parent >= 0) {
+        Stage& p = stages_[parent];
+        if (--p.pending_children == 0 && p.state == 3)
+            CompleteStage(parent, end_time);
+    }
+}
+
+void
+Cluster::Tick(double now, double dt)
+{
+    in_tick_ = true;
+    const double end_time = now + dt;
+    for (TierState& tier : tiers_) {
+        // Log-sync stall model: at each period boundary the tier forks and
+        // copies dirty memory, serving nothing while it does.
+        if (tier.spec.log_sync && cfg_.enable_log_sync &&
+            now >= tier.next_sync_at) {
+            const double stall = tier.spec.stall_base_s +
+                                 tier.spec.stall_s_per_mb * tier.written_mb;
+            tier.stall_until = now + stall;
+            tier.written_mb = 0.0;
+            tier.next_sync_at += tier.spec.log_sync_period_s;
+        }
+
+        // Fraction of this tick the tier is able to run.
+        double avail = 1.0;
+        if (tier.stall_until > now)
+            avail = std::max(0.0, (end_time - tier.stall_until) / dt);
+
+        AdmitFromQueue(tier, now);
+
+        double cap_s = tier.cpu_limit * cfg_.speed_factor * dt * avail;
+        const double per_stage_cap = dt * avail; // one core per stage
+
+        for (int round = 0; round < kMaxRounds && cap_s > kEpsWork;
+             ++round) {
+            runnable_.clear();
+            for (const int32_t h : tier.running) {
+                Stage& s = stages_[h];
+                if (s.last_tick != tick_id_) {
+                    s.last_tick = tick_id_;
+                    s.consumed_tick_s = 0.0;
+                }
+                if (s.ready_tick <= tick_id_ &&
+                    s.remaining_s > kEpsWork &&
+                    s.consumed_tick_s < per_stage_cap - kEpsWork) {
+                    runnable_.push_back(h);
+                }
+            }
+            if (runnable_.empty())
+                break;
+
+            const double share =
+                cap_s / static_cast<double>(runnable_.size());
+            bool progressed = false;
+            for (const int32_t h : runnable_) {
+                Stage& s = stages_[h];
+                const double give =
+                    std::min({share, s.remaining_s,
+                              per_stage_cap - s.consumed_tick_s});
+                if (give <= kEpsWork)
+                    continue;
+                s.remaining_s -= give;
+                s.consumed_tick_s += give;
+                cap_s -= give;
+                tier.cpu_used_acc += give;
+                progressed = true;
+                if (s.remaining_s <= kEpsWork) {
+                    s.remaining_s = 0.0;
+                    // Remove from running before fan-out.
+                    auto& run = tier.running;
+                    run.erase(std::find(run.begin(), run.end(), h));
+                    FinishLocalWork(h, end_time);
+                }
+            }
+            if (!progressed)
+                break;
+            AdmitFromQueue(tier, now);
+        }
+
+        tier.queue_len_acc += static_cast<double>(tier.queue.size());
+        tier.active_acc += static_cast<double>(tier.active);
+        ++tier.tick_samples;
+    }
+    ++tick_id_;
+    in_tick_ = false;
+}
+
+IntervalObservation
+Cluster::Harvest(double now, double interval_s)
+{
+    IntervalObservation obs;
+    obs.time_s = now;
+    obs.rps = static_cast<double>(injected_) / interval_s;
+    obs.completed_rps = static_cast<double>(completed_) / interval_s;
+    obs.tiers.reserve(tiers_.size());
+
+    auto noisy = [&](double v) {
+        if (cfg_.metric_noise <= 0.0)
+            return v;
+        return std::max(0.0, v * (1.0 + rng_.Normal(0.0,
+                                                    cfg_.metric_noise)));
+    };
+
+    for (TierState& tier : tiers_) {
+        TierMetrics m;
+        const double samples =
+            std::max<double>(1.0, static_cast<double>(tier.tick_samples));
+        m.cpu_limit = tier.cpu_limit;
+        m.cpu_used = noisy(tier.cpu_used_acc / interval_s);
+        const double inflight = tier.queue_len_acc / samples +
+                                tier.active_acc / samples;
+        m.rss_mb = noisy(tier.spec.base_rss_mb + tier.written_mb +
+                         tier.spec.rss_per_inflight_mb * inflight);
+        m.cache_mb = noisy(tier.cache_mb);
+        m.rx_pps = noisy(tier.rx_pkts / interval_s);
+        m.tx_pps = noisy(tier.tx_pkts / interval_s);
+        m.queue_len = tier.queue_len_acc / samples;
+        m.active = tier.active_acc / samples;
+        m.queue_wait_s =
+            tier.wait_count ? tier.wait_acc /
+                                  static_cast<double>(tier.wait_count)
+                            : 0.0;
+        obs.tiers.push_back(m);
+
+        tier.cpu_used_acc = 0.0;
+        tier.queue_len_acc = 0.0;
+        tier.active_acc = 0.0;
+        tier.tick_samples = 0;
+        tier.rx_pkts = 0.0;
+        tier.tx_pkts = 0.0;
+        tier.wait_acc = 0.0;
+        tier.wait_count = 0;
+        tier.completions = 0;
+    }
+
+    obs.latency_ms = latency_.Quantiles(LatencyQuantiles());
+    latency_.Reset();
+    injected_ = 0;
+    completed_ = 0;
+    return obs;
+}
+
+void
+Cluster::SetCpuLimit(int tier, double cores)
+{
+    if (tier < 0 || tier >= NumTiers())
+        throw std::out_of_range("Cluster::SetCpuLimit: bad tier");
+    TierState& t = tiers_[tier];
+    t.cpu_limit = std::clamp(cores, t.spec.min_cpu, t.spec.max_cpu);
+}
+
+void
+Cluster::SetAllocation(const std::vector<double>& cores)
+{
+    if (static_cast<int>(cores.size()) != NumTiers())
+        throw std::invalid_argument("Cluster::SetAllocation: size mismatch");
+    for (int i = 0; i < NumTiers(); ++i)
+        SetCpuLimit(i, cores[i]);
+}
+
+std::vector<double>
+Cluster::Allocation() const
+{
+    std::vector<double> out;
+    out.reserve(tiers_.size());
+    for (const TierState& t : tiers_)
+        out.push_back(t.cpu_limit);
+    return out;
+}
+
+} // namespace sinan

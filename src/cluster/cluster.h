@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Runtime queueing-network model of a microservice deployment.
+ *
+ * Each tier is a processor-sharing queue with a cgroup-style fractional
+ * CPU limit and a finite number of concurrency slots (threads). A request
+ * executes a call tree (cluster/spec.h): a stage does its local CPU work,
+ * then invokes its children in parallel and blocks — still holding its
+ * slot — until synchronous children complete. Holding slots across
+ * downstream RPCs is what produces the cascading back-pressure and delayed
+ * queueing effects that Sinan targets (paper Sec. 2.3).
+ *
+ * Time advances in fixed ticks. Within a tick, each tier distributes its
+ * CPU capacity over runnable stages in rounds (so short stages do not
+ * quantize throughput to one completion per slot per tick), capped at one
+ * core per stage (single-threaded request handling).
+ */
+#ifndef SINAN_CLUSTER_CLUSTER_H
+#define SINAN_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "cluster/tracing.h"
+#include "cluster/spec.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sinan {
+
+/** Environment knobs that model platform changes (Sec. 5.4 scenarios). */
+struct ClusterConfig {
+    /** CPU speed relative to the training platform (GCE migration). */
+    double speed_factor = 1.0;
+    /** Multiplies every tier's replica count (scale-out scenario). */
+    int replica_scale = 1;
+    /** Relative telemetry noise applied at interval harvest. */
+    double metric_noise = 0.01;
+    /** Fraction of requests traced (Jaeger stand-in; 0 disables). */
+    double trace_sample = 0.0;
+    /** Master switch for all log-sync stall models (Sec. 5.6.2). */
+    bool enable_log_sync = true;
+};
+
+/** Runtime state of one tier (exposed for tests and white-box benches). */
+struct TierState {
+    TierSpec spec;
+    /** Current CPU limit in cores. */
+    double cpu_limit = 0.0;
+    /** Total concurrency slots. */
+    int slots = 0;
+    /** Occupied slots (running + blocked on children). */
+    int active = 0;
+    /** Admission queue of stage handles. */
+    std::deque<int32_t> queue;
+    /** Stages admitted and still owing local CPU work. */
+    std::vector<int32_t> running;
+
+    // Log-sync stall model.
+    double stall_until = -1.0;
+    double next_sync_at = 0.0;
+    double written_mb = 0.0;
+    double cache_mb = 0.0;
+
+    // Interval accumulators.
+    double cpu_used_acc = 0.0;
+    double queue_len_acc = 0.0;
+    double active_acc = 0.0;
+    int64_t tick_samples = 0;
+    double rx_pkts = 0.0;
+    double tx_pkts = 0.0;
+    double wait_acc = 0.0;
+    int64_t wait_count = 0;
+    int64_t completions = 0;
+};
+
+/**
+ * The simulated cluster: owns tier runtimes and in-flight request stages,
+ * advances them per tick, and rolls telemetry up per decision interval.
+ */
+class Cluster {
+  public:
+    Cluster(const Application& app, const ClusterConfig& cfg, uint64_t seed);
+
+    /** Injects one request of the given type at time @p now. */
+    void Inject(int request_type, double now);
+
+    /** Advances all tiers by one tick of length @p dt starting at @p now. */
+    void Tick(double now, double dt);
+
+    /**
+     * Rolls up and resets the current interval's telemetry.
+     * @param now end-of-interval timestamp.
+     * @param interval_s interval length used for rate normalization.
+     */
+    IntervalObservation Harvest(double now, double interval_s);
+
+    /** Sets one tier's CPU limit, clamped to the spec's [min,max]. */
+    void SetCpuLimit(int tier, double cores);
+
+    /** Applies a full allocation vector (one entry per tier). */
+    void SetAllocation(const std::vector<double>& cores);
+
+    /** Current allocation vector. */
+    std::vector<double> Allocation() const;
+
+    /** Enables/disables the log-sync stall model at runtime. */
+    void SetLogSyncEnabled(bool enabled) { cfg_.enable_log_sync = enabled; }
+
+    int NumTiers() const { return static_cast<int>(tiers_.size()); }
+    const Application& App() const { return app_; }
+    const TierState& TierAt(int i) const { return tiers_[i]; }
+
+    /** Requests injected but not yet completed (all types). */
+    int64_t InFlight() const { return in_flight_; }
+
+    /** Completed-request latency digest of the current interval. */
+    const PercentileDigest& Latencies() const { return latency_; }
+
+    /** Removes and returns the traces completed since the last call. */
+    std::vector<Trace> TakeTraces();
+
+  private:
+    /** One node of a flattened call tree. */
+    struct FlatNode {
+        int tier;
+        double demand_s;
+        double demand_cv;
+        double hit_prob;
+        bool async;
+        /** Index of the first child (the node right after this one). */
+        int32_t child_begin;
+        /** Number of direct children. */
+        int32_t child_count;
+    };
+
+    /** In-flight execution of one call-tree node. */
+    struct Stage {
+        int32_t node = -1;
+        int16_t type = -1;
+        int8_t state = 0; // 0 free, 1 queued, 2 running, 3 blocked
+        bool record_latency = false;
+        int32_t parent = -1;
+        int32_t pending_children = 0;
+        double remaining_s = 0.0;
+        double consumed_tick_s = 0.0;
+        int64_t last_tick = -1;
+        double enqueue_time = 0.0;
+        double birth_time = 0.0; // root: request injection time
+        /** Tracing handles (-1: untraced). */
+        int32_t trace_idx = -1;
+        int32_t span_idx = -1;
+        /** First tick in which this stage may consume CPU. Children
+         *  spawned mid-tick wait one tick, so a serial RPC chain cannot
+         *  compress multiple hops of work into a single tick. */
+        int64_t ready_tick = 0;
+        int32_t next_free = -1;
+    };
+
+    int32_t AllocStage();
+    void FreeStage(int32_t handle);
+
+    /** Opens a span on an active trace for a freshly spawned stage. */
+    void AttachSpan(int32_t handle, int32_t trace_idx, int parent_span,
+                    bool async, double now);
+
+    /** Closes the stage's span; finalizes the trace when drained. */
+    void CloseSpan(const Stage& s, double end_time);
+    int32_t FlattenTree(const CallNode& node, std::vector<FlatNode>& out);
+
+    /** Creates a stage for @p node and enqueues it at its tier. */
+    int32_t SpawnStage(int16_t type, int32_t node, int32_t parent,
+                       bool record_latency, double now, double birth);
+
+    /** Moves queued stages into running while slots are free. */
+    void AdmitFromQueue(TierState& tier, double now);
+
+    /** Local work finished: fan out to children or complete. */
+    void FinishLocalWork(int32_t handle, double end_time);
+
+    /** Stage (and its sync subtree) fully done; notify parent. */
+    void CompleteStage(int32_t handle, double end_time);
+
+    Application app_;
+    ClusterConfig cfg_;
+    Rng rng_;
+
+    std::vector<TierState> tiers_;
+    /** Flattened call trees, one vector per request type. */
+    std::vector<std::vector<FlatNode>> trees_;
+
+    std::vector<Stage> stages_;
+    int32_t free_head_ = -1;
+
+    // Tracing state: active traces (arena + free list), open-span
+    // counts, and the completed traces awaiting TakeTraces().
+    std::vector<Trace> active_traces_;
+    std::vector<int32_t> trace_free_;
+    std::vector<int32_t> trace_open_spans_;
+    std::vector<Trace> completed_traces_;
+    int64_t trace_counter_ = 0;
+
+    int64_t tick_id_ = 0;
+    /** True while Tick() is running (stages spawned then wait a tick). */
+    bool in_tick_ = false;
+    int64_t injected_ = 0;  // this interval
+    int64_t completed_ = 0; // this interval
+    int64_t in_flight_ = 0;
+    PercentileDigest latency_;
+
+    // Scratch buffer reused across ticks to avoid reallocations.
+    std::vector<int32_t> runnable_;
+};
+
+} // namespace sinan
+
+#endif // SINAN_CLUSTER_CLUSTER_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-interval telemetry exported by the cluster substrate.
+ *
+ * This mirrors what the paper's per-node agents read from Docker's cgroup
+ * interface every decision interval: CPU usage, memory usage (resident
+ * set size and cache memory), network packet counts, plus the end-to-end
+ * latency percentiles from the API gateway. Queue statistics are also
+ * exported because the PowerChief baseline needs them.
+ */
+#ifndef SINAN_CLUSTER_METRICS_H
+#define SINAN_CLUSTER_METRICS_H
+
+#include <vector>
+
+namespace sinan {
+
+/** One tier's metrics over one decision interval. */
+struct TierMetrics {
+    /** CPU limit (cores) in force during the interval. */
+    double cpu_limit = 0.0;
+    /** Average cores actually consumed. */
+    double cpu_used = 0.0;
+    /** Resident set size, MB (end of interval). */
+    double rss_mb = 0.0;
+    /** Page/dataset cache memory, MB (end of interval). */
+    double cache_mb = 0.0;
+    /** Received / transmitted packets per second. */
+    double rx_pps = 0.0;
+    double tx_pps = 0.0;
+    /** Average admission-queue length (requests waiting for a slot). */
+    double queue_len = 0.0;
+    /** Average occupied concurrency slots. */
+    double active = 0.0;
+    /** Mean time spent waiting in the admission queue, seconds. */
+    double queue_wait_s = 0.0;
+
+    /** Utilization of the allocated CPU (used / limit). */
+    double
+    Utilization() const
+    {
+        return cpu_limit > 0.0 ? cpu_used / cpu_limit : 0.0;
+    }
+};
+
+/** Cluster-wide snapshot delivered to resource managers every interval. */
+struct IntervalObservation {
+    /** Simulated time at the end of the interval. */
+    double time_s = 0.0;
+    /** Requests injected per second during the interval (gateway stats). */
+    double rps = 0.0;
+    /** Requests completed per second during the interval. */
+    double completed_rps = 0.0;
+    /** Per-tier telemetry, indexed like Application::tiers. */
+    std::vector<TierMetrics> tiers;
+    /** End-to-end tail latencies in ms: p95, p96, p97, p98, p99. */
+    std::vector<double> latency_ms;
+
+    /** The p99 end-to-end latency (the QoS metric), ms. */
+    double
+    P99() const
+    {
+        return latency_ms.empty() ? 0.0 : latency_ms.back();
+    }
+
+    /** Aggregate CPU cores allocated across tiers. */
+    double
+    TotalCpuLimit() const
+    {
+        double s = 0.0;
+        for (const auto& t : tiers)
+            s += t.cpu_limit;
+        return s;
+    }
+};
+
+/** Latency percentiles reported per interval (p95..p99). */
+inline const std::vector<double>&
+LatencyQuantiles()
+{
+    static const std::vector<double> qs = {0.95, 0.96, 0.97, 0.98, 0.99};
+    return qs;
+}
+
+} // namespace sinan
+
+#endif // SINAN_CLUSTER_METRICS_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Static description of a microservice application: the tiers (services)
+ * it is composed of, and the RPC call tree executed for each request type.
+ *
+ * These specs are the simulator-side stand-in for a DeathStarBench
+ * docker-compose deployment: src/app builds the Hotel Reservation and
+ * Social Network graphs of the paper's Figures 1 and 2 out of them, and
+ * src/cluster instantiates the runtime queueing network.
+ */
+#ifndef SINAN_CLUSTER_SPEC_H
+#define SINAN_CLUSTER_SPEC_H
+
+#include <string>
+#include <vector>
+
+namespace sinan {
+
+/** Static per-tier (per-microservice) configuration. */
+struct TierSpec {
+    /** Service name, e.g. "nginx" or "socialGraph-redis". */
+    std::string name;
+
+    /** Request-handling slots (threads/connections) per replica. A stage
+     *  occupies one slot from admission until completion, including while
+     *  blocked on downstream RPCs — this is what propagates back-pressure
+     *  upstream when a downstream tier is slow. */
+    int concurrency_per_replica = 16;
+
+    /** Number of container replicas (scaled out in the GCE experiments). */
+    int replicas = 1;
+
+    /** Initial CPU limit in cores for the whole tier (cgroup cpu quota). */
+    double init_cpu = 2.0;
+
+    /** Bounds the manager may allocate within. */
+    double min_cpu = 0.2;
+    double max_cpu = 16.0;
+
+    // --- memory / network metric model -------------------------------
+    /** Baseline resident set size in MB. */
+    double base_rss_mb = 80.0;
+    /** RSS added per queued or in-flight request (buffers, stacks). */
+    double rss_per_inflight_mb = 0.5;
+    /** Baseline page-cache / dataset-cache footprint in MB. */
+    double base_cache_mb = 40.0;
+    /** Cache growth per processed request (disk-backed tiers), MB. */
+    double cache_per_req_mb = 0.0;
+    /** Cap for the cache growth model. */
+    double max_cache_mb = 512.0;
+    /** Network packets generated per RPC in/out of this tier. */
+    double pkts_per_rpc = 4.0;
+
+    // --- log-synchronization stall model (Sec. 5.6.2 Redis pathology) --
+    /** Enables the periodic fork-and-persist stall. */
+    bool log_sync = false;
+    /** Seconds between synchronizations (Redis default: every minute). */
+    double log_sync_period_s = 60.0;
+    /** Dirty memory written per processed request, MB. */
+    double written_mb_per_req = 0.02;
+    /** Stall seconds per dirty MB copied at synchronization time. */
+    double stall_s_per_mb = 0.02;
+    /** Fixed fork cost in seconds. */
+    double stall_base_s = 0.05;
+};
+
+/**
+ * One node of a request's RPC call tree.
+ *
+ * Semantics: the stage first executes its local CPU work on @ref tier,
+ * then (unless a cache hit short-circuits them) invokes all children in
+ * parallel. Synchronous children must complete before this stage
+ * completes; children marked async are fire-and-forget and contribute
+ * load but not end-to-end latency (e.g. RabbitMQ timeline fan-out).
+ */
+struct CallNode {
+    /** Index into Application::tiers. */
+    int tier = -1;
+
+    /** Mean local CPU demand in core-seconds (at one dedicated core). */
+    double demand_s = 0.001;
+
+    /** Coefficient of variation of the log-normal demand distribution. */
+    double demand_cv = 0.15;
+
+    /** Probability that children are skipped (cache hit fast path). */
+    double hit_prob = 0.0;
+
+    /** This call does not block its parent. */
+    bool async = false;
+
+    std::vector<CallNode> children;
+};
+
+/** A class of end-to-end requests (e.g. ComposePost). */
+struct RequestType {
+    std::string name;
+    /** Sampling weight within the workload mix. */
+    double weight = 1.0;
+    CallNode root;
+};
+
+/** A complete application: graph + request classes + QoS target. */
+struct Application {
+    std::string name;
+    /** End-to-end p99 tail-latency target in milliseconds. */
+    double qos_ms = 200.0;
+    /** Request type that traffic bursts skew toward (-1: none). Flash
+     *  crowds on social media are post-heavy, which is what makes them
+     *  hard for per-tier reactive autoscaling (the compute-heavy filter
+     *  tiers see sudden demand their average utilization hides). */
+    int burst_bias_type = -1;
+    /** Extra probability mass moved to burst_bias_type during a burst. */
+    double burst_bias_extra = 0.25;
+    std::vector<TierSpec> tiers;
+    std::vector<RequestType> request_types;
+
+    /** Returns the tier index with the given name, or -1. */
+    int
+    TierIndex(const std::string& tier_name) const
+    {
+        for (size_t i = 0; i < tiers.size(); ++i) {
+            if (tiers[i].name == tier_name)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+} // namespace sinan
+
+#endif // SINAN_CLUSTER_SPEC_H

@@ -1,0 +1,47 @@
+#include "cluster/tracing.h"
+
+#include <stdexcept>
+
+namespace sinan {
+
+int
+Trace::SlowestSyncSpan() const
+{
+    int best = -1;
+    double best_dur = -1.0;
+    for (size_t i = 0; i < spans.size(); ++i) {
+        if (spans[i].async)
+            continue;
+        const double d = spans[i].DurationS();
+        if (d > best_dur) {
+            best_dur = d;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+std::vector<TierAttribution>
+AttributeByTier(const std::vector<Trace>& traces, int n_tiers)
+{
+    if (n_tiers <= 0)
+        throw std::invalid_argument("AttributeByTier: no tiers");
+    std::vector<TierAttribution> out(static_cast<size_t>(n_tiers));
+    for (int t = 0; t < n_tiers; ++t)
+        out[t].tier = t;
+    for (const Trace& trace : traces) {
+        for (const Span& span : trace.spans) {
+            if (span.async)
+                continue;
+            if (span.tier < 0 || span.tier >= n_tiers)
+                throw std::out_of_range("AttributeByTier: bad span tier");
+            TierAttribution& a = out[span.tier];
+            a.sync_time_s += span.DurationS();
+            a.queue_wait_s += span.QueueWaitS();
+            ++a.spans;
+        }
+    }
+    return out;
+}
+
+} // namespace sinan

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sampled distributed tracing, the simulator's stand-in for the Jaeger
+ * deployment in the paper's system architecture (Fig. 8). A fraction of
+ * requests is traced; each traced request yields one span per executed
+ * stage with queueing/service timing, letting tools attribute end-to-end
+ * latency to tiers (and letting tests validate the queueing model from
+ * the inside).
+ */
+#ifndef SINAN_CLUSTER_TRACING_H
+#define SINAN_CLUSTER_TRACING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sinan {
+
+/** One stage execution of a traced request. */
+struct Span {
+    /** Tier that executed the stage. */
+    int tier = -1;
+    /** Span id within the trace (0 = root) and parent (-1 for root). */
+    int span_id = 0;
+    int parent_span = -1;
+    /** The stage was fire-and-forget (not on the latency path). */
+    bool async = false;
+    /** Admission-queue entry time (RPC arrival), seconds. */
+    double enqueue_s = 0.0;
+    /** First tick the stage consumed CPU (approximate start). */
+    double start_s = 0.0;
+    /** Completion time (local work + children done), seconds. */
+    double end_s = 0.0;
+
+    /** Time from arrival to completion. */
+    double DurationS() const { return end_s - enqueue_s; }
+    /** Time spent waiting for a concurrency slot. */
+    double QueueWaitS() const { return start_s - enqueue_s; }
+};
+
+/** A traced request: spans in creation order (root first). */
+struct Trace {
+    int64_t trace_id = 0;
+    int request_type = -1;
+    double begin_s = 0.0;
+    double end_s = 0.0;
+    std::vector<Span> spans;
+
+    double LatencyMs() const { return (end_s - begin_s) * 1000.0; }
+
+    /**
+     * The synchronous span whose duration is the largest — the first
+     * place to look when attributing tail latency.
+     */
+    int SlowestSyncSpan() const;
+};
+
+/** Aggregate per-tier attribution over a set of traces. */
+struct TierAttribution {
+    int tier = -1;
+    /** Total synchronous span-time across traces, seconds. */
+    double sync_time_s = 0.0;
+    /** Total queue-wait across traces, seconds. */
+    double queue_wait_s = 0.0;
+    /** Spans observed. */
+    int64_t spans = 0;
+};
+
+/** Sums span time per tier over @p traces (sync spans only). */
+std::vector<TierAttribution> AttributeByTier(
+    const std::vector<Trace>& traces, int n_tiers);
+
+} // namespace sinan
+
+#endif // SINAN_CLUSTER_TRACING_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Streaming statistics: percentile digests for per-interval tail-latency
+ * reporting, running summaries, and small vector-math helpers used across
+ * the simulator, the ML models, and the benchmark harness.
+ */
+#ifndef SINAN_COMMON_STATS_H
+#define SINAN_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sinan {
+
+/**
+ * Collects raw samples during one measurement interval and answers
+ * percentile queries at interval roll-up. The sample buffer is cleared
+ * by Reset() so the digest can be reused interval after interval without
+ * reallocation.
+ */
+class PercentileDigest {
+  public:
+    /** Adds one sample. */
+    void Add(double v);
+
+    /** Number of samples in the current interval. */
+    size_t Count() const { return samples_.size(); }
+
+    /**
+     * Returns the p-quantile (p in [0,1]) via linear interpolation.
+     * Returns 0 for an empty digest (an idle interval has no latency).
+     */
+    double Quantile(double p) const;
+
+    /** Returns several quantiles at once; cheaper than repeated calls. */
+    std::vector<double> Quantiles(const std::vector<double>& ps) const;
+
+    /** Arithmetic mean of the interval's samples (0 when empty). */
+    double Mean() const;
+
+    /** Largest sample (0 when empty). */
+    double Max() const;
+
+    /** Clears the buffer for the next interval. */
+    void Reset();
+
+  private:
+    /** Sorts the buffer if new samples arrived since the last query. */
+    void EnsureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Running mean / min / max / count over a stream of values. */
+class RunningSummary {
+  public:
+    void Add(double v);
+
+    size_t Count() const { return count_; }
+    double Mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double Min() const { return count_ ? min_ : 0.0; }
+    double Max() const { return count_ ? max_ : 0.0; }
+    double Sum() const { return sum_; }
+
+    void Reset();
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    size_t count_ = 0;
+};
+
+/** Quantile of an arbitrary vector (copies and sorts; for offline use). */
+double VectorQuantile(std::vector<double> values, double p);
+
+/** Root-mean-squared error between two equally sized vectors. */
+double Rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/** Mean of a vector (0 when empty). */
+double Mean(const std::vector<double>& values);
+
+} // namespace sinan
+
+#endif // SINAN_COMMON_STATS_H

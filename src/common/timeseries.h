@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer for metric history windows. The ML
+ * featurization needs "the last T intervals" of every per-tier metric and
+ * of the end-to-end latency percentiles; RingWindow provides that with O(1)
+ * push and stable chronological indexing.
+ */
+#ifndef SINAN_COMMON_TIMESERIES_H
+#define SINAN_COMMON_TIMESERIES_H
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace sinan {
+
+/**
+ * Ring buffer of the most recent @p capacity values.
+ *
+ * Index 0 is the oldest retained element and Size()-1 the newest, so
+ * callers can iterate chronologically regardless of wraparound.
+ */
+template <typename T>
+class RingWindow {
+  public:
+    explicit RingWindow(size_t capacity)
+        : capacity_(capacity)
+    {
+        if (capacity == 0)
+            throw std::invalid_argument("RingWindow: zero capacity");
+        buf_.reserve(capacity);
+    }
+
+    /** Appends a value, evicting the oldest once full. */
+    void
+    Push(const T& v)
+    {
+        if (buf_.size() < capacity_) {
+            buf_.push_back(v);
+        } else {
+            buf_[head_] = v;
+            head_ = (head_ + 1) % capacity_;
+        }
+    }
+
+    /** Number of retained elements (<= capacity). */
+    size_t Size() const { return buf_.size(); }
+
+    /** True once capacity elements have been pushed. */
+    bool Full() const { return buf_.size() == capacity_; }
+
+    size_t Capacity() const { return capacity_; }
+
+    /** Chronological access: 0 = oldest, Size()-1 = newest. */
+    const T&
+    At(size_t i) const
+    {
+        if (i >= buf_.size())
+            throw std::out_of_range("RingWindow::At");
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    /** Newest element. */
+    const T&
+    Back() const
+    {
+        if (buf_.empty())
+            throw std::out_of_range("RingWindow::Back on empty window");
+        return At(buf_.size() - 1);
+    }
+
+    void
+    Clear()
+    {
+        buf_.clear();
+        head_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    size_t head_ = 0;
+    std::vector<T> buf_;
+};
+
+} // namespace sinan
+
+#endif // SINAN_COMMON_TIMESERIES_H

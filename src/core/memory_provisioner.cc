@@ -1,0 +1,54 @@
+#include "core/memory_provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sinan {
+
+MemoryProvisioner::MemoryProvisioner(int n_tiers,
+                                     const MemoryProvisionerConfig& cfg)
+    : cfg_(cfg), peak_mb_(static_cast<size_t>(n_tiers), 0.0)
+{
+    if (n_tiers <= 0)
+        throw std::invalid_argument("MemoryProvisioner: no tiers");
+    if (cfg.headroom < 1.0 || cfg.granularity_mb <= 0.0)
+        throw std::invalid_argument("MemoryProvisioner: bad config");
+}
+
+void
+MemoryProvisioner::Observe(const IntervalObservation& obs)
+{
+    if (obs.tiers.size() != peak_mb_.size())
+        throw std::invalid_argument(
+            "MemoryProvisioner::Observe: tier count mismatch");
+    for (size_t i = 0; i < peak_mb_.size(); ++i) {
+        peak_mb_[i] = std::max(peak_mb_[i], obs.tiers[i].rss_mb +
+                                                obs.tiers[i].cache_mb);
+    }
+    ++observations_;
+}
+
+std::vector<MemoryReservation>
+MemoryProvisioner::Reservations() const
+{
+    std::vector<MemoryReservation> out(peak_mb_.size());
+    for (size_t i = 0; i < peak_mb_.size(); ++i) {
+        out[i].peak_mb = peak_mb_[i];
+        const double raw = peak_mb_[i] * cfg_.headroom;
+        out[i].reserved_mb =
+            std::ceil(raw / cfg_.granularity_mb) * cfg_.granularity_mb;
+    }
+    return out;
+}
+
+double
+MemoryProvisioner::TotalReservedMb() const
+{
+    double total = 0.0;
+    for (const MemoryReservation& r : Reservations())
+        total += r.reserved_mb;
+    return total;
+}
+
+} // namespace sinan

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Memory provisioning (paper Secs. 2.1 and 4.2): Sinan focuses its
+ * dynamic control on CPU and "provisions each tier with the maximum
+ * profiled memory usage to eliminate out-of-memory errors" — memory
+ * behaves like a threshold resource, so a static reservation derived
+ * from profiling suffices. The provisioner aggregates per-tier memory
+ * telemetry across profiling runs and emits reservations with a safety
+ * headroom.
+ */
+#ifndef SINAN_CORE_MEMORY_PROVISIONER_H
+#define SINAN_CORE_MEMORY_PROVISIONER_H
+
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "cluster/spec.h"
+
+namespace sinan {
+
+/** Provisioning knobs. */
+struct MemoryProvisionerConfig {
+    /** Multiplier over the maximum profiled usage. */
+    double headroom = 1.2;
+    /** Round reservations up to this granularity (MB). */
+    double granularity_mb = 64.0;
+};
+
+/** Per-tier memory reservation. */
+struct MemoryReservation {
+    /** Maximum profiled RSS + cache, MB. */
+    double peak_mb = 0.0;
+    /** Reservation after headroom and rounding, MB. */
+    double reserved_mb = 0.0;
+};
+
+/** Accumulates profiled memory usage and derives static reservations. */
+class MemoryProvisioner {
+  public:
+    explicit MemoryProvisioner(
+        int n_tiers,
+        const MemoryProvisionerConfig& cfg = MemoryProvisionerConfig());
+
+    /** Folds one interval's telemetry into the per-tier peaks. */
+    void Observe(const IntervalObservation& obs);
+
+    /** Number of intervals observed. */
+    int64_t Observations() const { return observations_; }
+
+    /** Reservations for all tiers (peak * headroom, rounded up). */
+    std::vector<MemoryReservation> Reservations() const;
+
+    /** Total reserved MB across tiers. */
+    double TotalReservedMb() const;
+
+  private:
+    MemoryProvisionerConfig cfg_;
+    std::vector<double> peak_mb_;
+    int64_t observations_ = 0;
+};
+
+} // namespace sinan
+
+#endif // SINAN_CORE_MEMORY_PROVISIONER_H

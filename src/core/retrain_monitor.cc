@@ -1,0 +1,73 @@
+#include "core/retrain_monitor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinan {
+
+RetrainMonitor::RetrainMonitor(const RetrainMonitorConfig& cfg,
+                               double val_rmse_ms)
+    : cfg_(cfg), val_rmse_ms_(val_rmse_ms)
+{
+    if (cfg.window <= 0 || cfg.min_observations <= 0)
+        throw std::invalid_argument("RetrainMonitor: bad window");
+    if (val_rmse_ms <= 0.0)
+        throw std::invalid_argument("RetrainMonitor: bad reference RMSE");
+}
+
+double
+RetrainMonitor::RollingRmseMs() const
+{
+    if (sq_errors_.empty())
+        return 0.0;
+    return std::sqrt(sq_sum_ /
+                     static_cast<double>(sq_errors_.size()));
+}
+
+bool
+RetrainMonitor::Observe(double predicted_p99_ms, double measured_p99_ms)
+{
+    ++intervals_;
+    if (predicted_p99_ms >= 0.0) {
+        const double e = predicted_p99_ms - measured_p99_ms;
+        sq_errors_.push_back(e * e);
+        sq_sum_ += e * e;
+        while (static_cast<int>(sq_errors_.size()) > cfg_.window) {
+            sq_sum_ -= sq_errors_.front();
+            sq_errors_.pop_front();
+        }
+    }
+
+    const bool in_cooldown =
+        last_trigger_at_ >= 0 &&
+        intervals_ - last_trigger_at_ < cfg_.cooldown;
+    if (in_cooldown)
+        return false;
+
+    bool trigger = false;
+    if (static_cast<int>(sq_errors_.size()) >= cfg_.min_observations &&
+        RollingRmseMs() >
+            cfg_.rmse_degradation_factor * val_rmse_ms_) {
+        trigger = true;
+    }
+    if (cfg_.periodic_intervals > 0 &&
+        intervals_ % cfg_.periodic_intervals == 0) {
+        trigger = true;
+    }
+    if (trigger) {
+        last_trigger_at_ = intervals_;
+        ++triggers_;
+    }
+    return trigger;
+}
+
+void
+RetrainMonitor::OnRetrained(double new_val_rmse_ms)
+{
+    if (new_val_rmse_ms > 0.0)
+        val_rmse_ms_ = new_val_rmse_ms;
+    sq_errors_.clear();
+    sq_sum_ = 0.0;
+}
+
+} // namespace sinan

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Online retraining trigger (paper Sec. 4.2, "Incremental and Transfer
+ * Learning"): in deployment, retraining is triggered periodically in the
+ * background or when prediction accuracy drops below expected
+ * thresholds. The monitor tracks the scheduler's per-interval latency
+ * predictions against the measured outcomes over a sliding window and
+ * raises a flag when the rolling RMSE exceeds a multiple of the model's
+ * validation RMSE, or when the periodic budget elapses.
+ */
+#ifndef SINAN_CORE_RETRAIN_MONITOR_H
+#define SINAN_CORE_RETRAIN_MONITOR_H
+
+#include <cstdint>
+#include <deque>
+
+namespace sinan {
+
+/** Retraining-trigger policy knobs. */
+struct RetrainMonitorConfig {
+    /** Sliding window length in decision intervals. */
+    int window = 120;
+    /** Minimum observations before accuracy triggering is considered. */
+    int min_observations = 30;
+    /** Trigger when rolling RMSE exceeds this multiple of the model's
+     *  validation RMSE. */
+    double rmse_degradation_factor = 2.0;
+    /** Periodic background retraining cadence in intervals
+     *  (0 disables periodic triggering). */
+    int periodic_intervals = 0;
+    /** Intervals to suppress re-triggering after a trigger fires. */
+    int cooldown = 120;
+};
+
+/** Tracks online prediction error and decides when to retrain. */
+class RetrainMonitor {
+  public:
+    /**
+     * @param cfg policy knobs.
+     * @param val_rmse_ms the deployed model's validation RMSE.
+     */
+    RetrainMonitor(const RetrainMonitorConfig& cfg, double val_rmse_ms);
+
+    /**
+     * Records one interval's prediction vs outcome (pass a negative
+     * prediction to record "no prediction this interval", which still
+     * advances the periodic clock).
+     * @return true when a retraining should be launched now.
+     */
+    bool Observe(double predicted_p99_ms, double measured_p99_ms);
+
+    /** Rolling RMSE over the current window (0 if empty). */
+    double RollingRmseMs() const;
+
+    /** Updates the reference after a retraining completes. */
+    void OnRetrained(double new_val_rmse_ms);
+
+    int TriggerCount() const { return triggers_; }
+
+  private:
+    RetrainMonitorConfig cfg_;
+    double val_rmse_ms_;
+    std::deque<double> sq_errors_;
+    double sq_sum_ = 0.0;
+    int64_t intervals_ = 0;
+    int64_t last_trigger_at_ = -1;
+    int triggers_ = 0;
+};
+
+} // namespace sinan
+
+#endif // SINAN_CORE_RETRAIN_MONITOR_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sinan's online scheduler (paper Sec. 4.3 and Table 1).
+ *
+ * Every decision interval it enumerates a pruned set of candidate
+ * actions — hold, scale down one tier or a batch of the least-utilized
+ * tiers, scale up one tier, all tiers, or the recently-downsized
+ * "victim" tiers — queries the hybrid model for each candidate's
+ * predicted tail latency and violation probability, filters with
+ *   predicted p99 <= QoS - RMSE_valid, and
+ *   p_V < p_d (downscale) / p_V < p_u (hold, upscale),
+ * and applies the acceptable action using the least total CPU. A safety
+ * mechanism upscales every tier after an observed (mispredicted) QoS
+ * violation and tracks the model's trust.
+ */
+#ifndef SINAN_CORE_SCHEDULER_H
+#define SINAN_CORE_SCHEDULER_H
+
+#include <deque>
+
+#include "core/manager.h"
+#include "models/hybrid.h"
+
+namespace sinan {
+
+/** Scheduler thresholds and action-space knobs. */
+struct SchedulerConfig {
+    /** Violation-probability threshold enabling scale-down actions. */
+    double p_down = 0.08;
+    /** Threshold above which holding is unacceptable (scale up). */
+    double p_up = 0.50;
+    /** Single-tier CPU step sizes evaluated (cores). */
+    std::vector<double> cpu_steps = {0.2, 0.6};
+    /** Batch scale-down ratio applied to the k least-utilized tiers. */
+    double batch_down_ratio = 0.10;
+    /** Scale-up-all ratio (AWS step-scaling inspired). */
+    double up_all_ratio = 0.30;
+    /** Look-back window (intervals) defining "victim" tiers. */
+    int victim_window = 3;
+    /** Utilization above which a tier is never scaled down. */
+    double util_cap = 0.90;
+    /** A scale-down candidate is rejected if it would push any tier's
+     *  utilization (current usage / candidate limit) above this. */
+    double post_down_util_cap = 0.85;
+    /** Consecutive comfortably-healthy intervals (p99 below
+     *  healthy_frac * QoS) required before reclaiming resources —
+     *  hysteresis against reclaiming into a transient burst. */
+    int reclaim_after_healthy = 3;
+    double healthy_frac = 0.8;
+    /** Consecutive observed violations before the full-max fallback. */
+    int max_fallback_after = 3;
+    /** Mispredictions tolerated before trust is reduced. */
+    int trust_threshold = 25;
+    /** Upper bound on the latency filter margin as a fraction of QoS
+     *  (the paper subtracts RMSE_valid; with the simulator's unbounded
+     *  queueing spikes the raw RMSE can exceed QoS, which would filter
+     *  out every action). */
+    double margin_cap_frac = 0.3;
+};
+
+/** The Sinan resource manager. */
+class SinanScheduler : public ResourceManager {
+  public:
+    /**
+     * @param model trained hybrid model (not owned; must outlive this).
+     * @param cfg thresholds and action-space knobs.
+     */
+    SinanScheduler(HybridModel& model, const SchedulerConfig& cfg);
+
+    std::vector<double> Decide(const IntervalObservation& obs,
+                               const std::vector<double>& alloc,
+                               const Application& app) override;
+
+    const char* Name() const override { return "Sinan"; }
+
+    void Reset() override;
+
+    double LastPredictedP99() const override { return last_pred_p99_; }
+    double LastViolationProb() const override { return last_pred_pv_; }
+
+    /** Observed mispredictions (for the trust mechanism's report). */
+    int Mispredictions() const { return mispredictions_; }
+
+    /** True while reduced-trust conservatism is active. */
+    bool TrustReduced() const { return trust_reduced_; }
+
+  private:
+    struct Candidate {
+        std::vector<double> alloc;
+        bool is_down = false;
+        bool is_hold = false;
+        double total_cpu = 0.0;
+    };
+
+    /** Builds the Table-1 candidate action set. */
+    std::vector<Candidate>
+    BuildCandidates(const IntervalObservation& obs,
+                    const std::vector<double>& alloc,
+                    const Application& app) const;
+
+    HybridModel& model_;
+    SchedulerConfig cfg_;
+    MetricWindow window_;
+
+    /** Tiers scaled down in the last victim_window intervals. */
+    std::deque<std::vector<int>> recent_victims_;
+
+    double last_pred_p99_ = -1.0;
+    double last_pred_pv_ = -1.0;
+    int healthy_streak_ = 0;
+    /** Prediction made for the interval being observed next. */
+    double pending_pred_p99_ = -1.0;
+    int consecutive_violations_ = 0;
+    int mispredictions_ = 0;
+    bool trust_reduced_ = false;
+};
+
+} // namespace sinan
+
+#endif // SINAN_CORE_SCHEDULER_H

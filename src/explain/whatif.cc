@@ -1,0 +1,68 @@
+#include "explain/whatif.h"
+
+#include <stdexcept>
+
+namespace sinan {
+
+double
+WhatIfCurve::MinSafeCpu(double qos_ms, double max_violation_prob) const
+{
+    for (const WhatIfPoint& p : points) {
+        if (p.predicted_p99_ms <= qos_ms &&
+            p.p_violation <= max_violation_prob) {
+            return p.cpu;
+        }
+    }
+    return -1.0;
+}
+
+WhatIfCurve
+SweepTierAllocation(HybridModel& model, const MetricWindow& window,
+                    const std::vector<double>& base_alloc, int tier,
+                    double cpu_min, double cpu_max, int steps)
+{
+    if (tier < 0 || tier >= static_cast<int>(base_alloc.size()))
+        throw std::out_of_range("SweepTierAllocation: bad tier");
+    if (steps < 2 || cpu_max < cpu_min)
+        throw std::invalid_argument("SweepTierAllocation: bad sweep");
+
+    std::vector<std::vector<double>> allocations;
+    allocations.reserve(steps);
+    for (int i = 0; i < steps; ++i) {
+        std::vector<double> a = base_alloc;
+        a[tier] = cpu_min + (cpu_max - cpu_min) * i /
+                               static_cast<double>(steps - 1);
+        allocations.push_back(std::move(a));
+    }
+    const std::vector<Prediction> preds =
+        model.Evaluate(window, allocations);
+
+    WhatIfCurve curve;
+    curve.tier = tier;
+    curve.points.reserve(steps);
+    for (int i = 0; i < steps; ++i) {
+        WhatIfPoint p;
+        p.cpu = allocations[i][tier];
+        p.predicted_p99_ms = preds[i].P99();
+        p.p_violation = preds[i].p_violation;
+        curve.points.push_back(p);
+    }
+    return curve;
+}
+
+std::vector<WhatIfCurve>
+SweepAllTiers(HybridModel& model, const MetricWindow& window,
+              const std::vector<double>& base_alloc,
+              const Application& app, int steps)
+{
+    std::vector<WhatIfCurve> curves;
+    curves.reserve(app.tiers.size());
+    for (size_t t = 0; t < app.tiers.size(); ++t) {
+        curves.push_back(SweepTierAllocation(
+            model, window, base_alloc, static_cast<int>(t),
+            app.tiers[t].min_cpu, app.tiers[t].max_cpu, steps));
+    }
+    return curves;
+}
+
+} // namespace sinan

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * What-if analysis on the hybrid model: sweep one tier's CPU allocation
+ * while holding everything else at the observed state and report the
+ * predicted tail latency and violation probability at each point. This
+ * is the interactive counterpart of LIME (Sec. 5.6): instead of asking
+ * "which tier mattered", an operator asks "what would happen if I gave
+ * tier X more or less CPU right now".
+ */
+#ifndef SINAN_EXPLAIN_WHATIF_H
+#define SINAN_EXPLAIN_WHATIF_H
+
+#include <vector>
+
+#include "cluster/spec.h"
+#include "models/hybrid.h"
+
+namespace sinan {
+
+/** One point of a what-if sweep. */
+struct WhatIfPoint {
+    /** CPU given to the swept tier (cores). */
+    double cpu = 0.0;
+    /** Predicted next-interval p99, ms. */
+    double predicted_p99_ms = 0.0;
+    /** Predicted violation probability within k intervals. */
+    double p_violation = 0.0;
+};
+
+/** Result of sweeping one tier. */
+struct WhatIfCurve {
+    int tier = -1;
+    std::vector<WhatIfPoint> points;
+
+    /**
+     * Smallest swept allocation whose predictions satisfy both
+     * thresholds, or -1 when none does.
+     */
+    double MinSafeCpu(double qos_ms, double max_violation_prob) const;
+};
+
+/**
+ * Sweeps @p tier's allocation from @p cpu_min to @p cpu_max in
+ * @p steps points (inclusive), holding the other tiers at
+ * @p base_alloc. @p window must be Ready().
+ */
+WhatIfCurve SweepTierAllocation(HybridModel& model,
+                                const MetricWindow& window,
+                                const std::vector<double>& base_alloc,
+                                int tier, double cpu_min, double cpu_max,
+                                int steps);
+
+/**
+ * Convenience: what-if curves for every tier over its spec range,
+ * useful for spotting the tier whose allocation the model is most
+ * sensitive to at the current state.
+ */
+std::vector<WhatIfCurve>
+SweepAllTiers(HybridModel& model, const MetricWindow& window,
+              const std::vector<double>& base_alloc,
+              const Application& app, int steps = 8);
+
+} // namespace sinan
+
+#endif // SINAN_EXPLAIN_WHATIF_H

@@ -1,0 +1,120 @@
+#include "harness/harness.h"
+
+#include <algorithm>
+
+#include "collect/bandit.h"
+
+namespace sinan {
+
+RunResult
+RunManaged(const Application& app, ResourceManager& manager,
+           const LoadShape& load, const RunConfig& cfg)
+{
+    Simulator sim(cfg.sim);
+    Cluster cluster(app, cfg.cluster, cfg.seed);
+    WorkloadGenerator gen(cluster, load, cfg.seed ^ 0xfeed, 1.0,
+                          cfg.bursts);
+
+    manager.Reset();
+    RunResult result;
+
+    sim.AddTickable([&](double now, double dt) { gen.Tick(now, dt); });
+    sim.AddTickable([&](double now, double dt) { cluster.Tick(now, dt); });
+    sim.AddIntervalListener([&](int64_t, double now) {
+        const std::vector<double> alloc = cluster.Allocation();
+        const IntervalObservation obs =
+            cluster.Harvest(now, cfg.sim.interval_s);
+
+        IntervalRecord rec;
+        rec.time_s = now;
+        rec.rps = obs.rps;
+        rec.p99_ms = obs.P99();
+        rec.total_cpu = obs.TotalCpuLimit();
+        rec.alloc = alloc;
+
+        const std::vector<double> next = manager.Decide(obs, alloc, app);
+        cluster.SetAllocation(next);
+        rec.predicted_p99_ms = manager.LastPredictedP99();
+        rec.predicted_violation = manager.LastViolationProb();
+        result.timeline.push_back(std::move(rec));
+    });
+
+    sim.RunFor(cfg.duration_s);
+
+    // Aggregate post-warmup metrics.
+    size_t met = 0, measured = 0;
+    double cpu_acc = 0.0, p99_acc = 0.0;
+    for (const IntervalRecord& rec : result.timeline) {
+        if (rec.time_s <= cfg.warmup_s)
+            continue;
+        ++measured;
+        if (rec.p99_ms <= app.qos_ms)
+            ++met;
+        cpu_acc += rec.total_cpu;
+        p99_acc += rec.p99_ms;
+        result.max_cpu = std::max(result.max_cpu, rec.total_cpu);
+        result.p99_series_ms.push_back(rec.p99_ms);
+    }
+    if (measured) {
+        result.qos_meet_prob =
+            static_cast<double>(met) / static_cast<double>(measured);
+        result.mean_cpu = cpu_acc / static_cast<double>(measured);
+        result.mean_p99_ms = p99_acc / static_cast<double>(measured);
+    }
+    return result;
+}
+
+HybridConfig
+DefaultHybridConfig()
+{
+    HybridConfig cfg;
+    cfg.cnn = SinanCnnConfig{};
+    cfg.bt.n_trees = 250;
+    cfg.bt.max_depth = 4;
+    cfg.bt.learning_rate = 0.12;
+    cfg.bt.early_stop_rounds = 12;
+    cfg.train.epochs = 18;
+    cfg.train.batch_size = 64;
+    cfg.train.lr = 0.02;
+    cfg.train.lr_decay = 0.93;
+    cfg.train.scaled_loss = true;
+    cfg.train.loss_knee = 1.0;
+    cfg.train.loss_alpha = 5.0;
+    return cfg;
+}
+
+TrainedSinan
+TrainSinanForApp(const Application& app, const PipelineConfig& cfg)
+{
+    TrainedSinan out;
+    out.features.n_tiers = static_cast<int>(app.tiers.size());
+    out.features.history = cfg.history;
+    out.features.violation_lookahead = cfg.violation_lookahead;
+    out.features.qos_ms = app.qos_ms;
+
+    CollectionConfig col;
+    col.duration_s = cfg.collect_s;
+    col.users_min = cfg.users_min;
+    col.users_max = cfg.users_max;
+    col.features = out.features;
+    col.cluster = cfg.cluster;
+    col.seed = cfg.seed;
+
+    BanditConfig bandit_cfg;
+    bandit_cfg.qos_ms = app.qos_ms;
+    bandit_cfg.seed = cfg.seed ^ 0xbad17;
+    BanditExplorer bandit(bandit_cfg);
+
+    const Dataset all = Collect(app, bandit, col);
+    Rng rng(cfg.seed ^ 0x5eed);
+    auto [train, valid] = all.Split(0.9, rng);
+    out.train = std::move(train);
+    out.valid = std::move(valid);
+
+    out.model = std::make_unique<HybridModel>(out.features, cfg.hybrid,
+                                              cfg.seed ^ 0xcafe);
+    out.report = out.model->Train(out.train, out.valid);
+    return out;
+}
+
+} // namespace sinan

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment harness: runs a resource manager against a simulated
+ * application under a load shape and accounts the paper's evaluation
+ * metrics (probability of meeting QoS, mean/max aggregate CPU
+ * allocation, and full timelines for the figure benches). Also bundles
+ * the end-to-end "collect with the bandit, train the hybrid model"
+ * pipeline that every Sinan experiment starts from.
+ */
+#ifndef SINAN_HARNESS_HARNESS_H
+#define SINAN_HARNESS_HARNESS_H
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "collect/collector.h"
+#include "core/manager.h"
+#include "models/hybrid.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace sinan {
+
+/** One managed run's parameters. */
+struct RunConfig {
+    double duration_s = 120.0;
+    /** Intervals excluded from the aggregate metrics. */
+    double warmup_s = 15.0;
+    SimConfig sim;
+    ClusterConfig cluster;
+    /** Traffic micro-bursts (enabled: managers must keep headroom). */
+    BurstOptions bursts = DefaultBursts();
+    uint64_t seed = 1;
+
+    static BurstOptions
+    DefaultBursts()
+    {
+        BurstOptions b;
+        b.enabled = true;
+        return b;
+    }
+};
+
+/** Timeline entry captured each interval. */
+struct IntervalRecord {
+    double time_s = 0.0;
+    double rps = 0.0;
+    double p99_ms = 0.0;
+    double total_cpu = 0.0;
+    double predicted_p99_ms = -1.0;
+    double predicted_violation = -1.0;
+    std::vector<double> alloc;
+};
+
+/** Aggregated result of one run. */
+struct RunResult {
+    /** Fraction of measured intervals with p99 <= QoS. */
+    double qos_meet_prob = 0.0;
+    /** Mean / max aggregate CPU allocation (cores, post-warmup). */
+    double mean_cpu = 0.0;
+    double max_cpu = 0.0;
+    /** Mean p99 over measured intervals, ms. */
+    double mean_p99_ms = 0.0;
+    /** All per-interval p99 values (for distribution figures). */
+    std::vector<double> p99_series_ms;
+    /** Full timeline (includes warmup). */
+    std::vector<IntervalRecord> timeline;
+};
+
+/** Runs @p manager on @p app under @p load. */
+RunResult RunManaged(const Application& app, ResourceManager& manager,
+                     const LoadShape& load, const RunConfig& cfg);
+
+/** Everything needed to evaluate Sinan on one application. */
+struct TrainedSinan {
+    FeatureConfig features;
+    std::unique_ptr<HybridModel> model;
+    Dataset train;
+    Dataset valid;
+    HybridReport report;
+};
+
+/** Data-collection + training knobs of the end-to-end pipeline. */
+struct PipelineConfig {
+    /** Simulated collection time (≈ samples before windowing). */
+    double collect_s = 2200.0;
+    double users_min = 50.0;
+    double users_max = 450.0;
+    int history = 5;
+    int violation_lookahead = 5;
+    HybridConfig hybrid;
+    ClusterConfig cluster;
+    uint64_t seed = 42;
+};
+
+/**
+ * Collects a dataset with the bandit explorer and trains the hybrid
+ * model — the offline phase preceding every deployment experiment.
+ */
+TrainedSinan TrainSinanForApp(const Application& app,
+                              const PipelineConfig& cfg);
+
+/** Default hybrid/train hyper-parameters used across the benches. */
+HybridConfig DefaultHybridConfig();
+
+} // namespace sinan
+
+#endif // SINAN_HARNESS_HARNESS_H

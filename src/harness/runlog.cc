@@ -1,0 +1,111 @@
+#include "harness/runlog.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace sinan {
+
+std::string
+RunLogToCsv(const RunResult& result, const Application& app)
+{
+    std::ostringstream out;
+    out << "time_s,rps,p99_ms,predicted_p99_ms,predicted_violation,"
+           "total_cpu";
+    for (const TierSpec& t : app.tiers)
+        out << ",cpu:" << t.name;
+    out << '\n';
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    for (const IntervalRecord& rec : result.timeline) {
+        out << rec.time_s << ',' << rec.rps << ',' << rec.p99_ms << ','
+            << rec.predicted_p99_ms << ',' << rec.predicted_violation
+            << ',' << rec.total_cpu;
+        for (double a : rec.alloc)
+            out << ',' << a;
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+WriteRunLog(const std::string& path, const RunResult& result,
+            const Application& app)
+{
+    WriteFile(path, RunLogToCsv(result, app));
+}
+
+std::vector<RunLogRow>
+ParseRunLog(const std::string& csv)
+{
+    std::istringstream in(csv);
+    std::string line;
+    if (!std::getline(in, line))
+        throw std::invalid_argument("ParseRunLog: empty input");
+    if (line.rfind("time_s,", 0) != 0)
+        throw std::invalid_argument("ParseRunLog: bad header");
+
+    std::vector<RunLogRow> rows;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string cell;
+        std::vector<double> values;
+        while (std::getline(ls, cell, ','))
+            values.push_back(std::stod(cell));
+        if (values.size() < 6)
+            throw std::invalid_argument("ParseRunLog: short row");
+        RunLogRow row;
+        row.time_s = values[0];
+        row.rps = values[1];
+        row.p99_ms = values[2];
+        row.predicted_p99_ms = values[3];
+        row.predicted_violation = values[4];
+        row.total_cpu = values[5];
+        row.alloc.assign(values.begin() + 6, values.end());
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<RunLogRow>
+LoadRunLog(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("LoadRunLog: cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return ParseRunLog(buf.str());
+}
+
+RunLogSummary
+SummarizeRunLog(const std::vector<RunLogRow>& rows, double qos_ms,
+                double warmup_s)
+{
+    RunLogSummary s;
+    size_t met = 0;
+    for (const RunLogRow& row : rows) {
+        if (row.time_s <= warmup_s)
+            continue;
+        ++s.intervals;
+        met += row.p99_ms <= qos_ms;
+        s.mean_cpu += row.total_cpu;
+        s.mean_p99_ms += row.p99_ms;
+        s.max_cpu = std::max(s.max_cpu, row.total_cpu);
+        s.max_p99_ms = std::max(s.max_p99_ms, row.p99_ms);
+    }
+    if (s.intervals) {
+        s.qos_meet_prob =
+            static_cast<double>(met) / static_cast<double>(s.intervals);
+        s.mean_cpu /= static_cast<double>(s.intervals);
+        s.mean_p99_ms /= static_cast<double>(s.intervals);
+    }
+    return s;
+}
+
+} // namespace sinan

@@ -1,0 +1,67 @@
+#include "models/feature_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "models/trainer.h"
+
+namespace sinan {
+
+std::vector<int>
+FeatureSelectionReport::SpuriousChannels(double frac) const
+{
+    double max_delta = 0.0;
+    for (const ChannelImportance& c : channels)
+        max_delta = std::max(max_delta, c.delta_rmse_ms);
+    std::vector<int> out;
+    for (const ChannelImportance& c : channels) {
+        if (c.delta_rmse_ms < frac * max_delta)
+            out.push_back(c.channel);
+    }
+    return out;
+}
+
+FeatureSelectionReport
+PermutationImportance(LatencyModel& model, const Dataset& data,
+                      const FeatureConfig& fcfg, uint64_t seed)
+{
+    FeatureSelectionReport report;
+    report.baseline_rmse_ms = EvalRmseMs(model, data, fcfg);
+
+    const size_t n = data.samples.size();
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (size_t i = n; i > 1; --i) {
+        const size_t j = rng.UniformInt(static_cast<uint64_t>(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+
+    for (int channel = 0; channel < FeatureConfig::kChannels; ++channel) {
+        // Swap the channel's data between sample i and perm[i].
+        Dataset shuffled = data;
+        for (size_t i = 0; i < n; ++i) {
+            const Sample& src = data.samples[perm[i]];
+            Sample& dst = shuffled.samples[i];
+            for (int tier = 0; tier < fcfg.n_tiers; ++tier) {
+                for (int t = 0; t < fcfg.history; ++t) {
+                    dst.xrh.At(channel, tier, t) =
+                        src.xrh.At(channel, tier, t);
+                }
+            }
+        }
+        ChannelImportance ci;
+        ci.channel = channel;
+        ci.permuted_rmse_ms = EvalRmseMs(model, shuffled, fcfg);
+        ci.delta_rmse_ms =
+            ci.permuted_rmse_ms - report.baseline_rmse_ms;
+        report.channels.push_back(ci);
+    }
+    std::sort(report.channels.begin(), report.channels.end(),
+              [](const ChannelImportance& a, const ChannelImportance& b) {
+                  return a.delta_rmse_ms > b.delta_rmse_ms;
+              });
+    return report;
+}
+
+} // namespace sinan

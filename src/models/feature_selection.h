@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Feature selection over the resource channels (paper Sec. 3.1: "the
+ * set of necessary and sufficient resource metrics is narrowed down via
+ * feature selection"). Permutation importance: shuffle one channel
+ * across the validation set and measure how much the latency predictor's
+ * RMSE degrades; channels whose permutation barely matters are spurious
+ * and can be dropped to shrink the model and speed up inference
+ * (Sec. 5.6's third benefit of interpretability).
+ */
+#ifndef SINAN_MODELS_FEATURE_SELECTION_H
+#define SINAN_MODELS_FEATURE_SELECTION_H
+
+#include <vector>
+
+#include "models/latency_model.h"
+
+namespace sinan {
+
+/** One channel's permutation-importance result. */
+struct ChannelImportance {
+    int channel = -1;
+    /** RMSE (ms) with this channel permuted across samples. */
+    double permuted_rmse_ms = 0.0;
+    /** Increase over the unpermuted baseline RMSE (ms). */
+    double delta_rmse_ms = 0.0;
+};
+
+/** Permutation importance of every X_RH resource channel. */
+struct FeatureSelectionReport {
+    double baseline_rmse_ms = 0.0;
+    /** One entry per channel, sorted by descending delta. */
+    std::vector<ChannelImportance> channels;
+
+    /** Channels whose delta is below @p frac of the largest delta. */
+    std::vector<int> SpuriousChannels(double frac = 0.05) const;
+};
+
+/**
+ * Computes permutation importance of each resource channel of X_RH on
+ * @p data. The permutation is deterministic given @p seed. @p model is
+ * only read (forward passes).
+ */
+FeatureSelectionReport PermutationImportance(LatencyModel& model,
+                                             const Dataset& data,
+                                             const FeatureConfig& fcfg,
+                                             uint64_t seed = 1);
+
+} // namespace sinan
+
+#endif // SINAN_MODELS_FEATURE_SELECTION_H

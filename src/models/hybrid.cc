@@ -1,0 +1,202 @@
+#include "models/hybrid.h"
+
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+
+namespace sinan {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+HybridModel::HybridModel(const FeatureConfig& fcfg, const HybridConfig& cfg,
+                         uint64_t seed)
+    : fcfg_(fcfg), cfg_(cfg), cnn_(fcfg, cfg.cnn, seed), bt_(cfg.bt)
+{
+}
+
+std::vector<float>
+HybridModel::BtRow(const Tensor& latent, int row, const Batch& batch) const
+{
+    const Tensor& xrc = batch.xrc;
+    const int latent_dim = latent.Dim(1);
+    const int n = xrc.Dim(1);
+    std::vector<float> out;
+    out.reserve(latent_dim + n + 4);
+    for (int j = 0; j < latent_dim; ++j)
+        out.push_back(latent.At(row, j));
+    float total_alloc = 0.0f;
+    for (int j = 0; j < n; ++j) {
+        out.push_back(xrc.At(row, j));
+        total_alloc += xrc.At(row, j);
+    }
+    // Aggregates from the newest history step.
+    const int t_last = fcfg_.history - 1;
+    const int m = fcfg_.n_percentiles;
+    const float cur_p99 =
+        batch.xlh.At(row, fcfg_.history * m - 1);
+    float util = 0.0f, traffic = 0.0f;
+    for (int i = 0; i < n; ++i) {
+        const float limit = batch.xrh.At(row, 0, i, t_last);
+        const float used = batch.xrh.At(row, 1, i, t_last);
+        util += limit > 1e-6f ? used / limit : 0.0f;
+        traffic += batch.xrh.At(row, 4, i, t_last);
+    }
+    out.push_back(total_alloc);
+    out.push_back(cur_p99);
+    out.push_back(util / static_cast<float>(n));
+    out.push_back(traffic);
+    return out;
+}
+
+void
+HybridModel::TrainBt(const Dataset& train, const Dataset& valid,
+                     HybridReport& report)
+{
+    auto build = [&](const Dataset& data) {
+        GbtDataset out;
+        std::vector<int> order(data.samples.size());
+        std::iota(order.begin(), order.end(), 0);
+        constexpr size_t kChunk = 256;
+        for (size_t begin = 0; begin < order.size(); begin += kChunk) {
+            const size_t end = std::min(begin + kChunk, order.size());
+            const Batch batch = data.MakeBatch(order, begin, end);
+            (void)cnn_.Forward(batch);
+            const Tensor& latent = cnn_.Latent();
+            for (size_t i = begin; i < end; ++i) {
+                out.AddRow(BtRow(latent, static_cast<int>(i - begin),
+                                 batch),
+                           data.samples[order[i]].violation);
+            }
+        }
+        return out;
+    };
+
+    const GbtDataset bt_train = build(train);
+    const GbtDataset bt_valid = build(valid);
+
+    const auto t0 = Clock::now();
+    bt_ = BoostedTrees(cfg_.bt);
+    bt_.Train(bt_train, bt_valid.n_rows ? &bt_valid : nullptr);
+    report.bt_train_time_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    report.bt_trees = bt_.NumTrees();
+
+    auto eval = [&](const GbtDataset& data, double* false_pos,
+                    double* false_neg) {
+        if (data.n_rows == 0)
+            return 0.0;
+        int correct = 0, fp = 0, fn = 0, neg = 0, pos = 0;
+        for (int i = 0; i < data.n_rows; ++i) {
+            const double p =
+                bt_.Predict(&data.x[static_cast<size_t>(i) *
+                                    data.n_features]);
+            const bool pred = p >= 0.5;
+            const bool truth = data.y[i] >= 0.5;
+            if (pred == truth)
+                ++correct;
+            if (truth) {
+                ++pos;
+                if (!pred)
+                    ++fn;
+            } else {
+                ++neg;
+                if (pred)
+                    ++fp;
+            }
+        }
+        if (false_pos)
+            *false_pos = neg ? static_cast<double>(fp) / neg : 0.0;
+        if (false_neg)
+            *false_neg = pos ? static_cast<double>(fn) / pos : 0.0;
+        return static_cast<double>(correct) / data.n_rows;
+    };
+    report.bt_train_accuracy = eval(bt_train, nullptr, nullptr);
+    report.bt_val_accuracy =
+        eval(bt_valid, &report.bt_val_false_pos, &report.bt_val_false_neg);
+}
+
+HybridReport
+HybridModel::Train(const Dataset& train, const Dataset& valid)
+{
+    HybridReport report;
+    report.cnn = TrainLatencyModel(cnn_, train, valid, fcfg_, cfg_.train);
+    val_rmse_ms_ = report.cnn.val_rmse_ms;
+    val_rmse_subqos_ms_ = report.cnn.val_rmse_subqos_ms;
+    TrainBt(train, valid, report);
+    return report;
+}
+
+HybridReport
+HybridModel::FineTune(const Dataset& train, const Dataset& valid,
+                      const TrainOptions& opts)
+{
+    HybridReport report;
+    report.cnn = TrainLatencyModel(cnn_, train, valid, fcfg_, opts);
+    val_rmse_ms_ = report.cnn.val_rmse_ms;
+    val_rmse_subqos_ms_ = report.cnn.val_rmse_subqos_ms;
+    TrainBt(train, valid, report);
+    return report;
+}
+
+std::vector<Prediction>
+HybridModel::Evaluate(const MetricWindow& window,
+                      const std::vector<std::vector<double>>& allocations)
+{
+    if (allocations.empty())
+        return {};
+    std::vector<Sample> samples;
+    samples.reserve(allocations.size());
+    for (const auto& alloc : allocations)
+        samples.push_back(BuildInput(window, alloc));
+    std::vector<const Sample*> ptrs;
+    ptrs.reserve(samples.size());
+    for (const Sample& s : samples)
+        ptrs.push_back(&s);
+    const Batch batch = StackSamples(ptrs);
+
+    const Tensor pred = cnn_.Forward(batch);
+    const Tensor& latent = cnn_.Latent();
+
+    std::vector<Prediction> out(allocations.size());
+    const int m = pred.Dim(1);
+    for (size_t i = 0; i < allocations.size(); ++i) {
+        Prediction& p = out[i];
+        p.latency_ms.resize(m);
+        for (int j = 0; j < m; ++j) {
+            p.latency_ms[j] =
+                pred.At(static_cast<int>(i), j) * fcfg_.qos_ms;
+        }
+        p.p_violation =
+            bt_.Predict(BtRow(latent, static_cast<int>(i), batch));
+    }
+    return out;
+}
+
+void
+HybridModel::Save(std::ostream& out) const
+{
+    cnn_.Save(out);
+    bt_.Save(out);
+    out.write(reinterpret_cast<const char*>(&val_rmse_ms_),
+              sizeof(val_rmse_ms_));
+    out.write(reinterpret_cast<const char*>(&val_rmse_subqos_ms_),
+              sizeof(val_rmse_subqos_ms_));
+}
+
+void
+HybridModel::Load(std::istream& in)
+{
+    cnn_.Load(in);
+    bt_.Load(in);
+    in.read(reinterpret_cast<char*>(&val_rmse_ms_), sizeof(val_rmse_ms_));
+    in.read(reinterpret_cast<char*>(&val_rmse_subqos_ms_),
+            sizeof(val_rmse_subqos_ms_));
+    if (!in)
+        throw std::runtime_error("HybridModel::Load: truncated stream");
+}
+
+} // namespace sinan

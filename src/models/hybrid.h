@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sinan's hybrid prediction service (paper Figure 5): the CNN short-term
+ * latency predictor feeding its latent variable L_f, together with the
+ * candidate allocation, into a Boosted-Trees long-term violation
+ * predictor. The online scheduler queries this model with candidate
+ * allocations every decision interval.
+ */
+#ifndef SINAN_MODELS_HYBRID_H
+#define SINAN_MODELS_HYBRID_H
+
+#include <string>
+
+#include "gbt/boosted_trees.h"
+#include "models/sinan_cnn.h"
+#include "models/trainer.h"
+
+namespace sinan {
+
+/** Hyper-parameters of the full hybrid model. */
+struct HybridConfig {
+    SinanCnnConfig cnn;
+    GbtConfig bt;
+    TrainOptions train;
+};
+
+/** What the scheduler receives for one candidate allocation. */
+struct Prediction {
+    /** Predicted next-interval latency percentiles, ms (p95..p99). */
+    std::vector<double> latency_ms;
+    /** Probability of a QoS violation within the next k intervals. */
+    double p_violation = 0.0;
+
+    double P99() const { return latency_ms.empty() ? 0.0 : latency_ms.back(); }
+};
+
+/** Accuracy summary of the hybrid model (Tables 2 and 3). */
+struct HybridReport {
+    TrainReport cnn;
+    double bt_train_accuracy = 0.0;
+    double bt_val_accuracy = 0.0;
+    double bt_val_false_pos = 0.0;
+    double bt_val_false_neg = 0.0;
+    int bt_trees = 0;
+    double bt_train_time_s = 0.0;
+};
+
+/** The CNN + Boosted-Trees hybrid model. */
+class HybridModel {
+  public:
+    HybridModel(const FeatureConfig& fcfg, const HybridConfig& cfg,
+                uint64_t seed);
+
+    /** Trains CNN then BT (on the CNN's latents), as in Sec. 3.2. */
+    HybridReport Train(const Dataset& train, const Dataset& valid);
+
+    /**
+     * Incremental retraining (Sec. 5.4): fine-tunes the CNN with a small
+     * learning rate on newly collected data and refits the BT on the
+     * updated latents. Existing weights are the starting point.
+     */
+    HybridReport FineTune(const Dataset& train, const Dataset& valid,
+                          const TrainOptions& opts);
+
+    /** Evaluates a set of candidate allocations against one window. */
+    std::vector<Prediction>
+    Evaluate(const MetricWindow& window,
+             const std::vector<std::vector<double>>& allocations);
+
+    /** Validation RMSE (ms) of the CNN from the last (re)training. */
+    double ValRmseMs() const { return val_rmse_ms_; }
+
+    /** Validation RMSE (ms) over sub-QoS samples — the scheduler's
+     *  latency-filter margin (see TrainReport::val_rmse_subqos_ms). */
+    double ValRmseSubQosMs() const { return val_rmse_subqos_ms_; }
+
+    const FeatureConfig& Features() const { return fcfg_; }
+    SinanCnn& Cnn() { return cnn_; }
+    const BoostedTrees& Bt() const { return bt_; }
+
+    /** Serializes CNN weights, BT trees, and the feature config core. */
+    void Save(std::ostream& out) const;
+    void Load(std::istream& in);
+
+  private:
+    /** BT feature row: latent L_f, the normalized X_RC, and digested
+     *  aggregates (total allocation, current p99, mean utilization,
+     *  traffic level) that let the trees anchor the load-vs-allocation
+     *  boundary without relying on latent extrapolation. */
+    std::vector<float> BtRow(const Tensor& latent, int row,
+                             const Batch& batch) const;
+
+    /** Fits the BT on the CNN's latents; fills the BT report fields. */
+    void TrainBt(const Dataset& train, const Dataset& valid,
+                 HybridReport& report);
+
+    FeatureConfig fcfg_;
+    HybridConfig cfg_;
+    SinanCnn cnn_;
+    BoostedTrees bt_;
+    double val_rmse_ms_ = 0.0;
+    double val_rmse_subqos_ms_ = 0.0;
+};
+
+} // namespace sinan
+
+#endif // SINAN_MODELS_HYBRID_H

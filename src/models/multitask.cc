@@ -1,0 +1,69 @@
+#include "models/multitask.h"
+
+namespace sinan {
+
+MultiTaskNn::MultiTaskNn(const FeatureConfig& fcfg, uint64_t seed)
+    : fcfg_(fcfg)
+{
+    Rng rng(seed);
+    const int rh = FeatureConfig::kChannels * fcfg.n_tiers * fcfg.history;
+    in_len_ = rh + fcfg.LatFeatures() + fcfg.n_tiers;
+    trunk_.Emplace<Dense>(in_len_, 96, rng);
+    trunk_.Emplace<ReLU>();
+    trunk_.Emplace<Dense>(96, 48, rng);
+    trunk_.Emplace<ReLU>();
+    latency_head_ = Dense(48, fcfg.n_percentiles, rng);
+    violation_head_ = Dense(48, 1, rng);
+}
+
+Tensor
+MultiTaskNn::FlattenBatch(const Batch& batch) const
+{
+    const int b = batch.Size();
+    const int rh = static_cast<int>(batch.xrh.Size()) / b;
+    const int lh = batch.xlh.Dim(1);
+    const int rc = batch.xrc.Dim(1);
+    Tensor x({b, rh + lh + rc});
+    for (int i = 0; i < b; ++i) {
+        float* row = x.Data() + static_cast<size_t>(i) * (rh + lh + rc);
+        std::copy(batch.xrh.Data() + static_cast<size_t>(i) * rh,
+                  batch.xrh.Data() + static_cast<size_t>(i + 1) * rh, row);
+        std::copy(batch.xlh.Data() + static_cast<size_t>(i) * lh,
+                  batch.xlh.Data() + static_cast<size_t>(i + 1) * lh,
+                  row + rh);
+        std::copy(batch.xrc.Data() + static_cast<size_t>(i) * rc,
+                  batch.xrc.Data() + static_cast<size_t>(i + 1) * rc,
+                  row + rh + lh);
+    }
+    return x;
+}
+
+void
+MultiTaskNn::Forward(const Batch& batch, Tensor& latency,
+                     Tensor& violation_logit)
+{
+    trunk_out_ = trunk_.Forward(FlattenBatch(batch));
+    latency = latency_head_.Forward(trunk_out_);
+    violation_logit = violation_head_.Forward(trunk_out_);
+}
+
+void
+MultiTaskNn::Backward(const Tensor& d_latency, const Tensor& d_violation)
+{
+    Tensor g = latency_head_.Backward(d_latency);
+    g.Add(violation_head_.Backward(d_violation));
+    trunk_.Backward(g);
+}
+
+std::vector<Param*>
+MultiTaskNn::Params()
+{
+    std::vector<Param*> all = trunk_.Params();
+    for (Param* p : latency_head_.Params())
+        all.push_back(p);
+    for (Param* p : violation_head_.Params())
+        all.push_back(p);
+    return all;
+}
+
+} // namespace sinan

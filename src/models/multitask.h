@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The multi-task network the paper rejects (Sec. 3, Figure 4): one trunk
+ * predicting both the next-interval latency percentiles and the
+ * probability of a QoS violation k intervals ahead. The semantic gap
+ * between the bounded violation probability and the unbounded latency
+ * makes this joint model overpredict latency — the motivation for
+ * Sinan's two-stage CNN + Boosted-Trees design.
+ */
+#ifndef SINAN_MODELS_MULTITASK_H
+#define SINAN_MODELS_MULTITASK_H
+
+#include "models/latency_model.h"
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace sinan {
+
+/** Joint latency + violation predictor sharing one trunk. */
+class MultiTaskNn {
+  public:
+    MultiTaskNn(const FeatureConfig& fcfg, uint64_t seed);
+
+    /**
+     * Forward pass. @p latency receives [B, M] normalized latencies and
+     * @p violation_logit receives [B, 1].
+     */
+    void Forward(const Batch& batch, Tensor& latency,
+                 Tensor& violation_logit);
+
+    /** Joint backward from both heads' loss gradients. */
+    void Backward(const Tensor& d_latency, const Tensor& d_violation);
+
+    std::vector<Param*> Params();
+
+  private:
+    FeatureConfig fcfg_;
+    Sequential trunk_;       // flattened inputs -> shared embedding
+    Dense latency_head_;
+    Dense violation_head_;
+    Tensor trunk_out_;
+    int in_len_ = 0;
+
+    Tensor FlattenBatch(const Batch& batch) const;
+};
+
+} // namespace sinan
+
+#endif // SINAN_MODELS_MULTITASK_H

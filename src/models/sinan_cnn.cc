@@ -1,0 +1,148 @@
+#include "models/sinan_cnn.h"
+
+#include <stdexcept>
+
+namespace sinan {
+
+namespace {
+
+/** Concatenates three [B, *] tensors along dim 1. */
+Tensor
+ConcatCols(const Tensor& a, const Tensor& b, const Tensor& c)
+{
+    const int batch = a.Dim(0);
+    const int na = a.Dim(1), nb = b.Dim(1), nc = c.Dim(1);
+    Tensor out({batch, na + nb + nc});
+    for (int i = 0; i < batch; ++i) {
+        float* row = out.Data() + static_cast<size_t>(i) * (na + nb + nc);
+        std::copy(a.Data() + static_cast<size_t>(i) * na,
+                  a.Data() + static_cast<size_t>(i + 1) * na, row);
+        std::copy(b.Data() + static_cast<size_t>(i) * nb,
+                  b.Data() + static_cast<size_t>(i + 1) * nb, row + na);
+        std::copy(c.Data() + static_cast<size_t>(i) * nc,
+                  c.Data() + static_cast<size_t>(i + 1) * nc,
+                  row + na + nb);
+    }
+    return out;
+}
+
+/** Splits a [B, na+nb+nc] gradient back into its three parts. */
+void
+SplitCols(const Tensor& g, int na, int nb, int nc, Tensor& ga, Tensor& gb,
+          Tensor& gc)
+{
+    const int batch = g.Dim(0);
+    ga = Tensor({batch, na});
+    gb = Tensor({batch, nb});
+    gc = Tensor({batch, nc});
+    for (int i = 0; i < batch; ++i) {
+        const float* row =
+            g.Data() + static_cast<size_t>(i) * (na + nb + nc);
+        std::copy(row, row + na,
+                  ga.Data() + static_cast<size_t>(i) * na);
+        std::copy(row + na, row + na + nb,
+                  gb.Data() + static_cast<size_t>(i) * nb);
+        std::copy(row + na + nb, row + na + nb + nc,
+                  gc.Data() + static_cast<size_t>(i) * nc);
+    }
+}
+
+} // namespace
+
+SinanCnn::SinanCnn(const FeatureConfig& fcfg, const SinanCnnConfig& cfg,
+                   uint64_t seed)
+    : fcfg_(fcfg), cfg_(cfg)
+{
+    Rng rng(seed);
+    const int n = fcfg.n_tiers;
+    const int t_len = fcfg.history;
+
+    rh_branch_.Emplace<Conv2D>(FeatureConfig::kChannels,
+                               cfg.conv_channels1, cfg.kernel, rng);
+    rh_branch_.Emplace<ReLU>();
+    rh_branch_.Emplace<Conv2D>(cfg.conv_channels1, cfg.conv_channels2,
+                               cfg.kernel, rng);
+    rh_branch_.Emplace<ReLU>();
+    rh_branch_.Emplace<Flatten>();
+    rh_branch_.Emplace<Dense>(cfg.conv_channels2 * n * t_len, cfg.rh_embed,
+                              rng);
+    rh_branch_.Emplace<ReLU>();
+
+    lh_branch_.Emplace<Dense>(fcfg.LatFeatures(), cfg.lh_embed, rng);
+    lh_branch_.Emplace<ReLU>();
+
+    rc_branch_.Emplace<Dense>(n, cfg.rc_embed, rng);
+    rc_branch_.Emplace<ReLU>();
+
+    fc_latent_ = Dense(cfg.rh_embed + cfg.lh_embed + cfg.rc_embed,
+                       cfg.latent, rng);
+    fc_out_ = Dense(cfg.latent, fcfg.n_percentiles, rng);
+
+    rh_out_ = cfg.rh_embed;
+    lh_out_ = cfg.lh_embed;
+    rc_out_ = cfg.rc_embed;
+}
+
+Tensor
+SinanCnn::Forward(const Batch& batch)
+{
+    const Tensor ha = rh_branch_.Forward(batch.xrh);
+    const Tensor hb = lh_branch_.Forward(batch.xlh);
+    const Tensor hc = rc_branch_.Forward(batch.xrc);
+    const Tensor concat = ConcatCols(ha, hb, hc);
+    latent_ = relu_latent_.Forward(fc_latent_.Forward(concat));
+    Tensor y = fc_out_.Forward(latent_);
+    AddPersistenceResidual(batch, fcfg_, y);
+    return y;
+}
+
+void
+SinanCnn::Backward(const Tensor& dy)
+{
+    Tensor g = fc_out_.Backward(dy);
+    g = fc_latent_.Backward(relu_latent_.Backward(g));
+    Tensor ga, gb, gc;
+    SplitCols(g, rh_out_, lh_out_, rc_out_, ga, gb, gc);
+    rh_branch_.Backward(ga);
+    lh_branch_.Backward(gb);
+    rc_branch_.Backward(gc);
+}
+
+std::vector<Param*>
+SinanCnn::Params()
+{
+    std::vector<Param*> all;
+    for (Param* p : rh_branch_.Params())
+        all.push_back(p);
+    for (Param* p : lh_branch_.Params())
+        all.push_back(p);
+    for (Param* p : rc_branch_.Params())
+        all.push_back(p);
+    for (Param* p : fc_latent_.Params())
+        all.push_back(p);
+    for (Param* p : fc_out_.Params())
+        all.push_back(p);
+    return all;
+}
+
+void
+SinanCnn::Save(std::ostream& out) const
+{
+    rh_branch_.Save(out);
+    lh_branch_.Save(out);
+    rc_branch_.Save(out);
+    fc_latent_.Save(out);
+    fc_out_.Save(out);
+}
+
+void
+SinanCnn::Load(std::istream& in)
+{
+    rh_branch_.Load(in);
+    lh_branch_.Load(in);
+    rc_branch_.Load(in);
+    fc_latent_.Load(in);
+    fc_out_.Load(in);
+}
+
+} // namespace sinan

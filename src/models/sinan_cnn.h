@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sinan's short-term latency predictor (paper Sec. 3.1 / Figure 5).
+ *
+ * Three input branches — a small CNN over the resource-history image
+ * X_RH, and dense encoders for the latency history X_LH and the candidate
+ * allocation X_RC — are concatenated into the latent representation L_f,
+ * from which a final dense layer predicts next-interval tail latencies
+ * (p95..p99). L_f is exposed because the Boosted-Trees violation
+ * predictor consumes it (Sec. 3.2).
+ */
+#ifndef SINAN_MODELS_SINAN_CNN_H
+#define SINAN_MODELS_SINAN_CNN_H
+
+#include "models/latency_model.h"
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace sinan {
+
+/** Architecture hyper-parameters of the CNN predictor. */
+struct SinanCnnConfig {
+    int conv_channels1 = 8;
+    int conv_channels2 = 8;
+    int kernel = 3;
+    int rh_embed = 48;
+    int lh_embed = 24;
+    int rc_embed = 24;
+    int latent = 32;
+};
+
+/** The hybrid model's CNN component. */
+class SinanCnn : public LatencyModel {
+  public:
+    /**
+     * @param fcfg feature-space dimensions.
+     * @param cfg architecture knobs.
+     * @param seed weight-init RNG seed.
+     */
+    SinanCnn(const FeatureConfig& fcfg, const SinanCnnConfig& cfg,
+             uint64_t seed);
+
+    Tensor Forward(const Batch& batch) override;
+    void Backward(const Tensor& dy) override;
+    std::vector<Param*> Params() override;
+    const char* Name() const override { return "CNN"; }
+    void Save(std::ostream& out) const override;
+    void Load(std::istream& in) override;
+
+    /** Latent representation L_f [B, latent] of the last Forward. */
+    const Tensor& Latent() const { return latent_; }
+
+    int LatentSize() const { return cfg_.latent; }
+    const FeatureConfig& Features() const { return fcfg_; }
+
+  private:
+    FeatureConfig fcfg_;
+    SinanCnnConfig cfg_;
+
+    Sequential rh_branch_;
+    Sequential lh_branch_;
+    Sequential rc_branch_;
+    Dense fc_latent_;
+    ReLU relu_latent_;
+    Dense fc_out_;
+
+    Tensor latent_;
+    int rh_out_ = 0;
+    int lh_out_ = 0;
+    int rc_out_ = 0;
+};
+
+} // namespace sinan
+
+#endif // SINAN_MODELS_SINAN_CNN_H

@@ -1,0 +1,57 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinan {
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weight_decay_(weight_decay)
+{
+    if (lr <= 0.0)
+        throw std::invalid_argument("Adam: non-positive learning rate");
+    if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0)
+        throw std::invalid_argument("Adam: betas must be in [0, 1)");
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Param* p : params_) {
+        m_.emplace_back(p->value.Shape());
+        v_.emplace_back(p->value.Shape());
+    }
+}
+
+void
+Adam::Step()
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (size_t k = 0; k < params_.size(); ++k) {
+        Param& p = *params_[k];
+        Tensor& m = m_[k];
+        Tensor& v = v_[k];
+        for (size_t i = 0; i < p.value.Size(); ++i) {
+            const double g =
+                p.grad[i] + weight_decay_ * p.value[i];
+            m[i] = static_cast<float>(beta1_ * m[i] +
+                                      (1.0 - beta1_) * g);
+            v[i] = static_cast<float>(beta2_ * v[i] +
+                                      (1.0 - beta2_) * g * g);
+            const double m_hat = m[i] / bc1;
+            const double v_hat = v[i] / bc2;
+            p.value[i] -= static_cast<float>(
+                lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+        }
+    }
+}
+
+void
+Adam::ZeroGrad()
+{
+    for (Param* p : params_)
+        p->ZeroGrad();
+}
+
+} // namespace sinan

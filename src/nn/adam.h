@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Adam optimizer (Kingma & Ba). The paper trains with SGD; Adam is
+ * provided for the optimizer ablations and for users who prefer its
+ * robustness to learning-rate choice on new applications.
+ */
+#ifndef SINAN_NN_ADAM_H
+#define SINAN_NN_ADAM_H
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sinan {
+
+/** Adam with bias-corrected first/second moments and L2 weight decay. */
+class Adam {
+  public:
+    /**
+     * @param params parameters to optimize (must outlive the optimizer).
+     * @param lr learning rate.
+     * @param beta1 first-moment decay.
+     * @param beta2 second-moment decay.
+     * @param eps denominator stabilizer.
+     * @param weight_decay L2 coefficient applied to the gradient.
+     */
+    Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8,
+         double weight_decay = 0.0);
+
+    /** Applies one update from the accumulated gradients. */
+    void Step();
+
+    /** Clears all parameter gradients. */
+    void ZeroGrad();
+
+    double LearningRate() const { return lr_; }
+    void SetLearningRate(double lr) { lr_ = lr; }
+    int64_t StepCount() const { return t_; }
+
+  private:
+    std::vector<Param*> params_;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    double weight_decay_;
+    int64_t t_ = 0;
+};
+
+} // namespace sinan
+
+#endif // SINAN_NN_ADAM_H

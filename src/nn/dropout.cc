@@ -1,0 +1,45 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace sinan {
+
+Dropout::Dropout(double p, uint64_t seed)
+    : p_(p), rng_(seed)
+{
+    if (p < 0.0 || p >= 1.0)
+        throw std::invalid_argument("Dropout: p must be in [0, 1)");
+}
+
+Tensor
+Dropout::Forward(const Tensor& x)
+{
+    if (!training_ || p_ == 0.0) {
+        mask_ = Tensor();
+        return x;
+    }
+    mask_ = Tensor(x.Shape());
+    const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+    Tensor y = x;
+    for (size_t i = 0; i < y.Size(); ++i) {
+        const float m = rng_.Bernoulli(p_) ? 0.0f : keep_scale;
+        mask_[i] = m;
+        y[i] *= m;
+    }
+    return y;
+}
+
+Tensor
+Dropout::Backward(const Tensor& dy)
+{
+    if (mask_.Empty())
+        return dy;
+    if (dy.Size() != mask_.Size())
+        throw std::invalid_argument("Dropout::Backward: shape mismatch");
+    Tensor dx = dy;
+    for (size_t i = 0; i < dx.Size(); ++i)
+        dx[i] *= mask_[i];
+    return dx;
+}
+
+} // namespace sinan

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Inverted dropout. Training-time regularization for the larger latency
+ * predictors; a no-op in inference mode.
+ */
+#ifndef SINAN_NN_DROPOUT_H
+#define SINAN_NN_DROPOUT_H
+
+#include "nn/layer.h"
+
+namespace sinan {
+
+/**
+ * Inverted dropout: during training each activation is zeroed with
+ * probability p and survivors are scaled by 1/(1-p), so inference needs
+ * no rescaling. Toggle with SetTraining(); constructed in training mode.
+ */
+class Dropout : public Layer {
+  public:
+    /**
+     * @param p drop probability in [0, 1).
+     * @param seed RNG seed for the drop masks.
+     */
+    explicit Dropout(double p, uint64_t seed = 1);
+
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& dy) override;
+
+    void SetTraining(bool training) { training_ = training; }
+    bool IsTraining() const { return training_; }
+    double DropProbability() const { return p_; }
+
+  private:
+    double p_;
+    Rng rng_;
+    bool training_ = true;
+    Tensor mask_; // scale factors of the last training forward
+};
+
+} // namespace sinan
+
+#endif // SINAN_NN_DROPOUT_H

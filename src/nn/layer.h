@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Neural-network building blocks: the Layer interface and its trainable
+ * Param bundle. Layers cache their forward inputs so Backward can be
+ * called with only the upstream gradient; parameter gradients accumulate
+ * until the optimizer consumes and clears them.
+ */
+#ifndef SINAN_NN_LAYER_H
+#define SINAN_NN_LAYER_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sinan {
+
+/** A trainable tensor with its accumulated gradient. */
+struct Param {
+    Tensor value;
+    Tensor grad;
+
+    explicit Param(Tensor v = Tensor())
+        : value(std::move(v)), grad(value.Shape())
+    {
+    }
+
+    void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/** Base class of all differentiable layers. */
+class Layer {
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Computes the layer output for a batched input and caches whatever
+     * Backward needs. Calling Forward invalidates the previous cache.
+     */
+    virtual Tensor Forward(const Tensor& x) = 0;
+
+    /**
+     * Propagates @p dy (gradient w.r.t. the last Forward's output) back,
+     * returning the gradient w.r.t. that Forward's input and accumulating
+     * parameter gradients.
+     */
+    virtual Tensor Backward(const Tensor& dy) = 0;
+
+    /** Trainable parameters (empty for stateless layers). */
+    virtual std::vector<Param*> Params() { return {}; }
+
+    /** Serializes parameters (stateless layers write nothing). */
+    virtual void Save(std::ostream& /*out*/) const {}
+
+    /** Restores parameters saved by Save. */
+    virtual void Load(std::istream& /*in*/) {}
+
+    /** Number of scalar parameters (for the paper's model-size column). */
+    size_t
+    NumParams()
+    {
+        size_t n = 0;
+        for (Param* p : Params())
+            n += p->value.Size();
+        return n;
+    }
+};
+
+} // namespace sinan
+
+#endif // SINAN_NN_LAYER_H

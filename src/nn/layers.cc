@@ -1,0 +1,222 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sinan {
+
+Dense::Dense(int in_features, int out_features, Rng& rng)
+{
+    if (in_features <= 0 || out_features <= 0)
+        throw std::invalid_argument("Dense: non-positive dimensions");
+    // Kaiming initialization for ReLU-dominated nets.
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+    w_ = Param(Tensor::Randn({in_features, out_features}, rng, stddev));
+    b_ = Param(Tensor({out_features}));
+}
+
+Tensor
+Dense::Forward(const Tensor& x)
+{
+    if (x.Rank() != 2 || x.Dim(1) != w_.value.Dim(0))
+        throw std::invalid_argument("Dense::Forward: bad input shape");
+    x_cache_ = x;
+    Tensor y({x.Dim(0), w_.value.Dim(1)});
+    MatMul(x, w_.value, y);
+    const int out = b_.value.Dim(0);
+    for (int i = 0; i < x.Dim(0); ++i) {
+        float* row = y.Data() + static_cast<size_t>(i) * out;
+        for (int j = 0; j < out; ++j)
+            row[j] += b_.value[j];
+    }
+    return y;
+}
+
+Tensor
+Dense::Backward(const Tensor& dy)
+{
+    const int batch = x_cache_.Dim(0);
+    if (dy.Rank() != 2 || dy.Dim(0) != batch ||
+        dy.Dim(1) != w_.value.Dim(1)) {
+        throw std::invalid_argument("Dense::Backward: bad gradient shape");
+    }
+    // dW += x^T dy ; db += colsum(dy) ; dx = dy W^T.
+    MatMulTa(x_cache_, dy, w_.grad, /*accumulate=*/true);
+    const int out = w_.value.Dim(1);
+    for (int i = 0; i < batch; ++i) {
+        const float* row = dy.Data() + static_cast<size_t>(i) * out;
+        for (int j = 0; j < out; ++j)
+            b_.grad[j] += row[j];
+    }
+    Tensor dx({batch, w_.value.Dim(0)});
+    MatMulTb(dy, w_.value, dx);
+    return dx;
+}
+
+void
+Dense::Save(std::ostream& out) const
+{
+    w_.value.Save(out);
+    b_.value.Save(out);
+}
+
+void
+Dense::Load(std::istream& in)
+{
+    w_ = Param(Tensor::Load(in));
+    b_ = Param(Tensor::Load(in));
+}
+
+Tensor
+ReLU::Forward(const Tensor& x)
+{
+    x_cache_ = x;
+    Tensor y = x;
+    for (size_t i = 0; i < y.Size(); ++i)
+        y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+    return y;
+}
+
+Tensor
+ReLU::Backward(const Tensor& dy)
+{
+    if (dy.Size() != x_cache_.Size())
+        throw std::invalid_argument("ReLU::Backward: bad gradient shape");
+    Tensor dx = dy;
+    for (size_t i = 0; i < dx.Size(); ++i)
+        dx[i] = x_cache_[i] > 0.0f ? dx[i] : 0.0f;
+    return dx;
+}
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, Rng& rng)
+    : kernel_(kernel)
+{
+    if (kernel <= 0 || kernel % 2 == 0)
+        throw std::invalid_argument("Conv2D: kernel must be odd positive");
+    if (in_channels <= 0 || out_channels <= 0)
+        throw std::invalid_argument("Conv2D: non-positive channels");
+    const int fan_in = in_channels * kernel * kernel;
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    w_ = Param(Tensor::Randn({out_channels, in_channels, kernel, kernel},
+                             rng, stddev));
+    b_ = Param(Tensor({out_channels}));
+}
+
+Tensor
+Conv2D::Forward(const Tensor& x)
+{
+    if (x.Rank() != 4 || x.Dim(1) != w_.value.Dim(1))
+        throw std::invalid_argument("Conv2D::Forward: bad input shape");
+    x_cache_ = x;
+    const int batch = x.Dim(0), in_c = x.Dim(1), h = x.Dim(2),
+              w = x.Dim(3);
+    const int out_c = w_.value.Dim(0);
+    const int pad = kernel_ / 2;
+    Tensor y({batch, out_c, h, w});
+    for (int b = 0; b < batch; ++b) {
+        for (int oc = 0; oc < out_c; ++oc) {
+            const float bias = b_.value[oc];
+            for (int i = 0; i < h; ++i) {
+                for (int j = 0; j < w; ++j) {
+                    float acc = bias;
+                    for (int c = 0; c < in_c; ++c) {
+                        for (int ki = 0; ki < kernel_; ++ki) {
+                            const int si = i + ki - pad;
+                            if (si < 0 || si >= h)
+                                continue;
+                            for (int kj = 0; kj < kernel_; ++kj) {
+                                const int sj = j + kj - pad;
+                                if (sj < 0 || sj >= w)
+                                    continue;
+                                acc += x.At(b, c, si, sj) *
+                                       w_.value.At(oc, c, ki, kj);
+                            }
+                        }
+                    }
+                    y.At(b, oc, i, j) = acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+Conv2D::Backward(const Tensor& dy)
+{
+    const Tensor& x = x_cache_;
+    const int batch = x.Dim(0), in_c = x.Dim(1), h = x.Dim(2),
+              w = x.Dim(3);
+    const int out_c = w_.value.Dim(0);
+    if (dy.Rank() != 4 || dy.Dim(0) != batch || dy.Dim(1) != out_c ||
+        dy.Dim(2) != h || dy.Dim(3) != w) {
+        throw std::invalid_argument("Conv2D::Backward: bad gradient shape");
+    }
+    const int pad = kernel_ / 2;
+    Tensor dx({batch, in_c, h, w});
+    for (int b = 0; b < batch; ++b) {
+        for (int oc = 0; oc < out_c; ++oc) {
+            for (int i = 0; i < h; ++i) {
+                for (int j = 0; j < w; ++j) {
+                    const float g = dy.At(b, oc, i, j);
+                    if (g == 0.0f)
+                        continue;
+                    b_.grad[oc] += g;
+                    for (int c = 0; c < in_c; ++c) {
+                        for (int ki = 0; ki < kernel_; ++ki) {
+                            const int si = i + ki - pad;
+                            if (si < 0 || si >= h)
+                                continue;
+                            for (int kj = 0; kj < kernel_; ++kj) {
+                                const int sj = j + kj - pad;
+                                if (sj < 0 || sj >= w)
+                                    continue;
+                                w_.grad.At(oc, c, ki, kj) +=
+                                    g * x.At(b, c, si, sj);
+                                dx.At(b, c, si, sj) +=
+                                    g * w_.value.At(oc, c, ki, kj);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+void
+Conv2D::Save(std::ostream& out) const
+{
+    w_.value.Save(out);
+    b_.value.Save(out);
+}
+
+void
+Conv2D::Load(std::istream& in)
+{
+    w_ = Param(Tensor::Load(in));
+    b_ = Param(Tensor::Load(in));
+    kernel_ = w_.value.Dim(2);
+}
+
+Tensor
+Flatten::Forward(const Tensor& x)
+{
+    in_shape_ = x.Shape();
+    if (x.Rank() < 2)
+        throw std::invalid_argument("Flatten::Forward: rank < 2");
+    int rest = 1;
+    for (int d = 1; d < x.Rank(); ++d)
+        rest *= x.Dim(d);
+    return x.Reshaped({x.Dim(0), rest});
+}
+
+Tensor
+Flatten::Backward(const Tensor& dy)
+{
+    return dy.Reshaped(in_shape_);
+}
+
+} // namespace sinan

@@ -1,0 +1,88 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinan {
+
+LossResult
+MseLoss(const Tensor& pred, const Tensor& target)
+{
+    if (pred.Size() != target.Size() || pred.Empty())
+        throw std::invalid_argument("MseLoss: shape mismatch or empty");
+    LossResult r;
+    r.grad = Tensor(pred.Shape());
+    const double n = static_cast<double>(pred.Size());
+    for (size_t i = 0; i < pred.Size(); ++i) {
+        const double d = pred[i] - target[i];
+        r.value += d * d;
+        r.grad[i] = static_cast<float>(2.0 * d / n);
+    }
+    r.value /= n;
+    return r;
+}
+
+double
+ScalePhi(double x, double t, double alpha)
+{
+    if (x <= t)
+        return x;
+    const double e = x - t;
+    return t + e / (1.0 + alpha * e);
+}
+
+double
+ScalePhiGrad(double x, double t, double alpha)
+{
+    if (x <= t)
+        return 1.0;
+    const double d = 1.0 + alpha * (x - t);
+    return 1.0 / (d * d);
+}
+
+LossResult
+ScaledMseLoss(const Tensor& pred, const Tensor& target, double t,
+              double alpha, double leak)
+{
+    if (pred.Size() != target.Size() || pred.Empty())
+        throw std::invalid_argument("ScaledMseLoss: shape mismatch");
+    LossResult r;
+    r.grad = Tensor(pred.Shape());
+    const double n = static_cast<double>(pred.Size());
+    auto phi = [&](double x) {
+        return ScalePhi(x, t, alpha) + leak * std::max(0.0, x - t);
+    };
+    auto phi_grad = [&](double x) {
+        return ScalePhiGrad(x, t, alpha) + (x > t ? leak : 0.0);
+    };
+    for (size_t i = 0; i < pred.Size(); ++i) {
+        const double d = phi(pred[i]) - phi(target[i]);
+        r.value += d * d;
+        r.grad[i] = static_cast<float>(2.0 * d * phi_grad(pred[i]) / n);
+    }
+    r.value /= n;
+    return r;
+}
+
+LossResult
+BceWithLogitsLoss(const Tensor& logits, const Tensor& target)
+{
+    if (logits.Size() != target.Size() || logits.Empty())
+        throw std::invalid_argument("BceWithLogitsLoss: shape mismatch");
+    LossResult r;
+    r.grad = Tensor(logits.Shape());
+    const double n = static_cast<double>(logits.Size());
+    for (size_t i = 0; i < logits.Size(); ++i) {
+        const double z = logits[i];
+        const double y = target[i];
+        // log(1 + e^-|z|) + max(z,0) - z*y  (stable BCE).
+        r.value += std::log1p(std::exp(-std::abs(z))) +
+                   std::max(z, 0.0) - z * y;
+        const double sig = 1.0 / (1.0 + std::exp(-z));
+        r.grad[i] = static_cast<float>((sig - y) / n);
+    }
+    r.value /= n;
+    return r;
+}
+
+} // namespace sinan

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Loss functions. ScaledMse implements the paper's Eq. 2 scaling function
+ * phi(.), which compresses latencies beyond a knee t so the squared loss
+ * stops overfitting to rare latency spikes and concentrates accuracy in
+ * the sub-QoS range that allocation decisions actually depend on.
+ */
+#ifndef SINAN_NN_LOSS_H
+#define SINAN_NN_LOSS_H
+
+#include "tensor/tensor.h"
+
+namespace sinan {
+
+/** Loss value plus gradient with respect to the predictions. */
+struct LossResult {
+    double value = 0.0;
+    Tensor grad;
+};
+
+/** Mean squared error over all elements. */
+LossResult MseLoss(const Tensor& pred, const Tensor& target);
+
+/**
+ * The paper's scaling function (Eq. 2):
+ *   phi(x) = x                          for x <= t
+ *   phi(x) = t + (x - t)/(1 + a(x - t)) for x >  t
+ */
+double ScalePhi(double x, double t, double alpha);
+
+/** Derivative of ScalePhi with respect to x. */
+double ScalePhiGrad(double x, double t, double alpha);
+
+/**
+ * Squared loss applied after scaling both prediction and target with
+ * phi(., t, alpha): mean over elements of (phi(p) - phi(y))^2.
+ *
+ * @param leak adds leak*max(0, x-t) to the scaling, keeping a small
+ * gradient above the knee. The pure Eq. 2 (leak = 0) saturates: a
+ * prediction far above the knee receives a vanishing gradient
+ * (phi' ~ 1/(1+a(x-t))^2) and is never pulled back down.
+ */
+LossResult ScaledMseLoss(const Tensor& pred, const Tensor& target,
+                         double t, double alpha, double leak = 0.0);
+
+/**
+ * Binary cross-entropy on logits; targets in {0,1}. Numerically stable
+ * log-sum-exp formulation.
+ */
+LossResult BceWithLogitsLoss(const Tensor& logits, const Tensor& target);
+
+} // namespace sinan
+
+#endif // SINAN_NN_LOSS_H

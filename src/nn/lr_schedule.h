@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Learning-rate schedules. The trainer's default is exponential decay
+ * per epoch; these provide the standard alternatives (step, cosine,
+ * warmup) as composable function objects returning the rate for an
+ * epoch index.
+ */
+#ifndef SINAN_NN_LR_SCHEDULE_H
+#define SINAN_NN_LR_SCHEDULE_H
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinan {
+
+/** Base schedule: learning rate as a function of the epoch index. */
+class LrSchedule {
+  public:
+    virtual ~LrSchedule() = default;
+    /** Learning rate to use during epoch @p epoch (0-based). */
+    virtual double At(int epoch) const = 0;
+};
+
+/** lr * decay^epoch. */
+class ExponentialLr : public LrSchedule {
+  public:
+    ExponentialLr(double base, double decay)
+        : base_(base), decay_(decay)
+    {
+        if (base <= 0.0 || decay <= 0.0 || decay > 1.0)
+            throw std::invalid_argument("ExponentialLr: bad parameters");
+    }
+
+    double
+    At(int epoch) const override
+    {
+        return base_ * std::pow(decay_, epoch);
+    }
+
+  private:
+    double base_;
+    double decay_;
+};
+
+/** Drops by a factor every fixed number of epochs. */
+class StepLr : public LrSchedule {
+  public:
+    StepLr(double base, int step_epochs, double factor)
+        : base_(base), step_epochs_(step_epochs), factor_(factor)
+    {
+        if (base <= 0.0 || step_epochs <= 0 || factor <= 0.0)
+            throw std::invalid_argument("StepLr: bad parameters");
+    }
+
+    double
+    At(int epoch) const override
+    {
+        return base_ * std::pow(factor_, epoch / step_epochs_);
+    }
+
+  private:
+    double base_;
+    int step_epochs_;
+    double factor_;
+};
+
+/** Cosine annealing from base to floor over total_epochs. */
+class CosineLr : public LrSchedule {
+  public:
+    CosineLr(double base, double floor, int total_epochs)
+        : base_(base), floor_(floor), total_(total_epochs)
+    {
+        if (base <= 0.0 || floor < 0.0 || floor > base || total_epochs <= 0)
+            throw std::invalid_argument("CosineLr: bad parameters");
+    }
+
+    double
+    At(int epoch) const override
+    {
+        if (epoch >= total_)
+            return floor_;
+        const double t = static_cast<double>(epoch) / total_;
+        return floor_ +
+               0.5 * (base_ - floor_) *
+                   (1.0 + std::cos(3.141592653589793 * t));
+    }
+
+  private:
+    double base_;
+    double floor_;
+    int total_;
+};
+
+/** Linear warmup for the first epochs, then delegates to another. */
+class WarmupLr : public LrSchedule {
+  public:
+    /** @param inner schedule applied after warmup (not owned). */
+    WarmupLr(int warmup_epochs, const LrSchedule& inner)
+        : warmup_(warmup_epochs), inner_(inner)
+    {
+        if (warmup_epochs < 0)
+            throw std::invalid_argument("WarmupLr: negative warmup");
+    }
+
+    double
+    At(int epoch) const override
+    {
+        if (warmup_ == 0 || epoch >= warmup_)
+            return inner_.At(epoch);
+        return inner_.At(warmup_) * (epoch + 1) /
+               static_cast<double>(warmup_ + 1);
+    }
+
+  private:
+    int warmup_;
+    const LrSchedule& inner_;
+};
+
+} // namespace sinan
+
+#endif // SINAN_NN_LR_SCHEDULE_H

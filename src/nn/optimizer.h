@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Stochastic gradient descent with momentum and weight decay (the paper
+ * trains its CNN with SGD; Sec. 3.1). The optimizer does not own the
+ * parameters; it keeps one velocity buffer per registered Param.
+ */
+#ifndef SINAN_NN_OPTIMIZER_H
+#define SINAN_NN_OPTIMIZER_H
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sinan {
+
+/** SGD with classical momentum and decoupled L2 weight decay. */
+class Sgd {
+  public:
+    /**
+     * @param params parameters to optimize (must outlive the optimizer).
+     * @param lr learning rate.
+     * @param momentum velocity coefficient (0 disables).
+     * @param weight_decay L2 coefficient applied to the gradient.
+     * @param clip_norm global gradient-norm clip (0 disables). Keeps
+     *        training stable at learning rates that would otherwise
+     *        diverge on spiky latency targets.
+     */
+    Sgd(std::vector<Param*> params, double lr, double momentum = 0.9,
+        double weight_decay = 1e-4, double clip_norm = 0.0);
+
+    /** Applies one update from the accumulated gradients. */
+    void Step();
+
+    /** Clears all parameter gradients. */
+    void ZeroGrad();
+
+    double LearningRate() const { return lr_; }
+    void SetLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    std::vector<Param*> params_;
+    std::vector<Tensor> velocity_;
+    double lr_;
+    double momentum_;
+    double weight_decay_;
+    double clip_norm_;
+};
+
+} // namespace sinan
+
+#endif // SINAN_NN_OPTIMIZER_H

@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinan {
+
+Simulator::Simulator(const SimConfig& cfg)
+    : cfg_(cfg)
+{
+    if (cfg.tick_s <= 0.0 || cfg.interval_s <= 0.0)
+        throw std::invalid_argument("Simulator: non-positive step sizes");
+    ticks_per_interval_ =
+        static_cast<int64_t>(std::llround(cfg.interval_s / cfg.tick_s));
+    if (ticks_per_interval_ < 1)
+        throw std::invalid_argument(
+            "Simulator: interval must be at least one tick");
+}
+
+void
+Simulator::AddTickable(TickFn fn)
+{
+    tickables_.push_back(std::move(fn));
+}
+
+void
+Simulator::AddIntervalListener(IntervalFn fn)
+{
+    interval_listeners_.push_back(std::move(fn));
+}
+
+void
+Simulator::RunFor(double seconds)
+{
+    const int64_t n_ticks =
+        static_cast<int64_t>(std::llround(seconds / cfg_.tick_s));
+    for (int64_t i = 0; i < n_ticks; ++i) {
+        const double now = Now();
+        for (auto& t : tickables_)
+            t(now, cfg_.tick_s);
+        ++tick_;
+        if (tick_ % ticks_per_interval_ == 0) {
+            for (auto& l : interval_listeners_)
+                l(interval_, Now());
+            ++interval_;
+        }
+    }
+}
+
+} // namespace sinan

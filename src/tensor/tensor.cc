@@ -1,0 +1,248 @@
+#include "tensor/tensor.h"
+
+#include <cstdint>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace sinan {
+
+namespace {
+
+size_t
+ShapeSize(const std::vector<int>& shape)
+{
+    size_t n = 1;
+    for (int d : shape) {
+        if (d < 0)
+            throw std::invalid_argument("Tensor: negative dimension");
+        n *= static_cast<size_t>(d);
+    }
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f)
+{
+}
+
+Tensor
+Tensor::FromVector(const std::vector<float>& values)
+{
+    Tensor t({static_cast<int>(values.size())});
+    for (size_t i = 0; i < values.size(); ++i)
+        t[i] = values[i];
+    return t;
+}
+
+Tensor
+Tensor::Randn(std::vector<int> shape, Rng& rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.Size(); ++i)
+        t[i] = static_cast<float>(rng.Normal(0.0, stddev));
+    return t;
+}
+
+int
+Tensor::Dim(int d) const
+{
+    if (d < 0 || d >= Rank())
+        throw std::out_of_range("Tensor::Dim");
+    return shape_[d];
+}
+
+size_t
+Tensor::Offset2(int i, int j) const
+{
+    return static_cast<size_t>(i) * shape_[1] + j;
+}
+
+size_t
+Tensor::Offset3(int i, int j, int k) const
+{
+    return (static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k;
+}
+
+size_t
+Tensor::Offset4(int i, int j, int k, int l) const
+{
+    return ((static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k) *
+               shape_[3] +
+           l;
+}
+
+Tensor
+Tensor::Reshaped(std::vector<int> shape) const
+{
+    if (ShapeSize(shape) != Size())
+        throw std::invalid_argument("Tensor::Reshaped: size mismatch");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = data_;
+    return t;
+}
+
+void
+Tensor::Fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor::Scale(float s)
+{
+    for (float& v : data_)
+        v *= s;
+}
+
+void
+Tensor::Add(const Tensor& other)
+{
+    if (other.Size() != Size())
+        throw std::invalid_argument("Tensor::Add: size mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::Axpy(float alpha, const Tensor& other)
+{
+    if (other.Size() != Size())
+        throw std::invalid_argument("Tensor::Axpy: size mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += alpha * other.data_[i];
+}
+
+double
+Tensor::Sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+void
+Tensor::Save(std::ostream& out) const
+{
+    const int32_t rank = Rank();
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d : shape_) {
+        const int32_t v = d;
+        out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+    out.write(reinterpret_cast<const char*>(data_.data()),
+              static_cast<std::streamsize>(data_.size() * sizeof(float)));
+}
+
+Tensor
+Tensor::Load(std::istream& in)
+{
+    int32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!in || rank < 0 || rank > 8)
+        throw std::runtime_error("Tensor::Load: corrupt header");
+    std::vector<int> shape(rank);
+    for (int i = 0; i < rank; ++i) {
+        int32_t v = 0;
+        in.read(reinterpret_cast<char*>(&v), sizeof(v));
+        shape[i] = v;
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.Data()),
+            static_cast<std::streamsize>(t.Size() * sizeof(float)));
+    if (!in)
+        throw std::runtime_error("Tensor::Load: truncated data");
+    return t;
+}
+
+namespace {
+
+void
+CheckMatmul(const Tensor& a, const Tensor& b, const Tensor& c, int m,
+            int k, int k2, int n)
+{
+    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
+        throw std::invalid_argument("MatMul: rank-2 tensors required");
+    if (k != k2)
+        throw std::invalid_argument("MatMul: inner dimension mismatch");
+    if (c.Dim(0) != m || c.Dim(1) != n)
+        throw std::invalid_argument("MatMul: output shape mismatch");
+}
+
+} // namespace
+
+void
+MatMul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
+{
+    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
+        throw std::invalid_argument("MatMul: rank-2 tensors required");
+    const int m = a.Dim(0), k = a.Dim(1), n = b.Dim(1);
+    CheckMatmul(a, b, c, m, k, b.Dim(0), n);
+    if (!accumulate)
+        c.Fill(0.0f);
+    const float* ap = a.Data();
+    const float* bp = b.Data();
+    float* cp = c.Data();
+    for (int i = 0; i < m; ++i) {
+        for (int p = 0; p < k; ++p) {
+            const float av = ap[static_cast<size_t>(i) * k + p];
+            const float* brow = bp + static_cast<size_t>(p) * n;
+            float* crow = cp + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+MatMulTa(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
+{
+    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
+        throw std::invalid_argument("MatMulTa: rank-2 tensors required");
+    const int k = a.Dim(0), m = a.Dim(1), n = b.Dim(1);
+    CheckMatmul(a, b, c, m, k, b.Dim(0), n);
+    if (!accumulate)
+        c.Fill(0.0f);
+    const float* ap = a.Data();
+    const float* bp = b.Data();
+    float* cp = c.Data();
+    for (int p = 0; p < k; ++p) {
+        const float* arow = ap + static_cast<size_t>(p) * m;
+        const float* brow = bp + static_cast<size_t>(p) * n;
+        for (int i = 0; i < m; ++i) {
+            const float av = arow[i];
+            float* crow = cp + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+MatMulTb(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
+{
+    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
+        throw std::invalid_argument("MatMulTb: rank-2 tensors required");
+    const int m = a.Dim(0), k = a.Dim(1), n = b.Dim(0);
+    CheckMatmul(a, b, c, m, k, b.Dim(1), n);
+    if (!accumulate)
+        c.Fill(0.0f);
+    const float* ap = a.Data();
+    const float* bp = b.Data();
+    float* cp = c.Data();
+    for (int i = 0; i < m; ++i) {
+        const float* arow = ap + static_cast<size_t>(i) * k;
+        float* crow = cp + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+            const float* brow = bp + static_cast<size_t>(j) * k;
+            float acc = 0.0f;
+            for (int p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] += acc;
+        }
+    }
+}
+
+} // namespace sinan

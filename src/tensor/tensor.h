@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal dense float tensor used by the neural-network substrate.
+ *
+ * Row-major storage, up to 4 dimensions in practice (batch, channel,
+ * height, width). The NN layers implement their math with explicit loops
+ * over contiguous innermost dimensions so the compiler can vectorize; the
+ * tensor class itself only manages shape and storage.
+ */
+#ifndef SINAN_TENSOR_TENSOR_H
+#define SINAN_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sinan {
+
+/** Dense row-major float tensor. */
+class Tensor {
+  public:
+    /** Empty (rank-0, size-0) tensor. */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Builds a 1-D tensor from values. */
+    static Tensor FromVector(const std::vector<float>& values);
+
+    /** Tensor with i.i.d. normal entries (for weight init). */
+    static Tensor Randn(std::vector<int> shape, Rng& rng,
+                        float stddev = 1.0f);
+
+    const std::vector<int>& Shape() const { return shape_; }
+    int Rank() const { return static_cast<int>(shape_.size()); }
+
+    /** Extent of dimension @p d (throws on bad index). */
+    int Dim(int d) const;
+
+    /** Total number of elements. */
+    size_t Size() const { return data_.size(); }
+
+    bool Empty() const { return data_.empty(); }
+
+    float* Data() { return data_.data(); }
+    const float* Data() const { return data_.data(); }
+
+    float& operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** 2-D indexed access (row-major). */
+    float& At(int i, int j) { return data_[Offset2(i, j)]; }
+    float At(int i, int j) const { return data_[Offset2(i, j)]; }
+
+    /** 3-D indexed access. */
+    float& At(int i, int j, int k) { return data_[Offset3(i, j, k)]; }
+    float At(int i, int j, int k) const { return data_[Offset3(i, j, k)]; }
+
+    /** 4-D indexed access. */
+    float&
+    At(int i, int j, int k, int l)
+    {
+        return data_[Offset4(i, j, k, l)];
+    }
+    float
+    At(int i, int j, int k, int l) const
+    {
+        return data_[Offset4(i, j, k, l)];
+    }
+
+    /** Reinterprets the shape; total size must match. */
+    Tensor Reshaped(std::vector<int> shape) const;
+
+    /** Sets every element to @p v. */
+    void Fill(float v);
+
+    /** Element-wise in-place scale. */
+    void Scale(float s);
+
+    /** Element-wise in-place add (shapes must match). */
+    void Add(const Tensor& other);
+
+    /** In-place axpy: this += alpha * other. */
+    void Axpy(float alpha, const Tensor& other);
+
+    /** Sum of all elements. */
+    double Sum() const;
+
+    /** Binary serialization. */
+    void Save(std::ostream& out) const;
+    static Tensor Load(std::istream& in);
+
+  private:
+    size_t Offset2(int i, int j) const;
+    size_t Offset3(int i, int j, int k) const;
+    size_t Offset4(int i, int j, int k, int l) const;
+
+    std::vector<int> shape_;
+    std::vector<float> data_;
+};
+
+/**
+ * C[m,n] = sum_k A[m,k] * B[k,n] (+= when accumulate).
+ * Shapes are validated; plain loop ordering (m,k,n) for vectorizable
+ * innermost stride-1 access.
+ */
+void MatMul(const Tensor& a, const Tensor& b, Tensor& c,
+            bool accumulate = false);
+
+/** C[m,n] = sum_k A[k,m] * B[k,n] — i.e. A^T * B. */
+void MatMulTa(const Tensor& a, const Tensor& b, Tensor& c,
+              bool accumulate = false);
+
+/** C[m,n] = sum_k A[m,k] * B[n,k] — i.e. A * B^T. */
+void MatMulTb(const Tensor& a, const Tensor& b, Tensor& c,
+              bool accumulate = false);
+
+} // namespace sinan
+
+#endif // SINAN_TENSOR_TENSOR_H

@@ -1,0 +1,528 @@
+/**
+ * @file
+ * Tests for the cluster queueing substrate: processor sharing, call-tree
+ * execution, concurrency-slot back-pressure, cache short-circuits, async
+ * fan-out, metric accounting, and the log-sync stall model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.h"
+
+namespace sinan {
+namespace {
+
+/** Builds a linear chain app: t0 -> t1 -> ... with given demands (ms). */
+Application
+ChainApp(const std::vector<double>& demands_ms, double cv = 0.0)
+{
+    Application app;
+    app.name = "chain";
+    app.qos_ms = 1000.0;
+    for (size_t i = 0; i < demands_ms.size(); ++i) {
+        TierSpec t;
+        t.name = "t" + std::to_string(i);
+        t.concurrency_per_replica = 64;
+        t.init_cpu = 4.0;
+        t.max_cpu = 16.0;
+        app.tiers.push_back(t);
+    }
+    CallNode* cursor = nullptr;
+    RequestType rt;
+    rt.name = "chain";
+    for (size_t i = 0; i < demands_ms.size(); ++i) {
+        CallNode node;
+        node.tier = static_cast<int>(i);
+        node.demand_s = demands_ms[i] / 1000.0;
+        node.demand_cv = cv;
+        if (!cursor) {
+            rt.root = node;
+            cursor = &rt.root;
+        } else {
+            cursor->children.push_back(node);
+            cursor = &cursor->children.back();
+        }
+    }
+    app.request_types.push_back(rt);
+    return app;
+}
+
+/** Runs the cluster for @p seconds with no new arrivals. */
+void
+Drain(Cluster& cluster, double seconds, double dt = 0.01,
+      double start = 0.0)
+{
+    const int ticks = static_cast<int>(std::llround(seconds / dt));
+    for (int i = 0; i < ticks; ++i)
+        cluster.Tick(start + i * dt, dt);
+}
+
+TEST(Cluster, RejectsBadInputs)
+{
+    Application empty;
+    EXPECT_THROW(Cluster(empty, ClusterConfig{}, 1),
+                 std::invalid_argument);
+    Application app = ChainApp({1.0});
+    ClusterConfig bad;
+    bad.replica_scale = 0;
+    EXPECT_THROW(Cluster(app, bad, 1), std::invalid_argument);
+    Cluster ok(app, ClusterConfig{}, 1);
+    EXPECT_THROW(ok.Inject(5, 0.0), std::out_of_range);
+    EXPECT_THROW(ok.SetCpuLimit(9, 1.0), std::out_of_range);
+    EXPECT_THROW(ok.SetAllocation({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Cluster, SingleRequestCompletesWithExpectedLatency)
+{
+    // 20 ms of work on one tier with ample CPU: latency should be the
+    // demand rounded up to tick granularity (plus the completion tick).
+    Application app = ChainApp({20.0});
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.Inject(0, 0.0);
+    EXPECT_EQ(cluster.InFlight(), 1);
+    Drain(cluster, 0.2);
+    EXPECT_EQ(cluster.InFlight(), 0);
+    ASSERT_EQ(cluster.Latencies().Count(), 1u);
+    const double lat = cluster.Latencies().Quantile(0.5);
+    EXPECT_GE(lat, 20.0);
+    EXPECT_LE(lat, 40.0);
+}
+
+TEST(Cluster, ChainLatencyAccumulatesAcrossTiers)
+{
+    Application app = ChainApp({10.0, 10.0, 10.0});
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.Inject(0, 0.0);
+    Drain(cluster, 0.5);
+    ASSERT_EQ(cluster.Latencies().Count(), 1u);
+    const double lat = cluster.Latencies().Quantile(0.5);
+    EXPECT_GE(lat, 30.0);
+    EXPECT_LE(lat, 80.0);
+}
+
+TEST(Cluster, ProcessorSharingSlowsConcurrentRequests)
+{
+    // Two 50 ms requests sharing one core finish in ~100 ms each.
+    Application app = ChainApp({50.0});
+    app.tiers[0].init_cpu = 1.0;
+    app.tiers[0].min_cpu = 1.0;
+    app.tiers[0].max_cpu = 1.0;
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.Inject(0, 0.0);
+    cluster.Inject(0, 0.0);
+    Drain(cluster, 0.5);
+    ASSERT_EQ(cluster.Latencies().Count(), 2u);
+    EXPECT_GE(cluster.Latencies().Quantile(1.0), 95.0);
+    EXPECT_LE(cluster.Latencies().Quantile(1.0), 130.0);
+}
+
+TEST(Cluster, CpuLimitThrottlesThroughput)
+{
+    // 10 requests x 20 ms on a 0.5-core tier need >= 0.4 s of wall time.
+    Application app = ChainApp({20.0});
+    app.tiers[0].min_cpu = 0.5;
+    app.tiers[0].init_cpu = 0.5;
+    Cluster cluster(app, ClusterConfig{}, 1);
+    for (int i = 0; i < 10; ++i)
+        cluster.Inject(0, 0.0);
+    Drain(cluster, 0.35);
+    EXPECT_GT(cluster.InFlight(), 0);
+    Drain(cluster, 0.5, 0.01, 0.35);
+    EXPECT_EQ(cluster.InFlight(), 0);
+}
+
+TEST(Cluster, ConcurrencyLimitSerializesExecution)
+{
+    // One slot: two 30 ms requests run back to back even with 4 cores.
+    Application app = ChainApp({30.0});
+    app.tiers[0].concurrency_per_replica = 1;
+    app.tiers[0].replicas = 1;
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.Inject(0, 0.0);
+    cluster.Inject(0, 0.0);
+    Drain(cluster, 0.5);
+    ASSERT_EQ(cluster.Latencies().Count(), 2u);
+    // Serial completion is 60 ms; the within-tick slot handoff can give
+    // the second request up to one tick of head start.
+    EXPECT_GE(cluster.Latencies().Quantile(1.0), 50.0);
+    EXPECT_LE(cluster.Latencies().Quantile(1.0), 80.0);
+}
+
+TEST(Cluster, BackpressurePropagatesUpstream)
+{
+    // Downstream tier t1 is starved; upstream t0 has few slots, so its
+    // admission queue must grow even though t0 itself has CPU to spare.
+    Application app = ChainApp({1.0, 20.0});
+    app.tiers[0].concurrency_per_replica = 4;
+    app.tiers[0].replicas = 1;
+    app.tiers[1].min_cpu = 0.2;
+    app.tiers[1].init_cpu = 0.2;
+    app.tiers[1].concurrency_per_replica = 64;
+    Cluster cluster(app, ClusterConfig{}, 1);
+    for (int i = 0; i < 60; ++i)
+        cluster.Inject(0, 0.0);
+    Drain(cluster, 0.3);
+    const TierState& t0 = cluster.TierAt(0);
+    EXPECT_GT(t0.queue.size(), 0u)
+        << "upstream should be blocked by slot exhaustion";
+    // All four upstream slots are held by stages waiting on downstream.
+    EXPECT_EQ(t0.active, 4);
+}
+
+TEST(Cluster, CacheHitSkipsChildren)
+{
+    Application app = ChainApp({1.0, 5.0});
+    app.request_types[0].root.hit_prob = 1.0; // always hit
+    Cluster cluster(app, ClusterConfig{}, 1);
+    for (int i = 0; i < 20; ++i)
+        cluster.Inject(0, 0.0);
+    Drain(cluster, 1.0);
+    const IntervalObservation obs = cluster.Harvest(1.0, 1.0);
+    EXPECT_EQ(cluster.InFlight(), 0);
+    EXPECT_DOUBLE_EQ(obs.tiers[1].cpu_used, 0.0);
+    EXPECT_DOUBLE_EQ(obs.tiers[1].rx_pps, 0.0);
+}
+
+TEST(Cluster, CacheMissInvokesChildren)
+{
+    Application app = ChainApp({1.0, 5.0});
+    app.request_types[0].root.hit_prob = 0.0;
+    Cluster cluster(app, ClusterConfig{}, 1);
+    for (int i = 0; i < 20; ++i)
+        cluster.Inject(0, 0.0);
+    Drain(cluster, 1.0);
+    const IntervalObservation obs = cluster.Harvest(1.0, 1.0);
+    EXPECT_GT(obs.tiers[1].cpu_used, 0.0);
+    EXPECT_GT(obs.tiers[1].rx_pps, 0.0);
+}
+
+TEST(Cluster, AsyncChildDoesNotDelayCompletion)
+{
+    // Root does 5 ms; async child does 200 ms. Latency ~ root only.
+    Application app = ChainApp({5.0, 200.0});
+    app.request_types[0].root.children[0].async = true;
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.Inject(0, 0.0);
+    Drain(cluster, 0.1);
+    ASSERT_EQ(cluster.Latencies().Count(), 1u);
+    EXPECT_LE(cluster.Latencies().Quantile(1.0), 40.0);
+    // The async work still consumes CPU on its tier.
+    Drain(cluster, 0.3, 0.01, 0.1);
+    const IntervalObservation obs = cluster.Harvest(0.4, 0.4);
+    EXPECT_GT(obs.tiers[1].cpu_used, 0.0);
+}
+
+TEST(Cluster, ParallelChildrenOverlap)
+{
+    // Root fans out to two 40 ms children on separate tiers: total
+    // latency should be far below the serial 80 ms + overheads.
+    Application app = ChainApp({1.0});
+    TierSpec child_tier;
+    child_tier.name = "child_a";
+    child_tier.init_cpu = 4.0;
+    app.tiers.push_back(child_tier);
+    child_tier.name = "child_b";
+    app.tiers.push_back(child_tier);
+    CallNode a;
+    a.tier = 1;
+    a.demand_s = 0.04;
+    a.demand_cv = 0.0;
+    CallNode b = a;
+    b.tier = 2;
+    app.request_types[0].root.children = {a, b};
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.Inject(0, 0.0);
+    Drain(cluster, 0.3);
+    ASSERT_EQ(cluster.Latencies().Count(), 1u);
+    EXPECT_LE(cluster.Latencies().Quantile(1.0), 70.0);
+    EXPECT_GE(cluster.Latencies().Quantile(1.0), 40.0);
+}
+
+TEST(Cluster, SetCpuLimitClampsToSpec)
+{
+    Application app = ChainApp({1.0});
+    app.tiers[0].min_cpu = 1.0;
+    app.tiers[0].max_cpu = 4.0;
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.SetCpuLimit(0, 100.0);
+    EXPECT_DOUBLE_EQ(cluster.Allocation()[0], 4.0);
+    cluster.SetCpuLimit(0, 0.01);
+    EXPECT_DOUBLE_EQ(cluster.Allocation()[0], 1.0);
+}
+
+TEST(Cluster, HarvestResetsIntervalAccumulators)
+{
+    Application app = ChainApp({5.0});
+    Cluster cluster(app, ClusterConfig{}, 1);
+    ClusterConfig quiet;
+    quiet.metric_noise = 0.0;
+    Cluster c2(app, quiet, 1);
+    for (int i = 0; i < 10; ++i)
+        c2.Inject(0, 0.0);
+    Drain(c2, 1.0);
+    const IntervalObservation first = c2.Harvest(1.0, 1.0);
+    EXPECT_GT(first.tiers[0].cpu_used, 0.0);
+    EXPECT_DOUBLE_EQ(first.rps, 10.0);
+    Drain(c2, 1.0, 0.01, 1.0);
+    const IntervalObservation second = c2.Harvest(2.0, 1.0);
+    EXPECT_DOUBLE_EQ(second.tiers[0].cpu_used, 0.0);
+    EXPECT_DOUBLE_EQ(second.rps, 0.0);
+    EXPECT_EQ(second.latency_ms.back(), 0.0);
+}
+
+TEST(Cluster, MetricsAreInternallyConsistent)
+{
+    Application app = ChainApp({2.0, 3.0});
+    ClusterConfig cfg;
+    cfg.metric_noise = 0.0;
+    Cluster cluster(app, cfg, 1);
+    for (int i = 0; i < 50; ++i)
+        cluster.Inject(0, i * 0.01);
+    Drain(cluster, 1.0);
+    const IntervalObservation obs = cluster.Harvest(1.0, 1.0);
+    for (const TierMetrics& m : obs.tiers) {
+        EXPECT_LE(m.cpu_used, m.cpu_limit * 1.001);
+        EXPECT_GE(m.rss_mb, 0.0);
+        EXPECT_GE(m.Utilization(), 0.0);
+        EXPECT_LE(m.Utilization(), 1.001);
+    }
+    // Each request traverses both tiers: rx at each should match count.
+    EXPECT_NEAR(obs.tiers[0].rx_pps,
+                50.0 * app.tiers[0].pkts_per_rpc * 2.0, 1e-6);
+}
+
+TEST(Cluster, RssGrowsWithBacklog)
+{
+    Application app = ChainApp({50.0});
+    app.tiers[0].min_cpu = 0.2;
+    app.tiers[0].init_cpu = 0.2;
+    ClusterConfig cfg;
+    cfg.metric_noise = 0.0;
+    Cluster idle(app, cfg, 1);
+    Drain(idle, 1.0);
+    const double rss_idle = idle.Harvest(1.0, 1.0).tiers[0].rss_mb;
+
+    Cluster busy(app, cfg, 1);
+    for (int i = 0; i < 200; ++i)
+        busy.Inject(0, 0.0);
+    Drain(busy, 1.0);
+    const double rss_busy = busy.Harvest(1.0, 1.0).tiers[0].rss_mb;
+    EXPECT_GT(rss_busy, rss_idle + 5.0);
+}
+
+TEST(Cluster, LogSyncStallCausesLatencySpike)
+{
+    Application app = ChainApp({5.0});
+    app.tiers[0].log_sync = true;
+    app.tiers[0].log_sync_period_s = 2.0;
+    app.tiers[0].written_mb_per_req = 1.0;
+    app.tiers[0].stall_s_per_mb = 0.005;
+    app.tiers[0].stall_base_s = 0.1;
+
+    ClusterConfig cfg;
+    cfg.metric_noise = 0.0;
+    Cluster cluster(app, cfg, 1);
+    double max_lat_before = 0.0, max_lat_after = 0.0;
+    double now = 0.0;
+    for (int sec = 0; sec < 4; ++sec) {
+        for (int i = 0; i < 100; ++i) {
+            cluster.Tick(now, 0.01);
+            if (i % 5 == 0)
+                cluster.Inject(0, now);
+            now += 0.01;
+        }
+        const IntervalObservation obs = cluster.Harvest(now, 1.0);
+        if (sec < 2)
+            max_lat_before = std::max(max_lat_before, obs.P99());
+        else
+            max_lat_after = std::max(max_lat_after, obs.P99());
+    }
+    // The sync at t=2 s stalls the tier for >= 100 ms.
+    EXPECT_LT(max_lat_before, 60.0);
+    EXPECT_GT(max_lat_after, 90.0);
+}
+
+TEST(Cluster, LogSyncDisabledByConfigSwitch)
+{
+    Application app = ChainApp({5.0});
+    app.tiers[0].log_sync = true;
+    app.tiers[0].log_sync_period_s = 2.0;
+    app.tiers[0].written_mb_per_req = 1.0;
+    app.tiers[0].stall_base_s = 0.2;
+    ClusterConfig cfg;
+    cfg.metric_noise = 0.0;
+    cfg.enable_log_sync = false;
+    Cluster cluster(app, cfg, 1);
+    double now = 0.0;
+    double max_lat = 0.0;
+    for (int sec = 0; sec < 4; ++sec) {
+        for (int i = 0; i < 100; ++i) {
+            cluster.Tick(now, 0.01);
+            if (i % 5 == 0)
+                cluster.Inject(0, now);
+            now += 0.01;
+        }
+        max_lat = std::max(max_lat, cluster.Harvest(now, 1.0).P99());
+    }
+    EXPECT_LT(max_lat, 60.0);
+}
+
+TEST(Cluster, SpeedFactorScalesCapacity)
+{
+    Application app = ChainApp({20.0});
+    app.tiers[0].min_cpu = 1.0;
+    app.tiers[0].init_cpu = 1.0;
+    app.tiers[0].max_cpu = 1.0;
+    ClusterConfig slow;
+    slow.speed_factor = 0.5;
+    slow.metric_noise = 0.0;
+    Cluster cluster(app, slow, 1);
+    cluster.Inject(0, 0.0);
+    Drain(cluster, 0.5);
+    ASSERT_EQ(cluster.Latencies().Count(), 1u);
+    // 20 ms of work at 0.5 effective cores ~ 40 ms.
+    EXPECT_GE(cluster.Latencies().Quantile(1.0), 40.0);
+}
+
+TEST(Cluster, ReplicaScaleMultipliesSlots)
+{
+    Application app = ChainApp({10.0});
+    app.tiers[0].concurrency_per_replica = 2;
+    app.tiers[0].replicas = 3;
+    ClusterConfig cfg;
+    cfg.replica_scale = 4;
+    Cluster cluster(app, cfg, 1);
+    EXPECT_EQ(cluster.TierAt(0).slots, 24);
+}
+
+
+TEST(Cluster, RequestConservationUnderRandomTraffic)
+{
+    // injected == completed + in-flight, across random loads/allocs.
+    Application app = ChainApp({3.0, 6.0, 2.0}, 0.2);
+    Cluster cluster(app, ClusterConfig{}, 11);
+    Rng rng(13);
+    int64_t injected = 0;
+    double now = 0.0;
+    for (int i = 0; i < 3000; ++i) {
+        const int n = rng.Poisson(1.5);
+        for (int j = 0; j < n; ++j) {
+            cluster.Inject(0, now);
+            ++injected;
+        }
+        if (i % 400 == 0)
+            cluster.SetCpuLimit(1, rng.Uniform(0.5, 8.0));
+        cluster.Tick(now, 0.01);
+        now += 0.01;
+    }
+    int64_t completed = 0;
+    // Count completions across the interval boundaries we crossed.
+    // (Latency digest resets at Harvest; count via completed_rps.)
+    const IntervalObservation obs = cluster.Harvest(now, now);
+    completed = static_cast<int64_t>(
+        std::llround(obs.completed_rps * now));
+    EXPECT_EQ(injected, completed + cluster.InFlight());
+}
+
+TEST(Cluster, DeterministicForSameSeed)
+{
+    Application app = ChainApp({4.0, 8.0}, 0.3);
+    auto run = [&] {
+        Cluster cluster(app, ClusterConfig{}, 17);
+        Rng rng(19);
+        double now = 0.0;
+        for (int i = 0; i < 1000; ++i) {
+            const int n = rng.Poisson(1.0);
+            for (int j = 0; j < n; ++j)
+                cluster.Inject(0, now);
+            cluster.Tick(now, 0.01);
+            now += 0.01;
+        }
+        const IntervalObservation obs = cluster.Harvest(now, now);
+        return std::make_pair(obs.latency_ms, obs.tiers[0].cpu_used);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(Cluster, SerialChainCannotCompressWorkIntoOneTick)
+{
+    // Three 10 ms hops cost at least 3 ticks of wall time even with
+    // infinite CPU (children spawned mid-tick wait for the next tick).
+    Application app = ChainApp({10.0, 10.0, 10.0});
+    for (auto& t : app.tiers) {
+        t.init_cpu = 16.0;
+        t.max_cpu = 16.0;
+    }
+    Cluster cluster(app, ClusterConfig{}, 1);
+    cluster.Inject(0, 0.0);
+    Drain(cluster, 0.5);
+    ASSERT_EQ(cluster.Latencies().Count(), 1u);
+    EXPECT_GE(cluster.Latencies().Quantile(0.5), 30.0);
+}
+
+TEST(Cluster, LogSyncPeriodIsRespected)
+{
+    Application app = ChainApp({2.0});
+    app.tiers[0].log_sync = true;
+    app.tiers[0].log_sync_period_s = 3.0;
+    app.tiers[0].written_mb_per_req = 0.5;
+    app.tiers[0].stall_base_s = 0.15;
+    ClusterConfig cfg;
+    cfg.metric_noise = 0.0;
+    Cluster cluster(app, cfg, 21);
+    double now = 0.0;
+    std::vector<double> p99s;
+    for (int sec = 0; sec < 9; ++sec) {
+        for (int i = 0; i < 100; ++i) {
+            if (i % 4 == 0)
+                cluster.Inject(0, now);
+            cluster.Tick(now, 0.01);
+            now += 0.01;
+        }
+        p99s.push_back(cluster.Harvest(now, 1.0).P99());
+    }
+    // Stalls at t=3 s and t=6 s: seconds 3 and 6 spike, neighbors low.
+    EXPECT_GT(p99s[3], 100.0);
+    EXPECT_GT(p99s[6], 100.0);
+    EXPECT_LT(p99s[1], 60.0);
+    EXPECT_LT(p99s[4], 60.0);
+}
+
+/** Property: offered load above tier capacity accumulates backlog. */
+class SaturationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SaturationTest, BacklogIffOverloaded)
+{
+    const double load_factor = GetParam();
+    Application app = ChainApp({10.0}, 0.05);
+    app.tiers[0].min_cpu = 1.0;
+    app.tiers[0].init_cpu = 1.0;
+    app.tiers[0].max_cpu = 1.0;
+    Cluster cluster(app, ClusterConfig{}, 7);
+    // Capacity = 100 req/s at 10 ms per request on 1 core.
+    const double rate = 100.0 * load_factor;
+    Rng rng(3);
+    double now = 0.0;
+    for (int i = 0; i < 1500; ++i) {
+        const int n = rng.Poisson(rate * 0.01);
+        for (int j = 0; j < n; ++j)
+            cluster.Inject(0, now);
+        cluster.Tick(now, 0.01);
+        now += 0.01;
+    }
+    if (load_factor > 1.2) {
+        EXPECT_GT(cluster.InFlight(), 50);
+    } else if (load_factor < 0.8) {
+        EXPECT_LT(cluster.InFlight(), 20);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadFactors, SaturationTest,
+                         ::testing::Values(0.3, 0.5, 0.7, 1.5, 2.0, 3.0));
+
+} // namespace
+} // namespace sinan

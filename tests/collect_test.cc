@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the data-collection substrate: the random step load, dataset
+ * construction from interval logs, the bandit explorer's guard rails,
+ * and its information-gain behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "app/apps.h"
+#include "collect/bandit.h"
+#include "collect/collector.h"
+#include "test_util.h"
+
+namespace sinan {
+namespace {
+
+using testutil::MakeObs;
+using testutil::SmallFeatures;
+
+TEST(RandomStepLoad, StaysWithinBoundsAndIsDeterministic)
+{
+    RandomStepLoad a(100, 300, 10, 20, 500, 7);
+    RandomStepLoad b(100, 300, 10, 20, 500, 7);
+    for (double t = 0; t < 500; t += 13) {
+        EXPECT_GE(a.UsersAt(t), 100.0);
+        EXPECT_LE(a.UsersAt(t), 300.0);
+        EXPECT_DOUBLE_EQ(a.UsersAt(t), b.UsersAt(t));
+    }
+    EXPECT_THROW(RandomStepLoad(300, 100, 10, 20, 500, 7),
+                 std::invalid_argument);
+}
+
+TEST(RandomStepLoad, ActuallyChangesLevels)
+{
+    RandomStepLoad load(0, 1000, 10, 20, 500, 9);
+    double lo = 1e18, hi = -1e18;
+    for (double t = 0; t < 500; t += 5) {
+        lo = std::min(lo, load.UsersAt(t));
+        hi = std::max(hi, load.UsersAt(t));
+    }
+    EXPECT_GT(hi - lo, 200.0);
+}
+
+TEST(BuildDataset, WindowingAndLabels)
+{
+    const FeatureConfig f = SmallFeatures(2, 3); // T=3, k=3
+    std::vector<IntervalObservation> obs;
+    std::vector<std::vector<double>> allocs;
+    // 10 intervals; interval 6 violates QoS (p99 600 > 500).
+    for (int t = 0; t < 10; ++t) {
+        const double p99 = t == 6 ? 600.0 : 100.0;
+        obs.push_back(MakeObs(f, t, 100, 2.0, 0.5, p99));
+        allocs.push_back(std::vector<double>(f.n_tiers, 2.0 + t));
+    }
+    const Dataset d = BuildDataset(obs, allocs, f);
+    // Sample exists for t in [T-1, n-k-1] = [2, 6] -> 5 samples.
+    ASSERT_EQ(d.samples.size(), 5u);
+    // Sample at t=2 targets obs[3] (p99 = 100).
+    EXPECT_NEAR(d.samples[0].p99_ms, 100.0, 1e-9);
+    // X_RC of the first sample is allocs[3] = 5.0 (normalized).
+    EXPECT_FLOAT_EQ(d.samples[0].xrc[0],
+                    static_cast<float>(5.0 / f.cpu_scale));
+    // Violation-within-k: t=3 looks at obs[4..6] -> includes the spike.
+    EXPECT_FLOAT_EQ(d.samples[1].violation, 1.0f);
+    // t=2 looks at obs[3..5] -> no violation.
+    EXPECT_FLOAT_EQ(d.samples[0].violation, 0.0f);
+    // t=6 targets obs[7] after the spike and looks at obs[7..9]: clean.
+    EXPECT_FLOAT_EQ(d.samples[4].violation, 0.0f);
+}
+
+TEST(BuildDataset, TooShortLogYieldsEmpty)
+{
+    const FeatureConfig f = SmallFeatures(2, 3);
+    std::vector<IntervalObservation> obs(
+        4, MakeObs(f, 0, 100, 2.0, 0.5, 100));
+    std::vector<std::vector<double>> allocs(
+        4, std::vector<double>(f.n_tiers, 1.0));
+    EXPECT_TRUE(BuildDataset(obs, allocs, f).samples.empty());
+    allocs.pop_back();
+    EXPECT_THROW(BuildDataset(obs, allocs, f), std::invalid_argument);
+}
+
+TEST(RandomExplorer, StaysWithinSpecBounds)
+{
+    const Application app = BuildSocialNetwork();
+    RandomExplorer rnd(3);
+    const FeatureConfig f =
+        SmallFeatures(static_cast<int>(app.tiers.size()), 3);
+    const IntervalObservation obs = MakeObs(f, 0, 100, 2.0, 0.5, 100);
+    std::vector<double> alloc(app.tiers.size(), 1.0);
+    for (int rep = 0; rep < 10; ++rep) {
+        const std::vector<double> next = rnd.Decide(obs, alloc, app);
+        ASSERT_EQ(next.size(), app.tiers.size());
+        for (size_t i = 0; i < next.size(); ++i) {
+            EXPECT_GE(next[i], app.tiers[i].min_cpu);
+            EXPECT_LE(next[i], app.tiers[i].max_cpu);
+        }
+    }
+}
+
+class BanditFixture : public ::testing::Test {
+  protected:
+    BanditFixture()
+        : app_(BuildSocialNetwork()),
+          features_(SmallFeatures(static_cast<int>(app_.tiers.size()), 3))
+    {
+        cfg_.qos_ms = app_.qos_ms;
+        cfg_.seed = 5;
+    }
+
+    Application app_;
+    FeatureConfig features_;
+    BanditConfig cfg_;
+};
+
+TEST_F(BanditFixture, NoDownscaleWhileViolating)
+{
+    BanditExplorer bandit(cfg_);
+    std::vector<double> alloc(app_.tiers.size(), 2.0);
+    // First decision primes state; p99 above QoS forbids reclamation.
+    const IntervalObservation obs =
+        MakeObs(features_, 0, 200, 2.0, 0.8, app_.qos_ms + 50.0);
+    const std::vector<double> next = bandit.Decide(obs, alloc, app_);
+    for (size_t i = 0; i < next.size(); ++i)
+        EXPECT_GE(next[i], alloc[i] - 1e-9) << "tier " << i;
+}
+
+TEST_F(BanditFixture, ForcedRecoveryBeyondExploreRegion)
+{
+    BanditExplorer bandit(cfg_);
+    std::vector<double> alloc(app_.tiers.size(), 2.0);
+    const double lat = app_.qos_ms * (1.0 + cfg_.alpha) + 100.0;
+    const IntervalObservation obs =
+        MakeObs(features_, 0, 200, 2.0, 0.9, lat);
+    const std::vector<double> next = bandit.Decide(obs, alloc, app_);
+    for (size_t i = 0; i < next.size(); ++i) {
+        const double expected =
+            std::min(app_.tiers[i].max_cpu, alloc[i] * 1.3 + 0.2);
+        EXPECT_NEAR(next[i], expected, 1e-9);
+    }
+}
+
+TEST_F(BanditFixture, UtilizationCapBlocksDownsizing)
+{
+    BanditExplorer bandit(cfg_);
+    std::vector<double> alloc(app_.tiers.size(), 2.0);
+    // Meeting QoS but every tier near saturation: no tier may shrink.
+    const IntervalObservation obs =
+        MakeObs(features_, 0, 200, 2.0, 0.97, 100.0);
+    const std::vector<double> next = bandit.Decide(obs, alloc, app_);
+    for (size_t i = 0; i < next.size(); ++i)
+        EXPECT_GE(next[i], alloc[i] - 1e-9);
+}
+
+TEST_F(BanditFixture, ExploresDownWhenComfortable)
+{
+    BanditExplorer bandit(cfg_);
+    std::vector<double> alloc(app_.tiers.size(), 4.0);
+    // Low utilization, low latency: the C_op bias favours reclamation
+    // for at least some tiers within a few steps.
+    bool any_down = false;
+    for (int step = 0; step < 5 && !any_down; ++step) {
+        const IntervalObservation obs =
+            MakeObs(features_, step, 100, 4.0, 0.2, 80.0);
+        const std::vector<double> next = bandit.Decide(obs, alloc, app_);
+        for (size_t i = 0; i < next.size(); ++i)
+            any_down |= next[i] < alloc[i] - 1e-9;
+        alloc = next;
+    }
+    EXPECT_TRUE(any_down);
+}
+
+TEST_F(BanditFixture, StatisticsAccumulateAcrossDecisions)
+{
+    BanditExplorer bandit(cfg_);
+    std::vector<double> alloc(app_.tiers.size(), 2.0);
+    EXPECT_EQ(bandit.CellsVisited(), 0u);
+    for (int step = 0; step < 6; ++step) {
+        const IntervalObservation obs = MakeObs(
+            features_, step, 100.0 + 40.0 * step, 2.0, 0.5, 120.0);
+        alloc = bandit.Decide(obs, alloc, app_);
+    }
+    EXPECT_GT(bandit.CellsVisited(), app_.tiers.size());
+    bandit.Reset();
+    EXPECT_EQ(bandit.CellsVisited(), 0u);
+}
+
+TEST_F(BanditFixture, AllocationsAlwaysWithinSpec)
+{
+    BanditExplorer bandit(cfg_);
+    std::vector<double> alloc(app_.tiers.size(), 2.0);
+    Rng rng(3);
+    for (int step = 0; step < 40; ++step) {
+        const IntervalObservation obs =
+            MakeObs(features_, step, rng.Uniform(50, 400), 2.0,
+                    rng.Uniform(0.1, 1.0), rng.Uniform(50, 900));
+        alloc = bandit.Decide(obs, alloc, app_);
+        for (size_t i = 0; i < alloc.size(); ++i) {
+            EXPECT_GE(alloc[i], app_.tiers[i].min_cpu - 1e-9);
+            EXPECT_LE(alloc[i], app_.tiers[i].max_cpu + 1e-9);
+        }
+    }
+}
+
+TEST(Collector, EndToEndProducesLabeledSamples)
+{
+    const Application app = BuildSocialNetwork();
+    CollectionConfig cfg;
+    cfg.duration_s = 60.0;
+    cfg.users_min = 50;
+    cfg.users_max = 250;
+    cfg.features = SmallFeatures(static_cast<int>(app.tiers.size()), 3);
+    cfg.features.qos_ms = app.qos_ms;
+    cfg.seed = 13;
+
+    BanditConfig bcfg;
+    bcfg.qos_ms = app.qos_ms;
+    BanditExplorer bandit(bcfg);
+    const Dataset d = Collect(app, bandit, cfg);
+    // 60 intervals minus warmup/lookahead edges.
+    EXPECT_GT(d.samples.size(), 40u);
+    for (const Sample& s : d.samples) {
+        EXPECT_EQ(s.xrc.Dim(0), static_cast<int>(app.tiers.size()));
+        EXPECT_GE(s.p99_ms, 0.0);
+    }
+}
+
+
+TEST(BuildDataset, LaterReclaimStopsViolationAttribution)
+{
+    // A violation that happens after the policy reclaims CPU must not
+    // be blamed on the earlier, larger allocation.
+    const FeatureConfig f = SmallFeatures(2, 3); // T=3, k=3
+    std::vector<IntervalObservation> obs;
+    std::vector<std::vector<double>> allocs;
+    for (int t = 0; t < 10; ++t) {
+        const double p99 = t == 6 ? 600.0 : 100.0;
+        obs.push_back(MakeObs(f, t, 100, 2.0, 0.5, p99));
+        // A big reclaim happens at interval 5.
+        const double a = t >= 5 ? 1.0 : 4.0;
+        allocs.push_back(std::vector<double>(f.n_tiers, a));
+    }
+    const Dataset d = BuildDataset(obs, allocs, f);
+    ASSERT_EQ(d.samples.size(), 5u);
+    // Sample at t=3 (alloc for t+1=4 is 4.0) scans t=5.. but the
+    // reclaim at t=5 stops the scan before the violation at t=6.
+    EXPECT_FLOAT_EQ(d.samples[1].violation, 0.0f);
+    // Sample at t=4 labels alloc[5]=1.0; allocation stays at 1.0
+    // through the violation at t=6 -> blamed.
+    EXPECT_FLOAT_EQ(d.samples[2].violation, 1.0f);
+}
+
+TEST(BuildDataset, TargetsClippedAtTwiceQos)
+{
+    const FeatureConfig f = SmallFeatures(2, 3);
+    std::vector<IntervalObservation> obs;
+    std::vector<std::vector<double>> allocs;
+    for (int t = 0; t < 10; ++t) {
+        obs.push_back(MakeObs(f, t, 100, 2.0, 0.5, 50.0 * f.qos_ms));
+        allocs.push_back(std::vector<double>(f.n_tiers, 2.0));
+    }
+    const Dataset d = BuildDataset(obs, allocs, f);
+    ASSERT_FALSE(d.samples.empty());
+    for (const Sample& s : d.samples)
+        for (float y : s.y_latency)
+            EXPECT_LE(y, 2.0f);
+}
+
+/**
+ * Property: the Eq. 3 information gain of a cell shrinks as its sample
+ * count grows — exploration naturally moves to uncertain cells. We
+ * verify through the public interface: repeated identical states make
+ * the bandit spread across levels rather than repeat one op forever.
+ */
+class BanditSpreadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BanditSpreadTest, RepeatedStateVisitsMultipleLevels)
+{
+    const Application app = BuildSocialNetwork();
+    BanditConfig cfg;
+    cfg.qos_ms = app.qos_ms;
+    cfg.seed = static_cast<uint64_t>(GetParam());
+    BanditExplorer bandit(cfg);
+    const FeatureConfig f =
+        SmallFeatures(static_cast<int>(app.tiers.size()), 3);
+
+    std::set<int> tier0_levels;
+    std::vector<double> alloc(app.tiers.size(), 3.0);
+    for (int step = 0; step < 30; ++step) {
+        const IntervalObservation obs =
+            MakeObs(f, step, 200.0, 3.0, 0.5, 150.0);
+        alloc = bandit.Decide(obs, alloc, app);
+        tier0_levels.insert(
+            static_cast<int>(std::lround(alloc[0] / cfg.quantum)));
+    }
+    EXPECT_GE(tier0_levels.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BanditSpreadTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace sinan

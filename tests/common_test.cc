@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit and property tests for the common substrate: RNG distributions,
+ * percentile digests, ring windows, and table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timeseries.h"
+
+namespace sinan {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.NextU64() == b.NextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.Uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.Uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.UniformInt(10ULL), 10ULL);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.UniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(11);
+    std::vector<int> seen(6, 0);
+    for (int i = 0; i < 600; ++i)
+        ++seen[rng.UniformInt(6ULL)];
+    for (int v : seen)
+        EXPECT_GT(v, 0);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.Bernoulli(0.0));
+        EXPECT_TRUE(rng.Bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect)
+{
+    Rng rng(5);
+    double acc = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+        acc += rng.Exponential(4.0);
+    EXPECT_NEAR(acc / kN, 4.0, 0.15);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect)
+{
+    Rng rng(9);
+    double mean = 0.0, var = 0.0;
+    constexpr int kN = 20000;
+    std::vector<double> xs(kN);
+    for (int i = 0; i < kN; ++i) {
+        xs[i] = rng.Normal(2.0, 3.0);
+        mean += xs[i];
+    }
+    mean /= kN;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= kN;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LogNormalIsPositiveWithRequestedMean)
+{
+    Rng rng(13);
+    double acc = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const double v = rng.LogNormal(0.005, 0.3);
+        EXPECT_GT(v, 0.0);
+        acc += v;
+    }
+    EXPECT_NEAR(acc / kN, 0.005, 0.0004);
+}
+
+TEST(Rng, LogNormalZeroMeanReturnsZero)
+{
+    Rng rng(13);
+    EXPECT_EQ(rng.LogNormal(0.0, 0.3), 0.0);
+}
+
+TEST(Rng, PoissonSmallLambdaMean)
+{
+    Rng rng(17);
+    double acc = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+        acc += rng.Poisson(2.5);
+    EXPECT_NEAR(acc / kN, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaMean)
+{
+    Rng rng(19);
+    double acc = 0.0;
+    constexpr int kN = 5000;
+    for (int i = 0; i < kN; ++i)
+        acc += rng.Poisson(80.0);
+    EXPECT_NEAR(acc / kN, 80.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroRateIsZero)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng a(42);
+    Rng b = a.Fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.NextU64() == b.NextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(PercentileDigest, EmptyReturnsZero)
+{
+    PercentileDigest d;
+    EXPECT_EQ(d.Quantile(0.99), 0.0);
+    EXPECT_EQ(d.Mean(), 0.0);
+    EXPECT_EQ(d.Max(), 0.0);
+    EXPECT_EQ(d.Count(), 0u);
+}
+
+TEST(PercentileDigest, SingleValue)
+{
+    PercentileDigest d;
+    d.Add(42.0);
+    EXPECT_EQ(d.Quantile(0.0), 42.0);
+    EXPECT_EQ(d.Quantile(0.5), 42.0);
+    EXPECT_EQ(d.Quantile(1.0), 42.0);
+}
+
+TEST(PercentileDigest, KnownQuantilesOfSequence)
+{
+    PercentileDigest d;
+    for (int i = 1; i <= 101; ++i)
+        d.Add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.Quantile(0.5), 51.0);
+    EXPECT_DOUBLE_EQ(d.Quantile(1.0), 101.0);
+    EXPECT_NEAR(d.Quantile(0.95), 96.0, 1e-9);
+}
+
+TEST(PercentileDigest, InterleavedAddAndQuery)
+{
+    PercentileDigest d;
+    d.Add(10.0);
+    d.Add(20.0);
+    EXPECT_DOUBLE_EQ(d.Quantile(1.0), 20.0);
+    d.Add(30.0); // invalidates sort cache
+    EXPECT_DOUBLE_EQ(d.Quantile(1.0), 30.0);
+    EXPECT_DOUBLE_EQ(d.Quantile(0.0), 10.0);
+}
+
+TEST(PercentileDigest, ResetClears)
+{
+    PercentileDigest d;
+    d.Add(5.0);
+    d.Reset();
+    EXPECT_EQ(d.Count(), 0u);
+    EXPECT_EQ(d.Quantile(0.5), 0.0);
+}
+
+TEST(PercentileDigest, QuantilesBatchMatchesSingles)
+{
+    PercentileDigest d;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        d.Add(rng.Uniform(0, 100));
+    const auto qs = d.Quantiles({0.5, 0.9, 0.99});
+    EXPECT_DOUBLE_EQ(qs[0], d.Quantile(0.5));
+    EXPECT_DOUBLE_EQ(qs[1], d.Quantile(0.9));
+    EXPECT_DOUBLE_EQ(qs[2], d.Quantile(0.99));
+}
+
+TEST(PercentileDigest, MeanAndMax)
+{
+    PercentileDigest d;
+    d.Add(1.0);
+    d.Add(2.0);
+    d.Add(6.0);
+    EXPECT_DOUBLE_EQ(d.Mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.Max(), 6.0);
+}
+
+/** Property: quantiles are monotonically non-decreasing in p. */
+class QuantileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInP)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    PercentileDigest d;
+    const int n = 1 + static_cast<int>(rng.UniformInt(300ULL));
+    for (int i = 0; i < n; ++i)
+        d.Add(rng.Normal(50, 20));
+    double prev = d.Quantile(0.0);
+    for (double p = 0.05; p <= 1.0; p += 0.05) {
+        const double q = d.Quantile(p);
+        EXPECT_GE(q, prev - 1e-12);
+        prev = q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Range(1, 9));
+
+TEST(RunningSummary, TracksMinMaxMeanCount)
+{
+    RunningSummary s;
+    s.Add(3.0);
+    s.Add(-1.0);
+    s.Add(4.0);
+    EXPECT_EQ(s.Count(), 3u);
+    EXPECT_DOUBLE_EQ(s.Min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+    s.Reset();
+    EXPECT_EQ(s.Count(), 0u);
+    EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(VectorQuantile, EdgeProbabilities)
+{
+    std::vector<double> v = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(VectorQuantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(VectorQuantile(v, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(VectorQuantile(v, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(VectorQuantile({}, 0.5), 0.0);
+}
+
+TEST(Rmse, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {1.0, 4.0}), std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(Rmse({}, {}), 0.0);
+    EXPECT_THROW(Rmse({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.Row().Add("alpha").Add(1.5, 1);
+    t.Row().Add("b").Add(static_cast<long long>(10));
+    const std::string out = t.Render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+    EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.Row().Add("x").Add(2.25, 2);
+    EXPECT_EQ(t.RenderCsv(), "a,b\nx,2.25\n");
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(WriteFile, RoundTripsThroughDisk)
+{
+    const std::string path = "/tmp/sinan_test_dir/out.txt";
+    WriteFile(path, "hello");
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "hello");
+    std::filesystem::remove_all("/tmp/sinan_test_dir");
+}
+
+TEST(RingWindow, RejectsZeroCapacity)
+{
+    EXPECT_THROW(RingWindow<int>(0), std::invalid_argument);
+}
+
+TEST(RingWindow, FillsThenWrapsChronologically)
+{
+    RingWindow<int> w(3);
+    EXPECT_FALSE(w.Full());
+    w.Push(1);
+    w.Push(2);
+    w.Push(3);
+    EXPECT_TRUE(w.Full());
+    w.Push(4); // evicts 1
+    EXPECT_EQ(w.At(0), 2);
+    EXPECT_EQ(w.At(1), 3);
+    EXPECT_EQ(w.At(2), 4);
+    EXPECT_EQ(w.Back(), 4);
+    w.Push(5);
+    w.Push(6);
+    w.Push(7); // multiple wraps
+    EXPECT_EQ(w.At(0), 5);
+    EXPECT_EQ(w.At(2), 7);
+}
+
+TEST(RingWindow, AtOutOfRangeThrows)
+{
+    RingWindow<int> w(2);
+    w.Push(1);
+    EXPECT_THROW(w.At(1), std::out_of_range);
+    EXPECT_THROW(RingWindow<int>(2).Back(), std::out_of_range);
+}
+
+TEST(RingWindow, ClearResets)
+{
+    RingWindow<int> w(2);
+    w.Push(1);
+    w.Push(2);
+    w.Clear();
+    EXPECT_EQ(w.Size(), 0u);
+    w.Push(9);
+    EXPECT_EQ(w.At(0), 9);
+}
+
+} // namespace
+} // namespace sinan

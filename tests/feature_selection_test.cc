@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for permutation-importance feature selection: a planted model
+ * that only reads one channel must attribute all importance there.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "models/feature_selection.h"
+#include "test_util.h"
+
+namespace sinan {
+namespace {
+
+using testutil::SmallFeatures;
+using testutil::SyntheticDataset;
+
+/** Overwrites labels with the model's own outputs so the model fits the
+ *  data perfectly: permuting a used channel must then hurt, and
+ *  permuting unused ones cannot. */
+Dataset
+Relabel(LatencyModel& model, Dataset data, const FeatureConfig& f)
+{
+    std::vector<int> idx(data.samples.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    const Batch batch = data.MakeBatch(idx, 0, idx.size());
+    const Tensor y = model.Forward(batch);
+    for (size_t i = 0; i < data.samples.size(); ++i)
+        for (int p = 0; p < f.n_percentiles; ++p)
+            data.samples[i].y_latency[p] =
+                y.At(static_cast<int>(i), p);
+    return data;
+}
+
+/** Model whose output depends only on one X_RH channel. */
+class OneChannelModel : public LatencyModel {
+  public:
+    OneChannelModel(const FeatureConfig& f, int channel)
+        : fcfg_(f), channel_(channel)
+    {
+    }
+
+    Tensor
+    Forward(const Batch& batch) override
+    {
+        const int b = batch.Size();
+        Tensor y({b, fcfg_.n_percentiles});
+        for (int i = 0; i < b; ++i) {
+            float acc = 0.0f;
+            for (int tier = 0; tier < fcfg_.n_tiers; ++tier)
+                for (int t = 0; t < fcfg_.history; ++t)
+                    acc += batch.xrh.At(i, channel_, tier, t);
+            for (int p = 0; p < fcfg_.n_percentiles; ++p)
+                y.At(i, p) = acc;
+        }
+        return y;
+    }
+
+    void Backward(const Tensor&) override {}
+    std::vector<Param*> Params() override { return {}; }
+    const char* Name() const override { return "one-channel"; }
+    void Save(std::ostream&) const override {}
+    void Load(std::istream&) override {}
+
+  private:
+    FeatureConfig fcfg_;
+    int channel_;
+};
+
+TEST(PermutationImportance, FindsTheOnlyUsedChannel)
+{
+    const FeatureConfig f = SmallFeatures(4, 3);
+    OneChannelModel model(f, 2); // only RSS matters
+    const Dataset data = Relabel(model, SyntheticDataset(f, 80, 3), f);
+    const FeatureSelectionReport rep =
+        PermutationImportance(model, data, f);
+    ASSERT_EQ(rep.channels.size(),
+              static_cast<size_t>(FeatureConfig::kChannels));
+    EXPECT_EQ(rep.channels.front().channel, 2);
+    EXPECT_GT(rep.channels.front().delta_rmse_ms, 0.0);
+    // Unused channels barely move the RMSE.
+    for (size_t i = 1; i < rep.channels.size(); ++i) {
+        EXPECT_LT(rep.channels[i].delta_rmse_ms,
+                  0.05 * rep.channels.front().delta_rmse_ms + 1e-9);
+    }
+}
+
+TEST(PermutationImportance, SpuriousChannelsComplementTheUsedOne)
+{
+    const FeatureConfig f = SmallFeatures(4, 3);
+    OneChannelModel model(f, 4); // rx packets
+    const Dataset data = Relabel(model, SyntheticDataset(f, 80, 5), f);
+    const FeatureSelectionReport rep =
+        PermutationImportance(model, data, f);
+    const std::vector<int> spurious = rep.SpuriousChannels(0.05);
+    EXPECT_EQ(spurious.size(),
+              static_cast<size_t>(FeatureConfig::kChannels - 1));
+    for (int c : spurious)
+        EXPECT_NE(c, 4);
+}
+
+TEST(PermutationImportance, DeterministicForSameSeed)
+{
+    const FeatureConfig f = SmallFeatures(3, 3);
+    const Dataset data = SyntheticDataset(f, 50, 7);
+    OneChannelModel model(f, 0);
+    const FeatureSelectionReport a =
+        PermutationImportance(model, data, f, 9);
+    const FeatureSelectionReport b =
+        PermutationImportance(model, data, f, 9);
+    ASSERT_EQ(a.channels.size(), b.channels.size());
+    for (size_t i = 0; i < a.channels.size(); ++i) {
+        EXPECT_EQ(a.channels[i].channel, b.channels[i].channel);
+        EXPECT_DOUBLE_EQ(a.channels[i].permuted_rmse_ms,
+                         b.channels[i].permuted_rmse_ms);
+    }
+}
+
+} // namespace
+} // namespace sinan

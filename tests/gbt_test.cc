@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the boosted-trees substrate: learning power on synthetic
+ * tasks, early stopping, serialization, importance attribution, and
+ * probability calibration basics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "gbt/boosted_trees.h"
+
+namespace sinan {
+namespace {
+
+/** Labels = 1 iff x0 > 0.5 (single informative feature out of 4). */
+GbtDataset
+ThresholdDataset(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    GbtDataset d;
+    for (int i = 0; i < n; ++i) {
+        std::vector<float> row(4);
+        for (float& v : row)
+            v = static_cast<float>(rng.Uniform());
+        d.AddRow(row, row[0] > 0.5f ? 1.0f : 0.0f);
+    }
+    return d;
+}
+
+/** Labels = XOR(x0>0.5, x1>0.5) — requires depth-2 interaction. */
+GbtDataset
+XorDataset(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    GbtDataset d;
+    for (int i = 0; i < n; ++i) {
+        std::vector<float> row(4);
+        for (float& v : row)
+            v = static_cast<float>(rng.Uniform());
+        const bool a = row[0] > 0.5f, b = row[1] > 0.5f;
+        d.AddRow(row, (a != b) ? 1.0f : 0.0f);
+    }
+    return d;
+}
+
+double
+Accuracy(const BoostedTrees& model, const GbtDataset& d)
+{
+    int ok = 0;
+    for (int i = 0; i < d.n_rows; ++i) {
+        const double p =
+            model.Predict(&d.x[static_cast<size_t>(i) * d.n_features]);
+        if ((p >= 0.5) == (d.y[i] >= 0.5f))
+            ++ok;
+    }
+    return static_cast<double>(ok) / d.n_rows;
+}
+
+TEST(BoostedTrees, RejectsBadConfigAndData)
+{
+    GbtConfig bad;
+    bad.n_trees = 0;
+    EXPECT_THROW(BoostedTrees{bad}, std::invalid_argument);
+    bad = GbtConfig{};
+    bad.max_bins = 1;
+    EXPECT_THROW(BoostedTrees{bad}, std::invalid_argument);
+
+    BoostedTrees model;
+    GbtDataset empty;
+    EXPECT_THROW(model.Train(empty), std::invalid_argument);
+}
+
+TEST(BoostedTrees, LearnsThresholdFunction)
+{
+    BoostedTrees model;
+    const GbtDataset train = ThresholdDataset(2000, 1);
+    const GbtDataset test = ThresholdDataset(500, 2);
+    model.Train(train);
+    EXPECT_GT(Accuracy(model, train), 0.98);
+    EXPECT_GT(Accuracy(model, test), 0.96);
+}
+
+TEST(BoostedTrees, LearnsXorInteraction)
+{
+    GbtConfig cfg;
+    cfg.max_depth = 3;
+    cfg.n_trees = 150;
+    BoostedTrees model(cfg);
+    const GbtDataset train = XorDataset(3000, 3);
+    const GbtDataset test = XorDataset(800, 4);
+    model.Train(train);
+    EXPECT_GT(Accuracy(model, test), 0.93);
+}
+
+TEST(BoostedTrees, ProbabilitiesAreCalibratedAtExtremes)
+{
+    BoostedTrees model;
+    model.Train(ThresholdDataset(2000, 5));
+    std::vector<float> clearly_pos = {0.95f, 0.5f, 0.5f, 0.5f};
+    std::vector<float> clearly_neg = {0.05f, 0.5f, 0.5f, 0.5f};
+    EXPECT_GT(model.Predict(clearly_pos), 0.9);
+    EXPECT_LT(model.Predict(clearly_neg), 0.1);
+}
+
+TEST(BoostedTrees, FeatureImportanceConcentratesOnInformativeFeature)
+{
+    BoostedTrees model;
+    model.Train(ThresholdDataset(2000, 6));
+    const std::vector<double> imp = model.FeatureImportance();
+    ASSERT_EQ(imp.size(), 4u);
+    EXPECT_GT(imp[0], 10.0 * (imp[1] + imp[2] + imp[3] + 1e-9));
+}
+
+TEST(BoostedTrees, EarlyStoppingKeepsBestRound)
+{
+    GbtConfig with_stop;
+    with_stop.n_trees = 400;
+    with_stop.early_stop_rounds = 5;
+    BoostedTrees stopped(with_stop);
+    const GbtDataset train = ThresholdDataset(1000, 7);
+    const GbtDataset valid = ThresholdDataset(300, 8);
+    stopped.Train(train, &valid);
+    EXPECT_LT(stopped.NumTrees(), 400);
+    EXPECT_GT(stopped.NumTrees(), 0);
+    EXPECT_GT(Accuracy(stopped, valid), 0.95);
+}
+
+TEST(BoostedTrees, NoValidationSetRunsAllRounds)
+{
+    GbtConfig cfg;
+    cfg.n_trees = 25;
+    BoostedTrees model(cfg);
+    model.Train(ThresholdDataset(500, 9));
+    EXPECT_EQ(model.NumTrees(), 25);
+}
+
+TEST(BoostedTrees, RegressionObjectiveLearnsLinearTarget)
+{
+    Rng rng(10);
+    GbtDataset train;
+    for (int i = 0; i < 3000; ++i) {
+        std::vector<float> row = {
+            static_cast<float>(rng.Uniform()),
+            static_cast<float>(rng.Uniform()),
+        };
+        train.AddRow(row, 3.0f * row[0] + row[1]);
+    }
+    GbtConfig cfg;
+    cfg.n_trees = 150;
+    cfg.learning_rate = 0.2;
+    BoostedTrees model(cfg, BoostedTrees::Objective::kSquared);
+    model.Train(train);
+    double se = 0.0;
+    for (int i = 0; i < train.n_rows; ++i) {
+        const double pred = model.Predict(&train.x[i * 2]);
+        se += (pred - train.y[i]) * (pred - train.y[i]);
+    }
+    EXPECT_LT(std::sqrt(se / train.n_rows), 0.2);
+}
+
+TEST(BoostedTrees, SaveLoadRoundTripsPredictions)
+{
+    BoostedTrees model;
+    const GbtDataset train = ThresholdDataset(800, 11);
+    model.Train(train);
+    std::stringstream ss;
+    model.Save(ss);
+    BoostedTrees loaded;
+    loaded.Load(ss);
+    EXPECT_EQ(loaded.NumTrees(), model.NumTrees());
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_DOUBLE_EQ(
+            loaded.Predict(&train.x[static_cast<size_t>(i) * 4]),
+            model.Predict(&train.x[static_cast<size_t>(i) * 4]));
+    }
+}
+
+TEST(BoostedTrees, LoadRejectsGarbage)
+{
+    std::stringstream ss("not a model");
+    BoostedTrees model;
+    EXPECT_THROW(model.Load(ss), std::runtime_error);
+}
+
+TEST(BoostedTrees, ConstantLabelsPredictThatLabel)
+{
+    Rng rng(12);
+    GbtDataset d;
+    for (int i = 0; i < 200; ++i) {
+        d.AddRow({static_cast<float>(rng.Uniform())}, 1.0f);
+    }
+    BoostedTrees model;
+    model.Train(d);
+    EXPECT_GT(model.Predict(&d.x[0]), 0.95);
+}
+
+
+TEST(BoostedTrees, GammaPrunesWeakSplits)
+{
+    // With a huge minimum split gain, the model cannot split at all and
+    // degenerates to the base score.
+    GbtConfig cfg;
+    cfg.gamma = 1e9;
+    cfg.n_trees = 20;
+    BoostedTrees model(cfg);
+    const GbtDataset train = ThresholdDataset(500, 21);
+    model.Train(train);
+    const double p1 = model.Predict(&train.x[0]);
+    const double p2 = model.Predict(&train.x[4]);
+    EXPECT_NEAR(p1, p2, 1e-9); // every row hits the same (root) leaves
+}
+
+TEST(BoostedTrees, MinChildWeightLimitsLeafSize)
+{
+    GbtConfig strict;
+    strict.min_child_weight = 1e9; // no split can satisfy it
+    strict.n_trees = 10;
+    BoostedTrees model(strict);
+    const GbtDataset train = ThresholdDataset(400, 23);
+    model.Train(train);
+    EXPECT_NEAR(model.Predict(&train.x[0]),
+                model.Predict(&train.x[40]), 1e-9);
+}
+
+TEST(BoostedTrees, ShrinkageSlowsFitting)
+{
+    const GbtDataset train = ThresholdDataset(800, 25);
+    auto margin_after = [&](double lr) {
+        GbtConfig cfg;
+        cfg.learning_rate = lr;
+        cfg.n_trees = 3;
+        BoostedTrees model(cfg);
+        model.Train(train);
+        std::vector<float> pos = {0.9f, 0.5f, 0.5f, 0.5f};
+        return std::abs(model.PredictMargin(pos.data()));
+    };
+    EXPECT_GT(margin_after(0.5), margin_after(0.05));
+}
+
+TEST(BoostedTrees, HandlesConstantFeatureColumns)
+{
+    Rng rng(27);
+    GbtDataset d;
+    for (int i = 0; i < 300; ++i) {
+        const float x = static_cast<float>(rng.Uniform());
+        d.AddRow({x, 1.0f, 0.0f}, x > 0.5f ? 1.0f : 0.0f);
+    }
+    BoostedTrees model;
+    model.Train(d); // constant columns must not crash split finding
+    EXPECT_GT(Accuracy(model, d), 0.95);
+    const auto imp = model.FeatureImportance();
+    EXPECT_DOUBLE_EQ(imp[1], 0.0);
+    EXPECT_DOUBLE_EQ(imp[2], 0.0);
+}
+
+/** Property: predictions are probabilities for any seed/config. */
+class GbtProbabilityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GbtProbabilityTest, PredictionsAreInUnitInterval)
+{
+    const auto [seed, depth] = GetParam();
+    GbtConfig cfg;
+    cfg.max_depth = depth;
+    cfg.n_trees = 60;
+    BoostedTrees model(cfg);
+    const GbtDataset train =
+        XorDataset(600, static_cast<uint64_t>(seed));
+    model.Train(train);
+    Rng rng(static_cast<uint64_t>(seed) + 100);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<float> row(4);
+        for (float& v : row)
+            v = static_cast<float>(rng.Uniform(-1.0, 2.0)); // out of range
+        const double p = model.Predict(row);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GbtProbabilityTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2, 4, 6)));
+
+} // namespace
+} // namespace sinan

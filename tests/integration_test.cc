@@ -1,0 +1,61 @@
+/**
+ * @file
+ * End-to-end integration: bandit collection -> hybrid training -> online
+ * Sinan scheduling on the simulated Social Network, scaled down for test
+ * runtime. Verifies that the whole pipeline holds together and that the
+ * trained manager behaves like a resource manager (meets QoS most of the
+ * time while not pinning everything at max).
+ */
+#include <gtest/gtest.h>
+
+#include "app/apps.h"
+#include "core/scheduler.h"
+#include "harness/harness.h"
+
+namespace sinan {
+namespace {
+
+TEST(Integration, CollectTrainScheduleSocialNetwork)
+{
+    const Application app = BuildSocialNetwork();
+
+    PipelineConfig pcfg;
+    pcfg.collect_s = 500.0; // scaled down for test time
+    pcfg.users_min = 50.0;
+    pcfg.users_max = 350.0;
+    pcfg.hybrid = DefaultHybridConfig();
+    pcfg.hybrid.train.epochs = 6;
+    pcfg.hybrid.bt.n_trees = 80;
+    pcfg.seed = 101;
+
+    const TrainedSinan trained = TrainSinanForApp(app, pcfg);
+    ASSERT_GT(trained.train.samples.size(), 300u);
+    ASSERT_GT(trained.valid.samples.size(), 30u);
+    // The bandit must have collected both violating and meeting samples
+    // (Fig. 9's requirement on the training distribution).
+    const double viol = trained.train.ViolationRate();
+    EXPECT_GT(viol, 0.02);
+    EXPECT_LT(viol, 0.9);
+    EXPECT_GT(trained.report.bt_val_accuracy, 0.7);
+    EXPECT_GT(trained.report.cnn.val_rmse_ms, 0.0);
+    EXPECT_LT(trained.report.cnn.val_rmse_ms, app.qos_ms);
+
+    SchedulerConfig scfg;
+    SinanScheduler sinan(*trained.model, scfg);
+    ConstantLoad load(200.0);
+    RunConfig rcfg;
+    rcfg.duration_s = 60.0;
+    rcfg.warmup_s = 15.0;
+    const RunResult r = RunManaged(app, sinan, load, rcfg);
+
+    // The scheduler must act (allocations move) and keep QoS most of
+    // the time at this moderate load.
+    EXPECT_GT(r.qos_meet_prob, 0.7);
+    double max_total = 0.0;
+    for (const TierSpec& t : app.tiers)
+        max_total += t.max_cpu;
+    EXPECT_LT(r.mean_cpu, 0.9 * max_total);
+}
+
+} // namespace
+} // namespace sinan

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for Sinan's online scheduler: warm-up behaviour, the safety
+ * fallbacks, candidate filtering, victim tracking, and bounds.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "app/apps.h"
+#include "core/scheduler.h"
+#include "test_util.h"
+
+namespace sinan {
+namespace {
+
+using testutil::MakeObs;
+using testutil::SmallFeatures;
+using testutil::SyntheticDataset;
+
+/** Fixture with a tiny hybrid model trained on the synthetic law. */
+class SchedulerFixture : public ::testing::Test {
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        features_ = new FeatureConfig(SmallFeatures(4, 3));
+        const Dataset all = SyntheticDataset(*features_, 500, 71);
+        Rng rng(73);
+        const auto [train, valid] = all.Split(0.9, rng);
+        HybridConfig cfg;
+        cfg.train.epochs = 15;
+        cfg.bt.n_trees = 60;
+        model_ = new HybridModel(*features_, cfg, 77);
+        model_->Train(train, valid);
+
+        app_ = new Application();
+        app_->name = "toy";
+        app_->qos_ms = features_->qos_ms;
+        for (int i = 0; i < features_->n_tiers; ++i) {
+            TierSpec t;
+            t.name = "tier" + std::to_string(i);
+            t.min_cpu = 0.2;
+            t.max_cpu = 8.0;
+            t.init_cpu = 2.0;
+            app_->tiers.push_back(t);
+        }
+        RequestType rt;
+        rt.name = "r";
+        rt.root.tier = 0;
+        app_->request_types.push_back(rt);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        delete features_;
+        delete app_;
+        model_ = nullptr;
+        features_ = nullptr;
+        app_ = nullptr;
+    }
+
+    static FeatureConfig* features_;
+    static HybridModel* model_;
+    static Application* app_;
+};
+
+FeatureConfig* SchedulerFixture::features_ = nullptr;
+HybridModel* SchedulerFixture::model_ = nullptr;
+Application* SchedulerFixture::app_ = nullptr;
+
+TEST_F(SchedulerFixture, WarmupUsesConservativeUtilizationStepping)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    const std::vector<double> alloc(app_->tiers.size(), 2.0);
+    // Window needs `history` observations; until then the scheduler
+    // falls back to utilization stepping (no model predictions).
+    for (int t = 0; t + 1 < features_->history; ++t) {
+        // Low utilization, healthy latency: warmup holds.
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 2.0, 0.2, 100);
+        EXPECT_EQ(sched.Decide(obs, alloc, *app_), alloc);
+        EXPECT_LT(sched.LastPredictedP99(), 0.0);
+    }
+}
+
+TEST_F(SchedulerFixture, WarmupGrowsStarvedAllocation)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    // Saturated tiers during warmup must be grown immediately, not
+    // held until the window fills.
+    const IntervalObservation obs =
+        MakeObs(*features_, 0, 400, 2.0, 0.95, 450);
+    const std::vector<double> next = sched.Decide(obs, alloc, *app_);
+    for (size_t i = 0; i < next.size(); ++i)
+        EXPECT_GT(next[i], alloc[i]);
+}
+
+TEST_F(SchedulerFixture, ObservedViolationTriggersBlanketUpscale)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    for (int t = 0; t < features_->history; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100);
+        alloc = sched.Decide(obs, alloc, *app_);
+    }
+    const std::vector<double> before = alloc;
+    const IntervalObservation bad = MakeObs(
+        *features_, features_->history, 100, 2.0, 0.9,
+        app_->qos_ms + 100.0);
+    const std::vector<double> after = sched.Decide(bad, before, *app_);
+    for (size_t i = 0; i < after.size(); ++i)
+        EXPECT_GT(after[i], before[i]);
+}
+
+TEST_F(SchedulerFixture, PersistentViolationEscalatesToMax)
+{
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 2;
+    SinanScheduler sched(*model_, cfg);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    for (int t = 0; t < features_->history + 3; ++t) {
+        const IntervalObservation obs = MakeObs(
+            *features_, t, 100, 2.0, 0.95, app_->qos_ms + 200.0);
+        alloc = sched.Decide(obs, alloc, *app_);
+    }
+    for (size_t i = 0; i < alloc.size(); ++i)
+        EXPECT_DOUBLE_EQ(alloc[i], app_->tiers[i].max_cpu);
+}
+
+TEST_F(SchedulerFixture, DecisionsStayWithinSpecBounds)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    Rng rng(79);
+    for (int t = 0; t < 30; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, rng.Uniform(50, 400), 2.0,
+                    rng.Uniform(0.2, 0.9), rng.Uniform(50, 450));
+        alloc = sched.Decide(obs, alloc, *app_);
+        for (size_t i = 0; i < alloc.size(); ++i) {
+            EXPECT_GE(alloc[i], app_->tiers[i].min_cpu - 1e-9);
+            EXPECT_LE(alloc[i], app_->tiers[i].max_cpu + 1e-9);
+        }
+    }
+}
+
+TEST_F(SchedulerFixture, ExposesPredictionsAfterNormalDecision)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    std::vector<double> alloc(app_->tiers.size(), 4.0);
+    double last = -1.0;
+    for (int t = 0; t < features_->history + 2; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 4.0, 0.4, 90);
+        alloc = sched.Decide(obs, alloc, *app_);
+        last = sched.LastPredictedP99();
+    }
+    EXPECT_GT(last, 0.0);
+    EXPECT_GE(sched.LastViolationProb(), 0.0);
+    EXPECT_LE(sched.LastViolationProb(), 1.0);
+}
+
+TEST_F(SchedulerFixture, ReclaimsWhenComfortablyMeetingQos)
+{
+    // Plenty of allocation and low predicted latency: within a few
+    // intervals total CPU must come down.
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    std::vector<double> alloc(app_->tiers.size(), 6.0);
+    const double total_before =
+        std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    for (int t = 0; t < features_->history + 6; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 6.0, 0.15, 80);
+        alloc = sched.Decide(obs, alloc, *app_);
+    }
+    const double total_after =
+        std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    EXPECT_LT(total_after, total_before);
+}
+
+TEST_F(SchedulerFixture, NeverDownsizesSaturatedTier)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    for (int t = 0; t < features_->history; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 2.0, 0.5, 90);
+        alloc = sched.Decide(obs, alloc, *app_);
+    }
+    // Tier 0 saturated, others idle.
+    IntervalObservation obs =
+        MakeObs(*features_, features_->history, 100, 2.0, 0.2, 90);
+    obs.tiers[0].cpu_used = obs.tiers[0].cpu_limit * 0.99;
+    const std::vector<double> before = alloc;
+    const std::vector<double> after = sched.Decide(obs, before, *app_);
+    EXPECT_GE(after[0], before[0] - 1e-9);
+}
+
+TEST_F(SchedulerFixture, ResetClearsState)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    for (int t = 0; t < features_->history + 2; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 2.0, 0.5, 90);
+        alloc = sched.Decide(obs, alloc, *app_);
+    }
+    sched.Reset();
+    // After reset the warm-up fallback applies again (holds at low
+    // utilization, no model prediction).
+    const IntervalObservation obs =
+        MakeObs(*features_, 0, 100, 2.0, 0.2, 90);
+    const std::vector<double> fresh(app_->tiers.size(), 3.0);
+    EXPECT_EQ(sched.Decide(obs, fresh, *app_), fresh);
+    EXPECT_EQ(sched.Mispredictions(), 0);
+    EXPECT_FALSE(sched.TrustReduced());
+}
+
+} // namespace
+} // namespace sinan

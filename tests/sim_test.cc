@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the discrete-time simulation engine: clock progression,
+ * tickable ordering, and interval-boundary semantics.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace sinan {
+namespace {
+
+TEST(Simulator, RejectsBadConfig)
+{
+    SimConfig bad;
+    bad.tick_s = 0.0;
+    EXPECT_THROW(Simulator{bad}, std::invalid_argument);
+    bad.tick_s = 0.01;
+    bad.interval_s = 0.0;
+    EXPECT_THROW(Simulator{bad}, std::invalid_argument);
+    bad.tick_s = 1.0;
+    bad.interval_s = 0.25; // interval shorter than a tick
+    EXPECT_THROW(Simulator{bad}, std::invalid_argument);
+}
+
+TEST(Simulator, ClockAdvancesByTicks)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim.AddTickable([&](double, double dt) {
+        EXPECT_DOUBLE_EQ(dt, 0.01);
+        ++ticks;
+    });
+    sim.RunFor(1.0);
+    EXPECT_EQ(ticks, 100);
+    EXPECT_NEAR(sim.Now(), 1.0, 1e-9);
+}
+
+TEST(Simulator, IntervalListenerFiresPerInterval)
+{
+    SimConfig cfg;
+    cfg.tick_s = 0.1;
+    cfg.interval_s = 1.0;
+    Simulator sim(cfg);
+    std::vector<int64_t> fired;
+    sim.AddIntervalListener([&](int64_t idx, double now) {
+        fired.push_back(idx);
+        EXPECT_NEAR(now, static_cast<double>(idx + 1), 1e-9);
+    });
+    sim.RunFor(3.0);
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], 0);
+    EXPECT_EQ(fired[2], 2);
+    EXPECT_EQ(sim.IntervalIndex(), 3);
+}
+
+TEST(Simulator, TickablesRunInRegistrationOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.AddTickable([&](double, double) { order.push_back(1); });
+    sim.AddTickable([&](double, double) { order.push_back(2); });
+    sim.RunFor(0.01);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Simulator, TicksSeeStartOfTickTime)
+{
+    Simulator sim;
+    std::vector<double> times;
+    sim.AddTickable([&](double now, double) { times.push_back(now); });
+    sim.RunFor(0.03);
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_NEAR(times[0], 0.00, 1e-12);
+    EXPECT_NEAR(times[1], 0.01, 1e-12);
+    EXPECT_NEAR(times[2], 0.02, 1e-12);
+}
+
+TEST(Simulator, RunForAccumulatesAcrossCalls)
+{
+    Simulator sim;
+    sim.RunFor(0.5);
+    sim.RunFor(0.5);
+    EXPECT_NEAR(sim.Now(), 1.0, 1e-9);
+    EXPECT_EQ(sim.IntervalIndex(), 1);
+}
+
+TEST(Simulator, IntervalFiresAfterAllTickablesOfThatTick)
+{
+    SimConfig cfg;
+    cfg.tick_s = 0.5;
+    cfg.interval_s = 1.0;
+    Simulator sim(cfg);
+    int ticks_seen_at_interval = -1;
+    int ticks = 0;
+    sim.AddTickable([&](double, double) { ++ticks; });
+    sim.AddIntervalListener(
+        [&](int64_t, double) { ticks_seen_at_interval = ticks; });
+    sim.RunFor(1.0);
+    EXPECT_EQ(ticks_seen_at_interval, 2);
+}
+
+} // namespace
+} // namespace sinan

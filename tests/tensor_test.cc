@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the tensor container and the matmul kernels.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/tensor.h"
+
+namespace sinan {
+namespace {
+
+TEST(Tensor, ShapeAndSize)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.Rank(), 3);
+    EXPECT_EQ(t.Dim(0), 2);
+    EXPECT_EQ(t.Dim(2), 4);
+    EXPECT_EQ(t.Size(), 24u);
+    EXPECT_THROW(t.Dim(3), std::out_of_range);
+    EXPECT_TRUE(Tensor().Empty());
+}
+
+TEST(Tensor, IndexedAccessIsRowMajor)
+{
+    Tensor t({2, 3});
+    t.At(1, 2) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+    Tensor u({2, 2, 2});
+    u.At(1, 0, 1) = 3.0f;
+    EXPECT_EQ(u[5], 3.0f);
+    Tensor v({2, 2, 2, 2});
+    v.At(1, 1, 1, 1) = 9.0f;
+    EXPECT_EQ(v[15], 9.0f);
+}
+
+TEST(Tensor, FromVector)
+{
+    const Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(t.Rank(), 1);
+    EXPECT_EQ(t.Dim(0), 3);
+    EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, ReshapedPreservesDataAndChecksSize)
+{
+    Tensor t({2, 3});
+    for (size_t i = 0; i < t.Size(); ++i)
+        t[i] = static_cast<float>(i);
+    const Tensor r = t.Reshaped({3, 2});
+    EXPECT_EQ(r.At(2, 1), 5.0f);
+    EXPECT_THROW(t.Reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FillScaleAddAxpy)
+{
+    Tensor a({3});
+    a.Fill(2.0f);
+    a.Scale(3.0f);
+    EXPECT_EQ(a[0], 6.0f);
+    Tensor b({3});
+    b.Fill(1.0f);
+    a.Add(b);
+    EXPECT_EQ(a[2], 7.0f);
+    a.Axpy(2.0f, b);
+    EXPECT_EQ(a[1], 9.0f);
+    EXPECT_NEAR(a.Sum(), 27.0, 1e-6);
+    Tensor wrong({2});
+    EXPECT_THROW(a.Add(wrong), std::invalid_argument);
+    EXPECT_THROW(a.Axpy(1.0f, wrong), std::invalid_argument);
+}
+
+TEST(Tensor, RandnHasRequestedSpread)
+{
+    Rng rng(5);
+    const Tensor t = Tensor::Randn({10000}, rng, 0.5f);
+    double mean = 0.0, var = 0.0;
+    for (size_t i = 0; i < t.Size(); ++i)
+        mean += t[i];
+    mean /= static_cast<double>(t.Size());
+    for (size_t i = 0; i < t.Size(); ++i)
+        var += (t[i] - mean) * (t[i] - mean);
+    var /= static_cast<double>(t.Size());
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+TEST(Tensor, SaveLoadRoundTrip)
+{
+    Rng rng(9);
+    const Tensor t = Tensor::Randn({3, 4}, rng);
+    std::stringstream ss;
+    t.Save(ss);
+    const Tensor u = Tensor::Load(ss);
+    ASSERT_EQ(u.Shape(), t.Shape());
+    for (size_t i = 0; i < t.Size(); ++i)
+        EXPECT_EQ(u[i], t[i]);
+}
+
+TEST(Tensor, LoadRejectsCorruptStream)
+{
+    std::stringstream ss("garbage");
+    EXPECT_THROW(Tensor::Load(ss), std::runtime_error);
+}
+
+TEST(MatMul, MatchesHandComputedProduct)
+{
+    // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> AB = [[19,22],[43,50]].
+    Tensor a({2, 2}), b({2, 2}), c({2, 2});
+    a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+    b[0] = 5; b[1] = 6; b[2] = 7; b[3] = 8;
+    MatMul(a, b, c);
+    EXPECT_EQ(c.At(0, 0), 19.0f);
+    EXPECT_EQ(c.At(0, 1), 22.0f);
+    EXPECT_EQ(c.At(1, 0), 43.0f);
+    EXPECT_EQ(c.At(1, 1), 50.0f);
+    // Accumulate doubles the result.
+    MatMul(a, b, c, /*accumulate=*/true);
+    EXPECT_EQ(c.At(1, 1), 100.0f);
+}
+
+TEST(MatMul, TransposedVariantsAgreeWithPlain)
+{
+    Rng rng(3);
+    const Tensor a = Tensor::Randn({4, 5}, rng);
+    const Tensor b = Tensor::Randn({5, 6}, rng);
+    Tensor c({4, 6});
+    MatMul(a, b, c);
+
+    // MatMulTa(A^T stored, B) == A*B when we pass A transposed.
+    Tensor at({5, 4});
+    for (int i = 0; i < 4; ++i)
+        for (int k = 0; k < 5; ++k)
+            at.At(k, i) = a.At(i, k);
+    Tensor c2({4, 6});
+    MatMulTa(at, b, c2);
+    for (size_t i = 0; i < c.Size(); ++i)
+        EXPECT_NEAR(c[i], c2[i], 1e-4);
+
+    // MatMulTb(A, B^T stored) == A*B.
+    Tensor bt({6, 5});
+    for (int k = 0; k < 5; ++k)
+        for (int j = 0; j < 6; ++j)
+            bt.At(j, k) = b.At(k, j);
+    Tensor c3({4, 6});
+    MatMulTb(a, bt, c3);
+    for (size_t i = 0; i < c.Size(); ++i)
+        EXPECT_NEAR(c[i], c3[i], 1e-4);
+}
+
+TEST(MatMul, RejectsShapeMismatches)
+{
+    Tensor a({2, 3}), b({4, 2}), c({2, 2});
+    EXPECT_THROW(MatMul(a, b, c), std::invalid_argument);
+    Tensor b2({3, 2}), c_bad({3, 2});
+    EXPECT_THROW(MatMul(a, b2, c_bad), std::invalid_argument);
+    Tensor flat({6});
+    EXPECT_THROW(MatMul(flat, b2, c), std::invalid_argument);
+}
+
+/** Property: (A*B)*C == A*(B*C) within float tolerance. */
+class MatmulAssocTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulAssocTest, AssociativityHolds)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    const Tensor a = Tensor::Randn({3, 4}, rng);
+    const Tensor b = Tensor::Randn({4, 5}, rng);
+    const Tensor c = Tensor::Randn({5, 2}, rng);
+    Tensor ab({3, 5}), ab_c({3, 2}), bc({4, 2}), a_bc({3, 2});
+    MatMul(a, b, ab);
+    MatMul(ab, c, ab_c);
+    MatMul(b, c, bc);
+    MatMul(a, bc, a_bc);
+    for (size_t i = 0; i < ab_c.Size(); ++i)
+        EXPECT_NEAR(ab_c[i], a_bc[i], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatmulAssocTest, ::testing::Range(1, 7));
+
+} // namespace
+} // namespace sinan

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the what-if allocation-sensitivity explorer.
+ */
+#include <gtest/gtest.h>
+
+#include "explain/whatif.h"
+#include "test_util.h"
+
+namespace sinan {
+namespace {
+
+using testutil::MakeObs;
+using testutil::SmallFeatures;
+using testutil::SyntheticDataset;
+
+class WhatIfFixture : public ::testing::Test {
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        features_ = new FeatureConfig(SmallFeatures(4, 3));
+        const Dataset all = SyntheticDataset(*features_, 500, 91);
+        Rng rng(93);
+        const auto [train, valid] = all.Split(0.9, rng);
+        HybridConfig cfg;
+        cfg.train.epochs = 12;
+        cfg.bt.n_trees = 60;
+        model_ = new HybridModel(*features_, cfg, 95);
+        model_->Train(train, valid);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        delete features_;
+        model_ = nullptr;
+        features_ = nullptr;
+    }
+
+    static MetricWindow
+    HealthyWindow()
+    {
+        MetricWindow w(*features_);
+        for (int t = 0; t < features_->history; ++t)
+            w.Push(MakeObs(*features_, t, 200, 2.0, 0.7, 150));
+        return w;
+    }
+
+    static FeatureConfig* features_;
+    static HybridModel* model_;
+};
+
+FeatureConfig* WhatIfFixture::features_ = nullptr;
+HybridModel* WhatIfFixture::model_ = nullptr;
+
+TEST_F(WhatIfFixture, SweepCoversRequestedRange)
+{
+    const MetricWindow w = HealthyWindow();
+    const std::vector<double> base(features_->n_tiers, 2.0);
+    const WhatIfCurve c =
+        SweepTierAllocation(*model_, w, base, 1, 0.5, 4.0, 8);
+    ASSERT_EQ(c.points.size(), 8u);
+    EXPECT_DOUBLE_EQ(c.points.front().cpu, 0.5);
+    EXPECT_DOUBLE_EQ(c.points.back().cpu, 4.0);
+    EXPECT_EQ(c.tier, 1);
+    for (const WhatIfPoint& p : c.points) {
+        EXPECT_GE(p.p_violation, 0.0);
+        EXPECT_LE(p.p_violation, 1.0);
+    }
+}
+
+TEST_F(WhatIfFixture, RejectsBadArguments)
+{
+    const MetricWindow w = HealthyWindow();
+    const std::vector<double> base(features_->n_tiers, 2.0);
+    EXPECT_THROW(SweepTierAllocation(*model_, w, base, 99, 0.5, 4.0, 8),
+                 std::out_of_range);
+    EXPECT_THROW(SweepTierAllocation(*model_, w, base, 0, 4.0, 0.5, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepTierAllocation(*model_, w, base, 0, 0.5, 4.0, 1),
+                 std::invalid_argument);
+}
+
+TEST_F(WhatIfFixture, MinSafeCpuRespectsThresholds)
+{
+    WhatIfCurve c;
+    c.points = {
+        {0.5, 600.0, 0.9},
+        {1.0, 400.0, 0.4},
+        {2.0, 300.0, 0.1},
+        {4.0, 250.0, 0.02},
+    };
+    EXPECT_DOUBLE_EQ(c.MinSafeCpu(500.0, 0.2), 2.0);
+    EXPECT_DOUBLE_EQ(c.MinSafeCpu(500.0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(c.MinSafeCpu(100.0, 0.5), -1.0);
+}
+
+TEST_F(WhatIfFixture, SweepAllTiersReturnsOneCurvePerTier)
+{
+    Application app;
+    app.qos_ms = features_->qos_ms;
+    for (int i = 0; i < features_->n_tiers; ++i) {
+        TierSpec t;
+        t.name = "t" + std::to_string(i);
+        t.min_cpu = 0.5;
+        t.max_cpu = 6.0;
+        app.tiers.push_back(t);
+    }
+    RequestType rt;
+    rt.root.tier = 0;
+    app.request_types.push_back(rt);
+
+    const MetricWindow w = HealthyWindow();
+    const std::vector<double> base(features_->n_tiers, 2.0);
+    const auto curves = SweepAllTiers(*model_, w, base, app, 5);
+    ASSERT_EQ(curves.size(), app.tiers.size());
+    for (size_t t = 0; t < curves.size(); ++t) {
+        EXPECT_EQ(curves[t].tier, static_cast<int>(t));
+        EXPECT_EQ(curves[t].points.size(), 5u);
+        EXPECT_DOUBLE_EQ(curves[t].points.front().cpu, 0.5);
+        EXPECT_DOUBLE_EQ(curves[t].points.back().cpu, 6.0);
+    }
+}
+
+} // namespace
+} // namespace sinan

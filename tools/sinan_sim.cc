@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Command-line driver: run any resource manager against either
+ * application under a configurable load and emit the execution log
+ * (CSV) plus a summary — the equivalent of the paper artifact's
+ * deployment scripts.
+ *
+ * Usage:
+ *   sinan_sim [--app hotel|social] [--manager sinan|opt|cons|powerchief|hold]
+ *             [--users N | --diurnal LO:HI:PERIOD] [--duration S]
+ *             [--warmup S] [--seed N] [--collect S] [--epochs N]
+ *             [--mix W0,W1,...] [--log FILE]
+ *
+ * Examples:
+ *   sinan_sim --app social --manager cons --users 250 --duration 120
+ *   sinan_sim --app hotel --manager sinan --users 2500 --collect 800 \
+ *             --epochs 8 --log hotel_sinan.csv
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "app/apps.h"
+#include "baselines/autoscale.h"
+#include "baselines/powerchief.h"
+#include "core/scheduler.h"
+#include "harness/harness.h"
+#include "harness/runlog.h"
+
+namespace {
+
+using namespace sinan;
+
+struct CliOptions {
+    std::string app = "social";
+    std::string manager = "cons";
+    double users = 200.0;
+    bool diurnal = false;
+    double diurnal_low = 100.0;
+    double diurnal_high = 300.0;
+    double diurnal_period = 600.0;
+    double duration_s = 120.0;
+    double warmup_s = 20.0;
+    uint64_t seed = 1;
+    double collect_s = 800.0;
+    int epochs = 8;
+    std::string mix;
+    std::string log_path;
+};
+
+[[noreturn]] void
+Usage(const char* msg)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n", msg);
+    std::fprintf(
+        stderr,
+        "usage: sinan_sim [--app hotel|social]\n"
+        "                 [--manager sinan|opt|cons|powerchief|hold]\n"
+        "                 [--users N | --diurnal LO:HI:PERIOD]\n"
+        "                 [--duration S] [--warmup S] [--seed N]\n"
+        "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
+        "                 [--log FILE]\n");
+    std::exit(2);
+}
+
+CliOptions
+Parse(int argc, char** argv)
+{
+    CliOptions opt;
+    auto need = [&](int i) {
+        if (i + 1 >= argc)
+            Usage("missing argument value");
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--app") {
+            opt.app = need(i++);
+        } else if (a == "--manager") {
+            opt.manager = need(i++);
+        } else if (a == "--users") {
+            opt.users = std::atof(need(i++));
+        } else if (a == "--diurnal") {
+            opt.diurnal = true;
+            const std::string v = need(i++);
+            if (std::sscanf(v.c_str(), "%lf:%lf:%lf", &opt.diurnal_low,
+                            &opt.diurnal_high,
+                            &opt.diurnal_period) != 3) {
+                Usage("--diurnal expects LO:HI:PERIOD");
+            }
+        } else if (a == "--duration") {
+            opt.duration_s = std::atof(need(i++));
+        } else if (a == "--warmup") {
+            opt.warmup_s = std::atof(need(i++));
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(need(i++), nullptr, 10);
+        } else if (a == "--collect") {
+            opt.collect_s = std::atof(need(i++));
+        } else if (a == "--epochs") {
+            opt.epochs = std::atoi(need(i++));
+        } else if (a == "--mix") {
+            opt.mix = need(i++);
+        } else if (a == "--log") {
+            opt.log_path = need(i++);
+        } else if (a == "--help" || a == "-h") {
+            Usage(nullptr);
+        } else {
+            Usage(("unknown flag " + a).c_str());
+        }
+    }
+    if (opt.app != "hotel" && opt.app != "social")
+        Usage("--app must be hotel or social");
+    if (opt.duration_s <= 0 || opt.users <= 0)
+        Usage("durations and users must be positive");
+    return opt;
+}
+
+/** A do-nothing manager, handy as a control. */
+class HoldManager : public ResourceManager {
+  public:
+    std::vector<double>
+    Decide(const IntervalObservation&, const std::vector<double>& alloc,
+           const Application&) override
+    {
+        return alloc;
+    }
+    const char* Name() const override { return "Hold"; }
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const CliOptions opt = Parse(argc, argv);
+
+    Application app = opt.app == "hotel" ? BuildHotelReservation()
+                                         : BuildSocialNetwork();
+    if (!opt.mix.empty()) {
+        std::vector<double> weights;
+        const char* p = opt.mix.c_str();
+        char* end = nullptr;
+        while (*p) {
+            weights.push_back(std::strtod(p, &end));
+            p = *end == ',' ? end + 1 : end;
+        }
+        SetRequestMix(app, weights);
+    }
+
+    std::unique_ptr<ResourceManager> manager;
+    std::unique_ptr<TrainedSinan> trained;
+    if (opt.manager == "sinan") {
+        std::printf("training Sinan (%.0f s collection, %d epochs)...\n",
+                    opt.collect_s, opt.epochs);
+        PipelineConfig pcfg;
+        pcfg.collect_s = opt.collect_s;
+        pcfg.users_min = opt.app == "hotel" ? 500.0 : 50.0;
+        pcfg.users_max = opt.app == "hotel" ? 3700.0 : 450.0;
+        pcfg.hybrid = DefaultHybridConfig();
+        pcfg.hybrid.train.epochs = opt.epochs;
+        pcfg.seed = opt.seed;
+        trained = std::make_unique<TrainedSinan>(
+            TrainSinanForApp(app, pcfg));
+        std::printf("CNN val RMSE %.1f ms, BT val acc %.1f%%\n",
+                    trained->report.cnn.val_rmse_ms,
+                    100.0 * trained->report.bt_val_accuracy);
+        manager = std::make_unique<SinanScheduler>(*trained->model,
+                                                   SchedulerConfig{});
+    } else if (opt.manager == "opt") {
+        manager = std::make_unique<AutoScaler>(MakeAutoScaleOpt());
+    } else if (opt.manager == "cons") {
+        manager = std::make_unique<AutoScaler>(MakeAutoScaleCons());
+    } else if (opt.manager == "powerchief") {
+        manager = std::make_unique<PowerChief>();
+    } else if (opt.manager == "hold") {
+        manager = std::make_unique<HoldManager>();
+    } else {
+        Usage("unknown --manager");
+    }
+
+    std::unique_ptr<LoadShape> load;
+    if (opt.diurnal) {
+        load = std::make_unique<DiurnalLoad>(
+            opt.diurnal_low, opt.diurnal_high, opt.diurnal_period);
+    } else {
+        load = std::make_unique<ConstantLoad>(opt.users);
+    }
+
+    RunConfig cfg;
+    cfg.duration_s = opt.duration_s;
+    cfg.warmup_s = opt.warmup_s;
+    cfg.seed = opt.seed;
+    const RunResult r = RunManaged(app, *manager, *load, cfg);
+
+    std::printf("\n%s on %s for %.0f s:\n", manager->Name(),
+                app.name.c_str(), opt.duration_s);
+    std::printf("  P(meet QoS)       : %.3f\n", r.qos_meet_prob);
+    std::printf("  mean / max CPU    : %.1f / %.1f cores\n", r.mean_cpu,
+                r.max_cpu);
+    std::printf("  mean p99          : %.1f ms (QoS %.0f ms)\n",
+                r.mean_p99_ms, app.qos_ms);
+
+    if (!opt.log_path.empty()) {
+        WriteRunLog(opt.log_path, r, app);
+        std::printf("  execution log     : %s\n", opt.log_path.c_str());
+    }
+    return 0;
+}
