@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_collection.dir/bench_fig10_collection.cc.o"
+  "CMakeFiles/bench_fig10_collection.dir/bench_fig10_collection.cc.o.d"
+  "bench_fig10_collection"
+  "bench_fig10_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

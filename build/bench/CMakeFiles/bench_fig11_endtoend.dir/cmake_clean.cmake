@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_endtoend.dir/bench_fig11_endtoend.cc.o"
+  "CMakeFiles/bench_fig11_endtoend.dir/bench_fig11_endtoend.cc.o.d"
+  "bench_fig11_endtoend"
+  "bench_fig11_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

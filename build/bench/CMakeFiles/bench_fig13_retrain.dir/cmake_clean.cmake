@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_retrain.dir/bench_fig13_retrain.cc.o"
+  "CMakeFiles/bench_fig13_retrain.dir/bench_fig13_retrain.cc.o.d"
+  "bench_fig13_retrain"
+  "bench_fig13_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

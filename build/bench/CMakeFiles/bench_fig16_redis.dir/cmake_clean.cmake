@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_redis.dir/bench_fig16_redis.cc.o"
+  "CMakeFiles/bench_fig16_redis.dir/bench_fig16_redis.cc.o.d"
+  "bench_fig16_redis"
+  "bench_fig16_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

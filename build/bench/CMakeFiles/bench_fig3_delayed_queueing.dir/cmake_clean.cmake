@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_delayed_queueing.dir/bench_fig3_delayed_queueing.cc.o"
+  "CMakeFiles/bench_fig3_delayed_queueing.dir/bench_fig3_delayed_queueing.cc.o.d"
+  "bench_fig3_delayed_queueing"
+  "bench_fig3_delayed_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_delayed_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

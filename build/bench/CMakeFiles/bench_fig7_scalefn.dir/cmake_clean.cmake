@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_scalefn.dir/bench_fig7_scalefn.cc.o"
+  "CMakeFiles/bench_fig7_scalefn.dir/bench_fig7_scalefn.cc.o.d"
+  "bench_fig7_scalefn"
+  "bench_fig7_scalefn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scalefn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

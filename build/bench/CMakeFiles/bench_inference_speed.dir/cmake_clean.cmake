@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference_speed.dir/bench_inference_speed.cc.o"
+  "CMakeFiles/bench_inference_speed.dir/bench_inference_speed.cc.o.d"
+  "bench_inference_speed"
+  "bench_inference_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bt.dir/bench_table3_bt.cc.o"
+  "CMakeFiles/bench_table3_bt.dir/bench_table3_bt.cc.o.d"
+  "bench_table3_bt"
+  "bench_table3_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lime.dir/bench_table4_lime.cc.o"
+  "CMakeFiles/bench_table4_lime.dir/bench_table4_lime.cc.o.d"
+  "bench_table4_lime"
+  "bench_table4_lime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

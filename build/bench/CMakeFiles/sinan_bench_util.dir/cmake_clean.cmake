@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sinan_bench_util.dir/bench_util.cc.o.d"
+  "libsinan_bench_util.a"
+  "libsinan_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_redis.dir/explain_redis.cpp.o"
+  "CMakeFiles/explain_redis.dir/explain_redis.cpp.o.d"
+  "explain_redis"
+  "explain_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_sinan.dir/hotel_sinan.cpp.o"
+  "CMakeFiles/hotel_sinan.dir/hotel_sinan.cpp.o.d"
+  "hotel_sinan"
+  "hotel_sinan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_sinan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

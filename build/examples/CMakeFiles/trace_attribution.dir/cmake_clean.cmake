@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_attribution.dir/trace_attribution.cpp.o"
+  "CMakeFiles/trace_attribution.dir/trace_attribution.cpp.o.d"
+  "trace_attribution"
+  "trace_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("cluster")
+subdirs("app")
+subdirs("workload")
+subdirs("tensor")
+subdirs("nn")
+subdirs("gbt")
+subdirs("models")
+subdirs("explain")
+subdirs("collect")
+subdirs("core")
+subdirs("baselines")
+subdirs("harness")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_app.dir/hotel.cc.o"
+  "CMakeFiles/sinan_app.dir/hotel.cc.o.d"
+  "CMakeFiles/sinan_app.dir/social.cc.o"
+  "CMakeFiles/sinan_app.dir/social.cc.o.d"
+  "libsinan_app.a"
+  "libsinan_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

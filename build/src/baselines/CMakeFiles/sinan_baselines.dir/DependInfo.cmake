@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autoscale.cc" "src/baselines/CMakeFiles/sinan_baselines.dir/autoscale.cc.o" "gcc" "src/baselines/CMakeFiles/sinan_baselines.dir/autoscale.cc.o.d"
+  "/root/repo/src/baselines/powerchief.cc" "src/baselines/CMakeFiles/sinan_baselines.dir/powerchief.cc.o" "gcc" "src/baselines/CMakeFiles/sinan_baselines.dir/powerchief.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/sinan_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sinan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

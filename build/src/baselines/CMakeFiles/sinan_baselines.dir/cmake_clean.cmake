@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_baselines.dir/autoscale.cc.o"
+  "CMakeFiles/sinan_baselines.dir/autoscale.cc.o.d"
+  "CMakeFiles/sinan_baselines.dir/powerchief.cc.o"
+  "CMakeFiles/sinan_baselines.dir/powerchief.cc.o.d"
+  "libsinan_baselines.a"
+  "libsinan_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sinan_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/sinan_cluster.dir/tracing.cc.o"
+  "CMakeFiles/sinan_cluster.dir/tracing.cc.o.d"
+  "libsinan_cluster.a"
+  "libsinan_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

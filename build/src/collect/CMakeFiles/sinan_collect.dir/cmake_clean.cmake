@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_collect.dir/bandit.cc.o"
+  "CMakeFiles/sinan_collect.dir/bandit.cc.o.d"
+  "CMakeFiles/sinan_collect.dir/collector.cc.o"
+  "CMakeFiles/sinan_collect.dir/collector.cc.o.d"
+  "libsinan_collect.a"
+  "libsinan_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_common.dir/stats.cc.o"
+  "CMakeFiles/sinan_common.dir/stats.cc.o.d"
+  "CMakeFiles/sinan_common.dir/table.cc.o"
+  "CMakeFiles/sinan_common.dir/table.cc.o.d"
+  "libsinan_common.a"
+  "libsinan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/memory_provisioner.cc" "src/core/CMakeFiles/sinan_core.dir/memory_provisioner.cc.o" "gcc" "src/core/CMakeFiles/sinan_core.dir/memory_provisioner.cc.o.d"
+  "/root/repo/src/core/retrain_monitor.cc" "src/core/CMakeFiles/sinan_core.dir/retrain_monitor.cc.o" "gcc" "src/core/CMakeFiles/sinan_core.dir/retrain_monitor.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/sinan_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/sinan_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/sinan_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sinan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sinan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbt/CMakeFiles/sinan_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sinan_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sinan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_core.dir/memory_provisioner.cc.o"
+  "CMakeFiles/sinan_core.dir/memory_provisioner.cc.o.d"
+  "CMakeFiles/sinan_core.dir/retrain_monitor.cc.o"
+  "CMakeFiles/sinan_core.dir/retrain_monitor.cc.o.d"
+  "CMakeFiles/sinan_core.dir/scheduler.cc.o"
+  "CMakeFiles/sinan_core.dir/scheduler.cc.o.d"
+  "libsinan_core.a"
+  "libsinan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

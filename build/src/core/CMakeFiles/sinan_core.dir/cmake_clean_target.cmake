@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsinan_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_explain.dir/lime.cc.o"
+  "CMakeFiles/sinan_explain.dir/lime.cc.o.d"
+  "CMakeFiles/sinan_explain.dir/whatif.cc.o"
+  "CMakeFiles/sinan_explain.dir/whatif.cc.o.d"
+  "libsinan_explain.a"
+  "libsinan_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_gbt.dir/boosted_trees.cc.o"
+  "CMakeFiles/sinan_gbt.dir/boosted_trees.cc.o.d"
+  "libsinan_gbt.a"
+  "libsinan_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_harness.dir/harness.cc.o"
+  "CMakeFiles/sinan_harness.dir/harness.cc.o.d"
+  "CMakeFiles/sinan_harness.dir/runlog.cc.o"
+  "CMakeFiles/sinan_harness.dir/runlog.cc.o.d"
+  "libsinan_harness.a"
+  "libsinan_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

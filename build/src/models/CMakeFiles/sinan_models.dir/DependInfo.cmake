@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/baseline_nets.cc" "src/models/CMakeFiles/sinan_models.dir/baseline_nets.cc.o" "gcc" "src/models/CMakeFiles/sinan_models.dir/baseline_nets.cc.o.d"
+  "/root/repo/src/models/feature_selection.cc" "src/models/CMakeFiles/sinan_models.dir/feature_selection.cc.o" "gcc" "src/models/CMakeFiles/sinan_models.dir/feature_selection.cc.o.d"
+  "/root/repo/src/models/features.cc" "src/models/CMakeFiles/sinan_models.dir/features.cc.o" "gcc" "src/models/CMakeFiles/sinan_models.dir/features.cc.o.d"
+  "/root/repo/src/models/hybrid.cc" "src/models/CMakeFiles/sinan_models.dir/hybrid.cc.o" "gcc" "src/models/CMakeFiles/sinan_models.dir/hybrid.cc.o.d"
+  "/root/repo/src/models/multitask.cc" "src/models/CMakeFiles/sinan_models.dir/multitask.cc.o" "gcc" "src/models/CMakeFiles/sinan_models.dir/multitask.cc.o.d"
+  "/root/repo/src/models/sinan_cnn.cc" "src/models/CMakeFiles/sinan_models.dir/sinan_cnn.cc.o" "gcc" "src/models/CMakeFiles/sinan_models.dir/sinan_cnn.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/models/CMakeFiles/sinan_models.dir/trainer.cc.o" "gcc" "src/models/CMakeFiles/sinan_models.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sinan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbt/CMakeFiles/sinan_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sinan_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sinan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sinan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

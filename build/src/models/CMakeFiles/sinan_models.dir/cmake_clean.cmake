@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_models.dir/baseline_nets.cc.o"
+  "CMakeFiles/sinan_models.dir/baseline_nets.cc.o.d"
+  "CMakeFiles/sinan_models.dir/feature_selection.cc.o"
+  "CMakeFiles/sinan_models.dir/feature_selection.cc.o.d"
+  "CMakeFiles/sinan_models.dir/features.cc.o"
+  "CMakeFiles/sinan_models.dir/features.cc.o.d"
+  "CMakeFiles/sinan_models.dir/hybrid.cc.o"
+  "CMakeFiles/sinan_models.dir/hybrid.cc.o.d"
+  "CMakeFiles/sinan_models.dir/multitask.cc.o"
+  "CMakeFiles/sinan_models.dir/multitask.cc.o.d"
+  "CMakeFiles/sinan_models.dir/sinan_cnn.cc.o"
+  "CMakeFiles/sinan_models.dir/sinan_cnn.cc.o.d"
+  "CMakeFiles/sinan_models.dir/trainer.cc.o"
+  "CMakeFiles/sinan_models.dir/trainer.cc.o.d"
+  "libsinan_models.a"
+  "libsinan_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

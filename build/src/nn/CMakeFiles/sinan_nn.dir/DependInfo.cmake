@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/sinan_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/sinan_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/sinan_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/sinan_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/sinan_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/sinan_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/sinan_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/sinan_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/sinan_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/sinan_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/sinan_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/sinan_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sinan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sinan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_nn.dir/adam.cc.o"
+  "CMakeFiles/sinan_nn.dir/adam.cc.o.d"
+  "CMakeFiles/sinan_nn.dir/dropout.cc.o"
+  "CMakeFiles/sinan_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/sinan_nn.dir/layers.cc.o"
+  "CMakeFiles/sinan_nn.dir/layers.cc.o.d"
+  "CMakeFiles/sinan_nn.dir/loss.cc.o"
+  "CMakeFiles/sinan_nn.dir/loss.cc.o.d"
+  "CMakeFiles/sinan_nn.dir/lstm.cc.o"
+  "CMakeFiles/sinan_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/sinan_nn.dir/optimizer.cc.o"
+  "CMakeFiles/sinan_nn.dir/optimizer.cc.o.d"
+  "libsinan_nn.a"
+  "libsinan_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

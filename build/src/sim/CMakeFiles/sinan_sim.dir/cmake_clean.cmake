@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_sim.dir/simulator.cc.o"
+  "CMakeFiles/sinan_sim.dir/simulator.cc.o.d"
+  "libsinan_sim.a"
+  "libsinan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_tensor.dir/tensor.cc.o"
+  "CMakeFiles/sinan_tensor.dir/tensor.cc.o.d"
+  "libsinan_tensor.a"
+  "libsinan_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_workload.dir/workload.cc.o"
+  "CMakeFiles/sinan_workload.dir/workload.cc.o.d"
+  "libsinan_workload.a"
+  "libsinan_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

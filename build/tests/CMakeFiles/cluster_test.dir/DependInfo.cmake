@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sinan_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/sinan_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/sinan_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sinan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sinan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sinan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sinan_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/sinan_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sinan_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sinan_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sinan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sinan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbt/CMakeFiles/sinan_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sinan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

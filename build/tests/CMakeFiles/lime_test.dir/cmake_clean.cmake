@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lime_test.dir/lime_test.cc.o"
+  "CMakeFiles/lime_test.dir/lime_test.cc.o.d"
+  "lime_test"
+  "lime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

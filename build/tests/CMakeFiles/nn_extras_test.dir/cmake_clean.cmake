@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_extras_test.dir/nn_extras_test.cc.o"
+  "CMakeFiles/nn_extras_test.dir/nn_extras_test.cc.o.d"
+  "nn_extras_test"
+  "nn_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runlog_test.dir/runlog_test.cc.o"
+  "CMakeFiles/runlog_test.dir/runlog_test.cc.o.d"
+  "runlog_test"
+  "runlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

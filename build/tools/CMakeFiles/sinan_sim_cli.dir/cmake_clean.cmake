@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinan_sim_cli.dir/sinan_sim.cc.o"
+  "CMakeFiles/sinan_sim_cli.dir/sinan_sim.cc.o.d"
+  "sinan_sim"
+  "sinan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinan_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
