@@ -34,30 +34,13 @@ SweepResult
 SweepApp(const Application& app, TrainedSinan& trained,
          const std::vector<double>& loads)
 {
-    SchedulerConfig scfg;
-    SinanScheduler sinan(*trained.model, scfg);
-    AutoScaler opt = MakeAutoScaleOpt();
-    AutoScaler cons = MakeAutoScaleCons();
-    PowerChief pchief;
-    std::vector<ResourceManager*> managers = {&sinan, &opt, &cons,
-                                              &pchief};
-
+    // All manager × load runs execute concurrently on the global
+    // thread pool (SINAN_THREADS); each run owns its manager (Sinan
+    // runs clone the model), and every run is seeded, so the figures
+    // match a serial sweep.
     SweepResult out;
-    for (ResourceManager* mgr : managers) {
-        for (double users : loads) {
-            ConstantLoad load(users);
-            RunConfig rcfg;
-            rcfg.duration_s = RunSeconds(100.0);
-            rcfg.warmup_s = 20.0;
-            rcfg.seed = 7;
-            const RunResult r = RunManaged(app, *mgr, load, rcfg);
-            out.by_manager[mgr->Name()].push_back(r);
-            std::printf("  %-14s users=%5.0f  meanCPU=%7.1f  "
-                        "maxCPU=%7.1f  P(meet QoS)=%.3f\n",
-                        mgr->Name(), users, r.mean_cpu, r.max_cpu,
-                        r.qos_meet_prob);
-        }
-    }
+    out.by_manager = bench::SweepManagersAcrossLoads(
+        app, trained, loads, RunSeconds(100.0));
     return out;
 }
 

@@ -7,11 +7,18 @@
  * enumeration + hybrid evaluation) fits comfortably in the interval, and
  * the simulator substrate itself is fast enough for the experiment
  * sweeps.
+ *
+ * The *Threads benchmarks sweep the shared thread pool across
+ * 1/2/4/8 threads to report serial-vs-parallel throughput for the hot
+ * paths wired into ParallelFor (matmul, GBT training, hybrid candidate
+ * evaluation). They use real time — wall clock is what the 1 s decision
+ * interval budget cares about.
  */
 #include <benchmark/benchmark.h>
 
 #include "app/apps.h"
 #include "cluster/cluster.h"
+#include "common/thread_pool.h"
 #include "models/baseline_nets.h"
 #include "models/hybrid.h"
 #include "models/sinan_cnn.h"
@@ -171,6 +178,96 @@ BM_HybridEvaluateCandidates(benchmark::State& state)
         benchmark::DoNotOptimize(model.Evaluate(window, cands));
 }
 BENCHMARK(BM_HybridEvaluateCandidates)->Arg(120);
+
+/** Restores the entry thread count when a thread-sweep benchmark ends. */
+class ThreadGuard {
+  public:
+    ThreadGuard(int n) : saved_(NumThreads()) { SetNumThreads(n); }
+    ~ThreadGuard() { SetNumThreads(saved_); }
+
+  private:
+    int saved_;
+};
+
+void
+BM_MatMulThreads(benchmark::State& state)
+{
+    ThreadGuard guard(static_cast<int>(state.range(0)));
+    Rng rng(17);
+    const Tensor a = Tensor::Randn({256, 192}, rng, 0.3f);
+    const Tensor b = Tensor::Randn({192, 224}, rng, 0.3f);
+    Tensor c({256, 224});
+    for (auto _ : state) {
+        MatMul(a, b, c);
+        benchmark::DoNotOptimize(c.Data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void
+BM_GbtTrainThreads(benchmark::State& state)
+{
+    ThreadGuard guard(static_cast<int>(state.range(0)));
+    Rng rng(5);
+    GbtDataset train;
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<float> row(64);
+        for (float& v : row)
+            v = static_cast<float>(rng.Uniform());
+        train.AddRow(row, row[0] > 0.5f ? 1.0f : 0.0f);
+    }
+    GbtConfig cfg;
+    cfg.n_trees = 40;
+    cfg.early_stop_rounds = 0;
+    for (auto _ : state) {
+        BoostedTrees bt(cfg);
+        bt.Train(train);
+        benchmark::DoNotOptimize(bt.NumTrees());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GbtTrainThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void
+BM_HybridEvaluateThreads(benchmark::State& state)
+{
+    ThreadGuard guard(static_cast<int>(state.range(0)));
+    const FeatureConfig f = SocialFeatures();
+    HybridConfig cfg;
+    cfg.train.epochs = 1;
+    HybridModel model(f, cfg, 3);
+
+    MetricWindow window(f);
+    for (int t = 0; t < f.history; ++t) {
+        IntervalObservation obs;
+        obs.time_s = t;
+        obs.rps = 200;
+        obs.tiers.assign(f.n_tiers, TierMetrics{});
+        for (TierMetrics& m : obs.tiers) {
+            m.cpu_limit = 2.0;
+            m.cpu_used = 1.0;
+            m.rss_mb = 100;
+            m.cache_mb = 50;
+            m.rx_pps = 800;
+            m.tx_pps = 800;
+        }
+        obs.latency_ms = {80, 90, 100, 110, 120};
+        window.Push(obs);
+    }
+    std::vector<std::vector<double>> cands(
+        120, std::vector<double>(f.n_tiers, 2.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.Evaluate(window, cands));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(cands.size()));
+}
+BENCHMARK(BM_HybridEvaluateThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 } // namespace
 } // namespace sinan

@@ -1,7 +1,10 @@
 #include "bench_util.h"
 
+#include "baselines/autoscale.h"
+#include "baselines/powerchief.h"
 #include "collect/bandit.h"
 #include "collect/collector.h"
+#include "core/scheduler.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -129,6 +132,101 @@ GceFineTunedSinan(const Application& app, ClusterConfig gce)
     return base;
 }
 
+
+namespace {
+
+/** Owns a cloned hybrid model together with its scheduler so each
+ *  concurrent sweep run has private model state (Evaluate mutates the
+ *  CNN's forward caches). */
+class OwningSinan : public ResourceManager {
+  public:
+    explicit OwningSinan(std::unique_ptr<HybridModel> model)
+        : model_(std::move(model)), sched_(*model_, SchedulerConfig{})
+    {
+    }
+
+    std::vector<double>
+    Decide(const IntervalObservation& obs,
+           const std::vector<double>& alloc,
+           const Application& app) override
+    {
+        return sched_.Decide(obs, alloc, app);
+    }
+
+    const char* Name() const override { return sched_.Name(); }
+    void Reset() override { sched_.Reset(); }
+
+    double
+    LastPredictedP99() const override
+    {
+        return sched_.LastPredictedP99();
+    }
+
+    double
+    LastViolationProb() const override
+    {
+        return sched_.LastViolationProb();
+    }
+
+  private:
+    std::unique_ptr<HybridModel> model_;
+    SinanScheduler sched_;
+};
+
+} // namespace
+
+std::map<std::string, std::vector<RunResult>>
+SweepManagersAcrossLoads(const Application& app,
+                         const TrainedSinan& trained,
+                         const std::vector<double>& loads,
+                         double duration_s, uint64_t seed)
+{
+    struct ManagerSpec {
+        std::string name;
+        std::function<std::unique_ptr<ResourceManager>()> make;
+    };
+    const std::vector<ManagerSpec> specs = {
+        {"Sinan",
+         [&] {
+             return std::make_unique<OwningSinan>(trained.model->Clone());
+         }},
+        {"AutoScaleOpt",
+         [] { return std::make_unique<AutoScaler>(MakeAutoScaleOpt()); }},
+        {"AutoScaleCons",
+         [] { return std::make_unique<AutoScaler>(MakeAutoScaleCons()); }},
+        {"PowerChief", [] { return std::make_unique<PowerChief>(); }},
+    };
+
+    std::vector<SweepJob> jobs;
+    for (const ManagerSpec& spec : specs) {
+        for (double users : loads) {
+            SweepJob job;
+            job.make_manager = spec.make;
+            job.make_load = [users] {
+                return std::make_unique<ConstantLoad>(users);
+            };
+            job.cfg.duration_s = duration_s;
+            job.cfg.warmup_s = 20.0;
+            job.cfg.seed = seed;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const std::vector<RunResult> results = RunSweep(app, jobs);
+
+    std::map<std::string, std::vector<RunResult>> by_manager;
+    size_t idx = 0;
+    for (const ManagerSpec& spec : specs) {
+        for (double users : loads) {
+            const RunResult& r = results[idx++];
+            by_manager[spec.name].push_back(r);
+            std::printf("  %-14s users=%5.0f  meanCPU=%7.1f  "
+                        "maxCPU=%7.1f  P(meet QoS)=%.3f\n",
+                        spec.name.c_str(), users, r.mean_cpu, r.max_cpu,
+                        r.qos_meet_prob);
+        }
+    }
+    return by_manager;
+}
 
 std::vector<double>
 HotelLoads()

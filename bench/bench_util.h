@@ -12,6 +12,7 @@
 #ifndef SINAN_BENCH_BENCH_UTIL_H
 #define SINAN_BENCH_BENCH_UTIL_H
 
+#include <map>
 #include <string>
 
 #include "app/apps.h"
@@ -46,6 +47,18 @@ TrainedSinan GceFineTunedSinan(const Application& app, ClusterConfig gce);
 /** The paper's Figure 11 load points (emulated users). */
 std::vector<double> HotelLoads();
 std::vector<double> SocialLoads();
+
+/**
+ * Runs the canonical four-manager comparison (Sinan, AutoScaleOpt,
+ * AutoScaleCons, PowerChief) across @p loads, concurrently on the
+ * global thread pool (each run gets a private manager — Sinan runs
+ * clone the hybrid model). Results per manager are ordered like
+ * @p loads; every run is seeded, so output matches a serial sweep.
+ */
+std::map<std::string, std::vector<RunResult>>
+SweepManagersAcrossLoads(const Application& app, const TrainedSinan& trained,
+                         const std::vector<double>& loads,
+                         double duration_s, uint64_t seed = 7);
 
 /** Prints a section header for bench output. */
 void PrintHeader(const std::string& title, const std::string& paper_ref);

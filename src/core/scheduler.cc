@@ -180,6 +180,11 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         std::vector<double> a = alloc;
         const bool escalate =
             consecutive_violations_ >= cfg_.max_fallback_after;
+        // A violation the model failed to avert for this many intervals
+        // also costs it trust: future decisions use the doubled latency
+        // margin until Reset().
+        if (escalate)
+            trust_reduced_ = true;
         for (int i = 0; i < n; ++i) {
             // Saturated tiers get a stronger kick so the built-up queue
             // drains in as few intervals as possible.

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace sinan {
 
 namespace {
@@ -60,13 +62,19 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
     }
 
     // --- Quantile binning -------------------------------------------
+    // Feature-parallel: each feature's edges and bin column are
+    // computed independently (disjoint writes, deterministic at any
+    // thread count).
     const int bins = cfg_.max_bins;
     // edges[f] has (bins-1) thresholds; bin b covers
     // (edge[b-1], edge[b]].
     std::vector<std::vector<float>> edges(d);
-    {
+    // Feature-major bin matrix: binned[f * n + i]. Column-contiguous so
+    // the per-feature histogram pass below streams linearly.
+    std::vector<uint8_t> binned(static_cast<size_t>(n) * d);
+    ParallelFor(0, d, 1, [&](int64_t lo, int64_t hi) {
         std::vector<float> col(n);
-        for (int f = 0; f < d; ++f) {
+        for (int64_t f = lo; f < hi; ++f) {
             for (int i = 0; i < n; ++i)
                 col[i] = train.x[static_cast<size_t>(i) * d + f];
             std::sort(col.begin(), col.end());
@@ -77,20 +85,14 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
                 e.push_back(col[std::min<size_t>(idx, n - 1)]);
             }
             e.erase(std::unique(e.begin(), e.end()), e.end());
+            uint8_t* out_col = &binned[static_cast<size_t>(f) * n];
+            for (int i = 0; i < n; ++i) {
+                const float v = train.x[static_cast<size_t>(i) * d + f];
+                out_col[i] = static_cast<uint8_t>(
+                    std::upper_bound(e.begin(), e.end(), v) - e.begin());
+            }
         }
-    }
-    auto bin_of = [&](float v, int f) -> uint8_t {
-        const auto& e = edges[f];
-        return static_cast<uint8_t>(
-            std::upper_bound(e.begin(), e.end(), v) - e.begin());
-    };
-    std::vector<uint8_t> binned(static_cast<size_t>(n) * d);
-    for (int i = 0; i < n; ++i) {
-        for (int f = 0; f < d; ++f) {
-            binned[static_cast<size_t>(i) * d + f] =
-                bin_of(train.x[static_cast<size_t>(i) * d + f], f);
-        }
-    }
+    });
 
     // --- Boosting ----------------------------------------------------
     std::vector<double> margin(n, base_score_);
@@ -106,16 +108,18 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
     int since_best = 0;
 
     for (int round = 0; round < cfg_.n_trees; ++round) {
-        for (int i = 0; i < n; ++i) {
-            if (obj_ == Objective::kLogistic) {
-                const double p = Sigmoid(margin[i]);
-                grad[i] = p - train.y[i];
-                hess[i] = std::max(p * (1.0 - p), 1e-9);
-            } else {
-                grad[i] = margin[i] - train.y[i];
-                hess[i] = 1.0;
+        ParallelFor(0, n, 1024, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                if (obj_ == Objective::kLogistic) {
+                    const double p = Sigmoid(margin[i]);
+                    grad[i] = p - train.y[i];
+                    hess[i] = std::max(p * (1.0 - p), 1e-9);
+                } else {
+                    grad[i] = margin[i] - train.y[i];
+                    hess[i] = 1.0;
+                }
             }
-        }
+        });
 
         Tree tree;
         tree.nodes.push_back(Node{});
@@ -124,7 +128,12 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
         std::vector<int> node_depth = {0};
 
         while (!frontier.empty()) {
-            // Histograms for every frontier node in one data pass.
+            // Histograms for every frontier node, feature-parallel:
+            // each feature owns the hist cells of its own (slot,
+            // feature) planes, streaming its contiguous bin column, so
+            // concurrent tasks never touch the same cell and per-cell
+            // accumulation stays in sample order (bit-identical to
+            // serial). The cheap per-node g/h totals stay serial.
             const int n_front = static_cast<int>(frontier.size());
             std::vector<int> front_slot(tree.nodes.size(), -1);
             for (int s = 0; s < n_front; ++s)
@@ -133,60 +142,93 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
                 static_cast<size_t>(n_front) * d * bins);
             std::vector<double> node_g(n_front, 0.0);
             std::vector<double> node_h(n_front, 0.0);
+            // Pre-resolved slot per sample (-1: settled in a leaf).
+            std::vector<int> slot_of(n);
             for (int i = 0; i < n; ++i) {
                 const int nd = node_of[i];
-                if (nd < 0 ||
-                    nd >= static_cast<int>(front_slot.size()) ||
-                    front_slot[nd] < 0) {
-                    continue;
-                }
-                const int s = front_slot[nd];
-                node_g[s] += grad[i];
-                node_h[s] += hess[i];
-                const uint8_t* row = &binned[static_cast<size_t>(i) * d];
-                HistCell* base =
-                    &hist[(static_cast<size_t>(s) * d) * bins];
-                for (int f = 0; f < d; ++f) {
-                    HistCell& cell = base[f * bins + row[f]];
-                    cell.g += grad[i];
-                    cell.h += hess[i];
+                const int s = nd >= 0 &&
+                                      nd < static_cast<int>(
+                                               front_slot.size())
+                                  ? front_slot[nd]
+                                  : -1;
+                slot_of[i] = s;
+                if (s >= 0) {
+                    node_g[s] += grad[i];
+                    node_h[s] += hess[i];
                 }
             }
+            ParallelFor(0, d, 1, [&](int64_t lo, int64_t hi) {
+                for (int64_t f = lo; f < hi; ++f) {
+                    const uint8_t* col =
+                        &binned[static_cast<size_t>(f) * n];
+                    for (int i = 0; i < n; ++i) {
+                        const int s = slot_of[i];
+                        if (s < 0)
+                            continue;
+                        HistCell& cell =
+                            hist[(static_cast<size_t>(s) * d + f) *
+                                     bins +
+                                 col[i]];
+                        cell.g += grad[i];
+                        cell.h += hess[i];
+                    }
+                }
+            });
 
-            // Pick the best split per frontier node.
+            // Pick the best split per frontier node. Feature-parallel
+            // into a per-(slot, feature) table, then a serial reduction
+            // in increasing-feature order — the same first-strictly-
+            // greater tie-breaking as the original single loop.
             struct Split {
                 double gain = 0.0;
                 int feature = -1;
                 int bin = -1; // split between bin and bin+1
             };
-            std::vector<Split> best(n_front);
-            for (int s = 0; s < n_front; ++s) {
-                const double G = node_g[s];
-                const double H = node_h[s];
-                const double parent_score = G * G / (H + cfg_.lambda);
-                for (int f = 0; f < d; ++f) {
+            std::vector<Split> best_sf(
+                static_cast<size_t>(n_front) * d);
+            ParallelFor(0, d, 1, [&](int64_t lo, int64_t hi) {
+                for (int64_t f = lo; f < hi; ++f) {
                     const int nb =
                         static_cast<int>(edges[f].size()) + 1;
-                    const HistCell* cells =
-                        &hist[(static_cast<size_t>(s) * d + f) * bins];
-                    double gl = 0.0, hl = 0.0;
-                    for (int b = 0; b + 1 < nb; ++b) {
-                        gl += cells[b].g;
-                        hl += cells[b].h;
-                        const double gr = G - gl;
-                        const double hr = H - hl;
-                        if (hl < cfg_.min_child_weight ||
-                            hr < cfg_.min_child_weight) {
-                            continue;
-                        }
-                        const double gain =
-                            gl * gl / (hl + cfg_.lambda) +
-                            gr * gr / (hr + cfg_.lambda) - parent_score -
-                            cfg_.gamma;
-                        if (gain > best[s].gain) {
-                            best[s] = Split{gain, f, b};
+                    for (int s = 0; s < n_front; ++s) {
+                        const double G = node_g[s];
+                        const double H = node_h[s];
+                        const double parent_score =
+                            G * G / (H + cfg_.lambda);
+                        Split& out =
+                            best_sf[static_cast<size_t>(s) * d + f];
+                        const HistCell* cells =
+                            &hist[(static_cast<size_t>(s) * d + f) *
+                                  bins];
+                        double gl = 0.0, hl = 0.0;
+                        for (int b = 0; b + 1 < nb; ++b) {
+                            gl += cells[b].g;
+                            hl += cells[b].h;
+                            const double gr = G - gl;
+                            const double hr = H - hl;
+                            if (hl < cfg_.min_child_weight ||
+                                hr < cfg_.min_child_weight) {
+                                continue;
+                            }
+                            const double gain =
+                                gl * gl / (hl + cfg_.lambda) +
+                                gr * gr / (hr + cfg_.lambda) -
+                                parent_score - cfg_.gamma;
+                            if (gain > out.gain) {
+                                out = Split{gain, static_cast<int>(f),
+                                            b};
+                            }
                         }
                     }
+                }
+            });
+            std::vector<Split> best(n_front);
+            for (int s = 0; s < n_front; ++s) {
+                for (int f = 0; f < d; ++f) {
+                    const Split& cand =
+                        best_sf[static_cast<size_t>(s) * d + f];
+                    if (cand.gain > best[s].gain)
+                        best[s] = cand;
                 }
             }
 
@@ -225,32 +267,34 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
                 next_depth.push_back(node_depth[s] + 1);
                 next_depth.push_back(node_depth[s] + 1);
             }
-            // Reassign samples to children.
-            for (int i = 0; i < n; ++i) {
-                const int nd = node_of[i];
-                if (nd < 0 ||
-                    nd >= static_cast<int>(front_slot.size()) ||
-                    front_slot[nd] < 0) {
-                    continue;
+            // Reassign samples to children (disjoint per-sample writes).
+            ParallelFor(0, n, 2048, [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                    if (slot_of[i] < 0)
+                        continue;
+                    const Node& node = tree.nodes[node_of[i]];
+                    if (node.feature < 0) {
+                        node_of[i] = -1; // settled in a leaf
+                        continue;
+                    }
+                    const float v =
+                        train.x[static_cast<size_t>(i) * d +
+                                node.feature];
+                    node_of[i] =
+                        v < node.threshold ? node.left : node.right;
                 }
-                const Node& node = tree.nodes[nd];
-                if (node.feature < 0) {
-                    node_of[i] = -1; // settled in a leaf
-                    continue;
-                }
-                const float v =
-                    train.x[static_cast<size_t>(i) * d + node.feature];
-                node_of[i] = v < node.threshold ? node.left : node.right;
-            }
+            });
             frontier = std::move(next_frontier);
             node_depth = std::move(next_depth);
         }
 
         // Update margins with the completed tree.
-        for (int i = 0; i < n; ++i) {
-            margin[i] +=
-                TreePredict(tree, &train.x[static_cast<size_t>(i) * d]);
-        }
+        ParallelFor(0, n, 1024, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                margin[i] += TreePredict(
+                    tree, &train.x[static_cast<size_t>(i) * d]);
+            }
+        });
         trees_.push_back(std::move(tree));
 
         // Early stopping on validation loss.

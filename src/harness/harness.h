@@ -10,7 +10,9 @@
 #ifndef SINAN_HARNESS_HARNESS_H
 #define SINAN_HARNESS_HARNESS_H
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "collect/collector.h"
@@ -70,6 +72,28 @@ struct RunResult {
 /** Runs @p manager on @p app under @p load. */
 RunResult RunManaged(const Application& app, ResourceManager& manager,
                      const LoadShape& load, const RunConfig& cfg);
+
+/**
+ * One run of a concurrent sweep. The factories are invoked inside the
+ * worker executing the job, so every run owns a private manager and
+ * load instance — managers are stateful and must not be shared across
+ * concurrent runs (Sinan jobs should clone the hybrid model, see
+ * HybridModel::Clone()).
+ */
+struct SweepJob {
+    std::function<std::unique_ptr<ResourceManager>()> make_manager;
+    std::function<std::unique_ptr<LoadShape>()> make_load;
+    RunConfig cfg;
+};
+
+/**
+ * Runs every job (concurrently on the global thread pool when it has
+ * threads; see SetNumThreads()/SINAN_THREADS). Results are returned in
+ * job order, and each simulation is fully seeded, so the output is
+ * identical to running the jobs serially.
+ */
+std::vector<RunResult> RunSweep(const Application& app,
+                                const std::vector<SweepJob>& jobs);
 
 /** Everything needed to evaluate Sinan on one application. */
 struct TrainedSinan {

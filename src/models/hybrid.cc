@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
+
+#include "common/thread_pool.h"
 
 namespace sinan {
 
@@ -161,19 +164,35 @@ HybridModel::Evaluate(const MetricWindow& window,
     const Tensor pred = cnn_.Forward(batch);
     const Tensor& latent = cnn_.Latent();
 
+    // Per-candidate BT scoring is the scheduler's per-interval hot
+    // loop (one Predict per Table-1 action); candidates are
+    // independent, so score them in parallel.
     std::vector<Prediction> out(allocations.size());
     const int m = pred.Dim(1);
-    for (size_t i = 0; i < allocations.size(); ++i) {
-        Prediction& p = out[i];
-        p.latency_ms.resize(m);
-        for (int j = 0; j < m; ++j) {
-            p.latency_ms[j] =
-                pred.At(static_cast<int>(i), j) * fcfg_.qos_ms;
+    const int64_t n_cands = static_cast<int64_t>(allocations.size());
+    ParallelFor(0, n_cands, 8, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            Prediction& p = out[i];
+            p.latency_ms.resize(m);
+            for (int j = 0; j < m; ++j) {
+                p.latency_ms[j] =
+                    pred.At(static_cast<int>(i), j) * fcfg_.qos_ms;
+            }
+            p.p_violation =
+                bt_.Predict(BtRow(latent, static_cast<int>(i), batch));
         }
-        p.p_violation =
-            bt_.Predict(BtRow(latent, static_cast<int>(i), batch));
-    }
+    });
     return out;
+}
+
+std::unique_ptr<HybridModel>
+HybridModel::Clone() const
+{
+    std::stringstream buf;
+    Save(buf);
+    auto copy = std::make_unique<HybridModel>(fcfg_, cfg_, /*seed=*/0);
+    copy->Load(buf);
+    return copy;
 }
 
 void

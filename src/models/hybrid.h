@@ -9,6 +9,7 @@
 #ifndef SINAN_MODELS_HYBRID_H
 #define SINAN_MODELS_HYBRID_H
 
+#include <memory>
 #include <string>
 
 #include "gbt/boosted_trees.h"
@@ -81,6 +82,13 @@ class HybridModel {
     /** Serializes CNN weights, BT trees, and the feature config core. */
     void Save(std::ostream& out) const;
     void Load(std::istream& in);
+
+    /**
+     * Deep copy via serialization. Evaluate() mutates internal forward
+     * caches, so concurrent users (e.g. the parallel benchmark sweeps)
+     * must each own a clone instead of sharing one instance.
+     */
+    std::unique_ptr<HybridModel> Clone() const;
 
   private:
     /** BT feature row: latent L_f, the normalized X_RC, and digested

@@ -4,7 +4,18 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace sinan {
+
+namespace {
+
+/** Batch rows per ParallelFor block for the conv loops. Fixed (not a
+ *  function of the thread count) so the per-block gradient partials of
+ *  Conv2D::Backward reduce in the same order at any parallelism. */
+constexpr int64_t kConvBatchGrain = 4;
+
+} // namespace
 
 Dense::Dense(int in_features, int out_features, Rng& rng)
 {
@@ -25,11 +36,13 @@ Dense::Forward(const Tensor& x)
     Tensor y({x.Dim(0), w_.value.Dim(1)});
     MatMul(x, w_.value, y);
     const int out = b_.value.Dim(0);
-    for (int i = 0; i < x.Dim(0); ++i) {
-        float* row = y.Data() + static_cast<size_t>(i) * out;
-        for (int j = 0; j < out; ++j)
-            row[j] += b_.value[j];
-    }
+    ParallelFor(0, x.Dim(0), 256, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            float* row = y.Data() + static_cast<size_t>(i) * out;
+            for (int j = 0; j < out; ++j)
+                row[j] += b_.value[j];
+        }
+    });
     return y;
 }
 
@@ -44,11 +57,15 @@ Dense::Backward(const Tensor& dy)
     // dW += x^T dy ; db += colsum(dy) ; dx = dy W^T.
     MatMulTa(x_cache_, dy, w_.grad, /*accumulate=*/true);
     const int out = w_.value.Dim(1);
-    for (int i = 0; i < batch; ++i) {
-        const float* row = dy.Data() + static_cast<size_t>(i) * out;
-        for (int j = 0; j < out; ++j)
-            b_.grad[j] += row[j];
-    }
+    // Column-blocked: each block owns a disjoint range of bias slots,
+    // accumulating over the batch in the same order as the serial loop.
+    ParallelFor(0, out, 64, [&](int64_t lo, int64_t hi) {
+        for (int i = 0; i < batch; ++i) {
+            const float* row = dy.Data() + static_cast<size_t>(i) * out;
+            for (int64_t j = lo; j < hi; ++j)
+                b_.grad[j] += row[j];
+        }
+    });
     Tensor dx({batch, w_.value.Dim(0)});
     MatMulTb(dy, w_.value, dx);
     return dx;
@@ -114,8 +131,13 @@ Conv2D::Forward(const Tensor& x)
     const int out_c = w_.value.Dim(0);
     const int pad = kernel_ / 2;
     Tensor y({batch, out_c, h, w});
-    for (int b = 0; b < batch; ++b) {
-        for (int oc = 0; oc < out_c; ++oc) {
+    // Flattened (sample, out-channel) pairs; every pair writes its own
+    // [h, w] output plane, so blocks never overlap.
+    ParallelFor(0, static_cast<int64_t>(batch) * out_c, 1,
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t idx = lo; idx < hi; ++idx) {
+            const int b = static_cast<int>(idx / out_c);
+            const int oc = static_cast<int>(idx % out_c);
             const float bias = b_.value[oc];
             for (int i = 0; i < h; ++i) {
                 for (int j = 0; j < w; ++j) {
@@ -138,7 +160,7 @@ Conv2D::Forward(const Tensor& x)
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -155,33 +177,54 @@ Conv2D::Backward(const Tensor& dy)
     }
     const int pad = kernel_ / 2;
     Tensor dx({batch, in_c, h, w});
-    for (int b = 0; b < batch; ++b) {
-        for (int oc = 0; oc < out_c; ++oc) {
-            for (int i = 0; i < h; ++i) {
-                for (int j = 0; j < w; ++j) {
-                    const float g = dy.At(b, oc, i, j);
-                    if (g == 0.0f)
-                        continue;
-                    b_.grad[oc] += g;
-                    for (int c = 0; c < in_c; ++c) {
-                        for (int ki = 0; ki < kernel_; ++ki) {
-                            const int si = i + ki - pad;
-                            if (si < 0 || si >= h)
-                                continue;
-                            for (int kj = 0; kj < kernel_; ++kj) {
-                                const int sj = j + kj - pad;
-                                if (sj < 0 || sj >= w)
+    // Batch-blocked: dx writes are disjoint per sample; the shared
+    // weight/bias gradients go into per-block partials reduced below in
+    // block order. The block structure is fixed by kConvBatchGrain, so
+    // 1-thread and N-thread runs sum in exactly the same order.
+    const int64_t n_blocks =
+        (batch + kConvBatchGrain - 1) / kConvBatchGrain;
+    std::vector<Tensor> wg(n_blocks), bg(n_blocks);
+    ParallelFor(0, batch, kConvBatchGrain, [&](int64_t lo, int64_t hi) {
+        const int64_t blk = lo / kConvBatchGrain;
+        Tensor wgrad(w_.grad.Shape());
+        Tensor bgrad(b_.grad.Shape());
+        for (int64_t b = lo; b < hi; ++b) {
+            for (int oc = 0; oc < out_c; ++oc) {
+                for (int i = 0; i < h; ++i) {
+                    for (int j = 0; j < w; ++j) {
+                        const float g =
+                            dy.At(static_cast<int>(b), oc, i, j);
+                        if (g == 0.0f)
+                            continue;
+                        bgrad[oc] += g;
+                        for (int c = 0; c < in_c; ++c) {
+                            for (int ki = 0; ki < kernel_; ++ki) {
+                                const int si = i + ki - pad;
+                                if (si < 0 || si >= h)
                                     continue;
-                                w_.grad.At(oc, c, ki, kj) +=
-                                    g * x.At(b, c, si, sj);
-                                dx.At(b, c, si, sj) +=
-                                    g * w_.value.At(oc, c, ki, kj);
+                                for (int kj = 0; kj < kernel_; ++kj) {
+                                    const int sj = j + kj - pad;
+                                    if (sj < 0 || sj >= w)
+                                        continue;
+                                    wgrad.At(oc, c, ki, kj) +=
+                                        g * x.At(static_cast<int>(b), c,
+                                                 si, sj);
+                                    dx.At(static_cast<int>(b), c, si,
+                                          sj) +=
+                                        g * w_.value.At(oc, c, ki, kj);
+                                }
                             }
                         }
                     }
                 }
             }
         }
+        wg[blk] = std::move(wgrad);
+        bg[blk] = std::move(bgrad);
+    });
+    for (int64_t blk = 0; blk < n_blocks; ++blk) {
+        w_.grad.Add(wg[blk]);
+        b_.grad.Add(bg[blk]);
     }
     return dx;
 }

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace sinan {
 
 namespace {
@@ -171,6 +173,23 @@ CheckMatmul(const Tensor& a, const Tensor& b, const Tensor& c, int m,
         throw std::invalid_argument("MatMul: output shape mismatch");
 }
 
+/**
+ * Rows of C per ParallelFor block: enough inner work (~flops) per block
+ * that scheduling overhead stays negligible, collapsing to one block
+ * (serial) for small products. Depends only on the shapes, so the block
+ * structure — and therefore the result — is thread-count independent
+ * (each row of C is written by exactly one block).
+ */
+int64_t
+RowGrain(int m, int k, int n)
+{
+    constexpr int64_t kMinWorkPerBlock = 1 << 15;
+    const int64_t row_work =
+        std::max<int64_t>(1, static_cast<int64_t>(k) * n);
+    const int64_t rows = kMinWorkPerBlock / row_work + 1;
+    return std::min<int64_t>(std::max<int64_t>(rows, 1), m);
+}
+
 } // namespace
 
 void
@@ -185,15 +204,17 @@ MatMul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
     const float* ap = a.Data();
     const float* bp = b.Data();
     float* cp = c.Data();
-    for (int i = 0; i < m; ++i) {
-        for (int p = 0; p < k; ++p) {
-            const float av = ap[static_cast<size_t>(i) * k + p];
-            const float* brow = bp + static_cast<size_t>(p) * n;
-            float* crow = cp + static_cast<size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+    ParallelFor(0, m, RowGrain(m, k, n), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            for (int p = 0; p < k; ++p) {
+                const float av = ap[static_cast<size_t>(i) * k + p];
+                const float* brow = bp + static_cast<size_t>(p) * n;
+                float* crow = cp + static_cast<size_t>(i) * n;
+                for (int j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    });
 }
 
 void
@@ -208,16 +229,21 @@ MatMulTa(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
     const float* ap = a.Data();
     const float* bp = b.Data();
     float* cp = c.Data();
-    for (int p = 0; p < k; ++p) {
-        const float* arow = ap + static_cast<size_t>(p) * m;
-        const float* brow = bp + static_cast<size_t>(p) * n;
-        for (int i = 0; i < m; ++i) {
-            const float av = arow[i];
-            float* crow = cp + static_cast<size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+    // Row-blocked over C so concurrent blocks never share an output
+    // row; per-element accumulation stays in increasing-p order, so the
+    // result is bit-identical at any thread count.
+    ParallelFor(0, m, RowGrain(m, k, n), [&](int64_t lo, int64_t hi) {
+        for (int p = 0; p < k; ++p) {
+            const float* arow = ap + static_cast<size_t>(p) * m;
+            const float* brow = bp + static_cast<size_t>(p) * n;
+            for (int64_t i = lo; i < hi; ++i) {
+                const float av = arow[i];
+                float* crow = cp + static_cast<size_t>(i) * n;
+                for (int j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    });
 }
 
 void
@@ -232,17 +258,19 @@ MatMulTb(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
     const float* ap = a.Data();
     const float* bp = b.Data();
     float* cp = c.Data();
-    for (int i = 0; i < m; ++i) {
-        const float* arow = ap + static_cast<size_t>(i) * k;
-        float* crow = cp + static_cast<size_t>(i) * n;
-        for (int j = 0; j < n; ++j) {
-            const float* brow = bp + static_cast<size_t>(j) * k;
-            float acc = 0.0f;
-            for (int p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] += acc;
+    ParallelFor(0, m, RowGrain(m, k, n), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float* arow = ap + static_cast<size_t>(i) * k;
+            float* crow = cp + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j) {
+                const float* brow = bp + static_cast<size_t>(j) * k;
+                float acc = 0.0f;
+                for (int p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] += acc;
+            }
         }
-    }
+    });
 }
 
 } // namespace sinan

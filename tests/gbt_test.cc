@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "gbt/boosted_trees.h"
 
 namespace sinan {
@@ -254,6 +255,42 @@ TEST(BoostedTrees, HandlesConstantFeatureColumns)
     const auto imp = model.FeatureImportance();
     EXPECT_DOUBLE_EQ(imp[1], 0.0);
     EXPECT_DOUBLE_EQ(imp[2], 0.0);
+}
+
+TEST(BoostedTrees, TrainingIsBitIdenticalAcrossThreadCounts)
+{
+    // Feature-parallel binning/histograms/split search must not change
+    // the trained model: the serialized bytes and the predictions of a
+    // 1-thread and an N-thread training run have to match exactly.
+    const GbtDataset train = XorDataset(1500, 31);
+    const GbtDataset valid = XorDataset(400, 32);
+    GbtConfig cfg;
+    cfg.max_depth = 3;
+    cfg.n_trees = 60;
+    cfg.early_stop_rounds = 5;
+
+    const int saved = NumThreads();
+    SetNumThreads(1);
+    BoostedTrees serial(cfg);
+    serial.Train(train, &valid);
+    std::stringstream serial_bytes;
+    serial.Save(serial_bytes);
+
+    for (int threads : {2, 4, 8}) {
+        SetNumThreads(threads);
+        BoostedTrees parallel(cfg);
+        parallel.Train(train, &valid);
+        std::stringstream parallel_bytes;
+        parallel.Save(parallel_bytes);
+        EXPECT_EQ(parallel_bytes.str(), serial_bytes.str())
+            << "serialized model differs at " << threads << " threads";
+        for (int i = 0; i < 100; ++i) {
+            ASSERT_DOUBLE_EQ(
+                parallel.Predict(&train.x[static_cast<size_t>(i) * 4]),
+                serial.Predict(&train.x[static_cast<size_t>(i) * 4]));
+        }
+    }
+    SetNumThreads(saved);
 }
 
 /** Property: predictions are probabilities for any seed/config. */

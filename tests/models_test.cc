@@ -5,9 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <sstream>
 
+#include "common/thread_pool.h"
 #include "models/baseline_nets.h"
 #include "models/hybrid.h"
 #include "models/multitask.h"
@@ -335,6 +337,99 @@ TEST(HybridModel, SaveLoadRoundTrip)
     const auto pb = b.Evaluate(w, allocs);
     EXPECT_DOUBLE_EQ(pa[0].P99(), pb[0].P99());
     EXPECT_DOUBLE_EQ(pa[0].p_violation, pb[0].p_violation);
+}
+
+TEST(SinanCnn, ForwardBitIdenticalAcrossThreadCounts)
+{
+    // The conv/dense kernels run on the shared pool; forward outputs
+    // must not depend on the thread count.
+    const FeatureConfig f = SmallFeatures();
+    SinanCnn cnn(f, SinanCnnConfig{}, 3);
+    const Dataset d = SyntheticDataset(f, 16, 3);
+    std::vector<int> idx(16);
+    std::iota(idx.begin(), idx.end(), 0);
+    const Batch b = d.MakeBatch(idx, 0, 16);
+
+    const int saved = NumThreads();
+    SetNumThreads(1);
+    const Tensor serial = cnn.Forward(b);
+    for (int threads : {2, 4, 8}) {
+        SetNumThreads(threads);
+        const Tensor parallel = cnn.Forward(b);
+        ASSERT_EQ(parallel.Size(), serial.Size());
+        for (size_t i = 0; i < serial.Size(); ++i)
+            ASSERT_EQ(parallel[i], serial[i])
+                << "threads=" << threads << " element " << i;
+    }
+    SetNumThreads(saved);
+}
+
+TEST(HybridModel, EvaluateBitIdenticalAcrossThreadCounts)
+{
+    const FeatureConfig f = SmallFeatures();
+    const Dataset all = SyntheticDataset(f, 300, 61);
+    Rng rng(63);
+    const auto [train, valid] = all.Split(0.9, rng);
+    HybridConfig cfg;
+    cfg.train.epochs = 4;
+    cfg.bt.n_trees = 40;
+    HybridModel model(f, cfg, 65);
+    model.Train(train, valid);
+
+    MetricWindow w(f);
+    for (int t = 0; t < f.history; ++t)
+        w.Push(MakeObs(f, t, 150, 2.0, 0.6, 120));
+    // Enough candidates to span several ParallelFor blocks.
+    std::vector<std::vector<double>> allocs;
+    for (int i = 0; i < 40; ++i)
+        allocs.push_back(std::vector<double>(
+            f.n_tiers, 0.4 + 0.1 * static_cast<double>(i)));
+
+    const int saved = NumThreads();
+    SetNumThreads(1);
+    const std::vector<Prediction> serial = model.Evaluate(w, allocs);
+    for (int threads : {2, 4, 8}) {
+        SetNumThreads(threads);
+        const std::vector<Prediction> parallel = model.Evaluate(w, allocs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(parallel[i].latency_ms, serial[i].latency_ms)
+                << "threads=" << threads << " candidate " << i;
+            ASSERT_EQ(parallel[i].p_violation, serial[i].p_violation)
+                << "threads=" << threads << " candidate " << i;
+        }
+    }
+    SetNumThreads(saved);
+}
+
+TEST(HybridModel, CloneEvaluatesIdentically)
+{
+    const FeatureConfig f = SmallFeatures();
+    const Dataset all = SyntheticDataset(f, 200, 67);
+    Rng rng(69);
+    const auto [train, valid] = all.Split(0.9, rng);
+    HybridConfig cfg;
+    cfg.train.epochs = 3;
+    cfg.bt.n_trees = 25;
+    HybridModel model(f, cfg, 71);
+    model.Train(train, valid);
+    const std::unique_ptr<HybridModel> clone = model.Clone();
+
+    MetricWindow w(f);
+    for (int t = 0; t < f.history; ++t)
+        w.Push(MakeObs(f, t, 100, 2.0, 0.5, 100));
+    const std::vector<std::vector<double>> allocs = {
+        std::vector<double>(f.n_tiers, 1.0),
+        std::vector<double>(f.n_tiers, 3.0),
+    };
+    const auto pa = model.Evaluate(w, allocs);
+    const auto pb = clone->Evaluate(w, allocs);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].latency_ms, pb[i].latency_ms);
+        EXPECT_DOUBLE_EQ(pa[i].p_violation, pb[i].p_violation);
+    }
+    EXPECT_DOUBLE_EQ(clone->ValRmseMs(), model.ValRmseMs());
 }
 
 TEST(HybridModel, EmptyEvaluationReturnsEmpty)

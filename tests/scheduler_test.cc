@@ -132,6 +132,97 @@ TEST_F(SchedulerFixture, PersistentViolationEscalatesToMax)
         EXPECT_DOUBLE_EQ(alloc[i], app_->tiers[i].max_cpu);
 }
 
+TEST_F(SchedulerFixture, PersistentViolationReducesModelTrust)
+{
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 2;
+    SinanScheduler sched(*model_, cfg);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    // Healthy warmup, then a violation streak: after max_fallback_after
+    // consecutive observed violations the safety fallback escalates and
+    // the model's trust is reduced.
+    for (int t = 0; t < features_->history; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100);
+        alloc = sched.Decide(obs, alloc, *app_);
+    }
+    EXPECT_FALSE(sched.TrustReduced());
+    int t = features_->history;
+    // First violation: blanket upscale but no trust change yet.
+    alloc = sched.Decide(
+        MakeObs(*features_, t++, 100, 2.0, 0.95, app_->qos_ms + 200.0),
+        alloc, *app_);
+    EXPECT_FALSE(sched.TrustReduced());
+    // Second consecutive violation reaches max_fallback_after.
+    alloc = sched.Decide(
+        MakeObs(*features_, t++, 100, 2.0, 0.95, app_->qos_ms + 200.0),
+        alloc, *app_);
+    EXPECT_TRUE(sched.TrustReduced());
+    // Trust stays reduced through later healthy intervals…
+    for (int k = 0; k < 3; ++k) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, 2.0, 0.4, 90), alloc, *app_);
+        EXPECT_TRUE(sched.TrustReduced());
+    }
+    // …until Reset().
+    sched.Reset();
+    EXPECT_FALSE(sched.TrustReduced());
+}
+
+TEST_F(SchedulerFixture, BrokenViolationStreakKeepsTrust)
+{
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 3;
+    SinanScheduler sched(*model_, cfg);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    for (int t = 0; t < features_->history; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100), alloc, *app_);
+    }
+    // Violation streaks of length 2 separated by healthy intervals never
+    // reach max_fallback_after = 3, so trust is kept.
+    int t = features_->history;
+    for (int round = 0; round < 3; ++round) {
+        for (int v = 0; v < 2; ++v) {
+            alloc = sched.Decide(
+                MakeObs(*features_, t++, 100, 2.0, 0.95,
+                        app_->qos_ms + 150.0),
+                alloc, *app_);
+        }
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, 2.0, 0.4, 90), alloc, *app_);
+    }
+    EXPECT_FALSE(sched.TrustReduced());
+}
+
+TEST_F(SchedulerFixture, EscalatedFallbackScalesUpEveryTier)
+{
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 2;
+    SinanScheduler sched(*model_, cfg);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    for (int t = 0; t < features_->history; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100), alloc, *app_);
+    }
+    // Drive into the escalated fallback and check the scale-up-all
+    // shape: every tier strictly grows (until clamped at max_cpu).
+    std::vector<double> before = alloc;
+    for (int v = 0; v < 3; ++v) {
+        before = alloc;
+        alloc = sched.Decide(
+            MakeObs(*features_, features_->history + v, 100, 2.0, 0.95,
+                    app_->qos_ms + 200.0),
+            alloc, *app_);
+        for (size_t i = 0; i < alloc.size(); ++i) {
+            if (before[i] < app_->tiers[i].max_cpu - 1e-9)
+                EXPECT_GT(alloc[i], before[i]) << "tier " << i;
+            EXPECT_LE(alloc[i], app_->tiers[i].max_cpu + 1e-9);
+        }
+    }
+    EXPECT_TRUE(sched.TrustReduced());
+}
+
 TEST_F(SchedulerFixture, DecisionsStayWithinSpecBounds)
 {
     SinanScheduler sched(*model_, SchedulerConfig{});

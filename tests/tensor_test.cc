@@ -1,11 +1,14 @@
 /**
  * @file
- * Tests for the tensor container and the matmul kernels.
+ * Tests for the tensor container and the matmul kernels, including
+ * bit-identical serial-vs-parallel parity for the row-blocked kernels.
  */
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace sinan {
@@ -178,6 +181,75 @@ TEST_P(MatmulAssocTest, AssociativityHolds)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatmulAssocTest, ::testing::Range(1, 7));
+
+/** Runs @p kernel at 1 and @p threads threads; results must be
+ *  bit-identical (the pool's fixed block structure guarantees the same
+ *  float accumulation order regardless of thread count). */
+void
+ExpectThreadParity(int threads,
+                   const std::function<void(Tensor&)>& kernel,
+                   std::vector<int> out_shape)
+{
+    const int saved = NumThreads();
+    SetNumThreads(1);
+    Tensor serial(out_shape);
+    kernel(serial);
+    SetNumThreads(threads);
+    Tensor parallel(out_shape);
+    kernel(parallel);
+    SetNumThreads(saved);
+    ASSERT_EQ(serial.Size(), parallel.Size());
+    for (size_t i = 0; i < serial.Size(); ++i)
+        ASSERT_EQ(serial[i], parallel[i]) << "element " << i;
+}
+
+TEST(MatMulParity, PlainBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(21);
+    // Odd sizes so row blocks don't divide evenly.
+    const Tensor a = Tensor::Randn({67, 33}, rng);
+    const Tensor b = Tensor::Randn({33, 41}, rng);
+    for (int threads : {2, 4, 8}) {
+        ExpectThreadParity(
+            threads, [&](Tensor& c) { MatMul(a, b, c); }, {67, 41});
+    }
+}
+
+TEST(MatMulParity, TransposedAVariantBitIdentical)
+{
+    Rng rng(22);
+    const Tensor a = Tensor::Randn({33, 67}, rng); // stores A^T
+    const Tensor b = Tensor::Randn({33, 41}, rng);
+    for (int threads : {2, 4}) {
+        ExpectThreadParity(
+            threads, [&](Tensor& c) { MatMulTa(a, b, c); }, {67, 41});
+    }
+}
+
+TEST(MatMulParity, TransposedBVariantBitIdentical)
+{
+    Rng rng(23);
+    const Tensor a = Tensor::Randn({67, 33}, rng);
+    const Tensor b = Tensor::Randn({41, 33}, rng); // stores B^T
+    for (int threads : {2, 4}) {
+        ExpectThreadParity(
+            threads, [&](Tensor& c) { MatMulTb(a, b, c); }, {67, 41});
+    }
+}
+
+TEST(MatMulParity, AccumulateModeBitIdentical)
+{
+    Rng rng(24);
+    const Tensor a = Tensor::Randn({50, 20}, rng);
+    const Tensor b = Tensor::Randn({20, 30}, rng);
+    ExpectThreadParity(
+        4,
+        [&](Tensor& c) {
+            c.Fill(1.5f);
+            MatMul(a, b, c, /*accumulate=*/true);
+        },
+        {50, 30});
+}
 
 } // namespace
 } // namespace sinan

@@ -9,7 +9,7 @@
  *   sinan_sim [--app hotel|social] [--manager sinan|opt|cons|powerchief|hold]
  *             [--users N | --diurnal LO:HI:PERIOD] [--duration S]
  *             [--warmup S] [--seed N] [--collect S] [--epochs N]
- *             [--mix W0,W1,...] [--log FILE]
+ *             [--mix W0,W1,...] [--log FILE] [--threads N]
  *
  * Examples:
  *   sinan_sim --app social --manager cons --users 250 --duration 120
@@ -24,6 +24,7 @@
 
 #include "app/apps.h"
 #include "baselines/autoscale.h"
+#include "common/thread_pool.h"
 #include "baselines/powerchief.h"
 #include "core/scheduler.h"
 #include "harness/harness.h"
@@ -48,6 +49,8 @@ struct CliOptions {
     int epochs = 8;
     std::string mix;
     std::string log_path;
+    /** 0 = keep the default (SINAN_THREADS or hardware concurrency). */
+    int threads = 0;
 };
 
 [[noreturn]] void
@@ -62,7 +65,7 @@ Usage(const char* msg)
         "                 [--users N | --diurnal LO:HI:PERIOD]\n"
         "                 [--duration S] [--warmup S] [--seed N]\n"
         "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
-        "                 [--log FILE]\n");
+        "                 [--log FILE] [--threads N]\n");
     std::exit(2);
 }
 
@@ -105,6 +108,10 @@ Parse(int argc, char** argv)
             opt.mix = need(i++);
         } else if (a == "--log") {
             opt.log_path = need(i++);
+        } else if (a == "--threads") {
+            opt.threads = std::atoi(need(i++));
+            if (opt.threads < 0)
+                Usage("--threads must be >= 0");
         } else if (a == "--help" || a == "-h") {
             Usage(nullptr);
         } else {
@@ -136,6 +143,8 @@ int
 main(int argc, char** argv)
 {
     const CliOptions opt = Parse(argc, argv);
+    if (opt.threads > 0)
+        SetNumThreads(opt.threads);
 
     Application app = opt.app == "hotel" ? BuildHotelReservation()
                                          : BuildSocialNetwork();
