@@ -18,6 +18,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/scheduler.h"
+#include "harness/telemetry_log.h"
 
 namespace sinan {
 namespace {
@@ -68,6 +69,32 @@ PrintTables(const Application& app, const std::vector<double>& loads,
          [](const RunResult& r) { return r.max_cpu; });
     emit("P(meet QoS)",
          [](const RunResult& r) { return r.qos_meet_prob; });
+
+    // Decision telemetry from the per-run metric registries; only
+    // Sinan's scheduler emits it, so the table is Sinan-only.
+    {
+        std::printf("\n%s — Sinan decision telemetry (per load)\n",
+                    app.name.c_str());
+        std::vector<std::string> tel_headers = headers;
+        tel_headers[0] = "metric";
+        TextTable t(tel_headers);
+        const auto& sinan_runs = sweep.by_manager.at("Sinan");
+        auto emit_tel = [&](const char* name, auto getter) {
+            t.Row().Add(std::string(name));
+            for (const RunResult& r : sinan_runs)
+                t.Add(getter(SummarizeTelemetry(r.metrics)), 3);
+        };
+        emit_tel("prediction accuracy", [](const TelemetrySummary& s) {
+            return s.PredictionAccuracy();
+        });
+        emit_tel("fallback rate", [](const TelemetrySummary& s) {
+            return s.FallbackRate();
+        });
+        emit_tel("escalations", [](const TelemetrySummary& s) {
+            return static_cast<double>(s.escalations);
+        });
+        std::printf("%s", t.Render().c_str());
+    }
 
     // Headline claim: Sinan's CPU savings vs the other QoS-meeting
     // manager (AutoScaleCons), over loads where both meet QoS >= 95%.

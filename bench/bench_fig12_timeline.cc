@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/scheduler.h"
+#include "harness/telemetry_log.h"
 
 namespace sinan {
 namespace {
@@ -57,6 +58,20 @@ PrintTimeline(const Application& app, const RunResult& r, int stride)
                     "intervals\n",
                     abs_err / n, n);
     }
+
+    // Decision telemetry from the scheduler's metric registry.
+    const TelemetrySummary tel = SummarizeTelemetry(r.metrics);
+    std::printf("Prediction accuracy %.3f (%llu/%llu mispredicted); "
+                "fallbacks %llu (%llu escalated, rate %.3f); trust "
+                "lost/restored %llu/%llu\n",
+                tel.PredictionAccuracy(),
+                static_cast<unsigned long long>(tel.mispredictions),
+                static_cast<unsigned long long>(tel.predictions),
+                static_cast<unsigned long long>(tel.fallbacks),
+                static_cast<unsigned long long>(tel.escalations),
+                tel.FallbackRate(),
+                static_cast<unsigned long long>(tel.trust_lost),
+                static_cast<unsigned long long>(tel.trust_restored));
 }
 
 } // namespace

@@ -168,6 +168,13 @@ class OwningSinan : public ResourceManager {
         return sched_.LastViolationProb();
     }
 
+    void
+    AttachTelemetry(DecisionTrace* trace,
+                    MetricsRegistry* metrics) override
+    {
+        sched_.AttachTelemetry(trace, metrics);
+    }
+
   private:
     std::unique_ptr<HybridModel> model_;
     SinanScheduler sched_;

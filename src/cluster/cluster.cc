@@ -431,6 +431,7 @@ Cluster::Harvest(double now, double interval_s)
         tier.completions = 0;
     }
 
+    latency_.Seal(); // sort once in place; Quantiles then copies nothing
     obs.latency_ms = latency_.Quantiles(LatencyQuantiles());
     latency_.Reset();
     injected_ = 0;

@@ -16,7 +16,7 @@ PercentileDigest::Add(double v)
 }
 
 void
-PercentileDigest::EnsureSorted() const
+PercentileDigest::Seal()
 {
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
@@ -25,21 +25,33 @@ PercentileDigest::EnsureSorted() const
 }
 
 double
+PercentileDigest::SortedQuantile(const std::vector<double>& sorted,
+                                 double p)
+{
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 1.0)
+        return sorted.back();
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double
 PercentileDigest::Quantile(double p) const
 {
     if (samples_.empty())
         return 0.0;
-    EnsureSorted();
-    if (p <= 0.0)
-        return samples_.front();
-    if (p >= 1.0)
-        return samples_.back();
-    const double pos = p * static_cast<double>(samples_.size() - 1);
-    const size_t lo = static_cast<size_t>(pos);
-    const double frac = pos - static_cast<double>(lo);
-    if (lo + 1 >= samples_.size())
-        return samples_.back();
-    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+    if (sorted_)
+        return SortedQuantile(samples_, p);
+    // Unsealed: sort a private copy so concurrent const readers never
+    // race on the buffer (Seal() first to avoid the copy).
+    std::vector<double> copy = samples_;
+    std::sort(copy.begin(), copy.end());
+    return SortedQuantile(copy, p);
 }
 
 std::vector<double>
@@ -47,8 +59,15 @@ PercentileDigest::Quantiles(const std::vector<double>& ps) const
 {
     std::vector<double> out;
     out.reserve(ps.size());
+    if (samples_.empty() || sorted_) {
+        for (double p : ps)
+            out.push_back(Quantile(p));
+        return out;
+    }
+    std::vector<double> copy = samples_;
+    std::sort(copy.begin(), copy.end());
     for (double p : ps)
-        out.push_back(Quantile(p));
+        out.push_back(SortedQuantile(copy, p));
     return out;
 }
 
@@ -68,8 +87,9 @@ PercentileDigest::Max() const
 {
     if (samples_.empty())
         return 0.0;
-    EnsureSorted();
-    return samples_.back();
+    if (sorted_)
+        return samples_.back();
+    return *std::max_element(samples_.begin(), samples_.end());
 }
 
 void

@@ -17,14 +17,28 @@ namespace sinan {
  * percentile queries at interval roll-up. The sample buffer is cleared
  * by Reset() so the digest can be reused interval after interval without
  * reallocation.
+ *
+ * Thread safety: the const query methods never mutate the digest, so
+ * any number of threads may query one digest concurrently (e.g. sweep
+ * workers reading a shared reference). Queries on an unsealed digest
+ * sort a private copy of the buffer; call Seal() after the writes of an
+ * interval to sort in place once and make subsequent queries cheap.
+ * Add()/Seal()/Reset() still require external serialization against
+ * each other and against queries, like any single-writer container.
  */
 class PercentileDigest {
   public:
-    /** Adds one sample. */
+    /** Adds one sample (invalidates the sealed state). */
     void Add(double v);
 
     /** Number of samples in the current interval. */
     size_t Count() const { return samples_.size(); }
+
+    /**
+     * Sorts the buffer in place so subsequent queries need no copy.
+     * Idempotent; typically called once at interval roll-up.
+     */
+    void Seal();
 
     /**
      * Returns the p-quantile (p in [0,1]) via linear interpolation.
@@ -45,11 +59,12 @@ class PercentileDigest {
     void Reset();
 
   private:
-    /** Sorts the buffer if new samples arrived since the last query. */
-    void EnsureSorted() const;
+    /** Quantile over an already-sorted buffer. */
+    static double SortedQuantile(const std::vector<double>& sorted,
+                                 double p);
 
-    mutable std::vector<double> samples_;
-    mutable bool sorted_ = true;
+    std::vector<double> samples_;
+    bool sorted_ = true;
 };
 
 /** Running mean / min / max / count over a stream of values. */

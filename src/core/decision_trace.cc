@@ -1,0 +1,63 @@
+#include "core/decision_trace.h"
+
+namespace sinan {
+
+const char*
+ToString(ActionKind kind)
+{
+    switch (kind) {
+    case ActionKind::kHold:
+        return "hold";
+    case ActionKind::kScaleDown:
+        return "scale_down";
+    case ActionKind::kScaleDownBatch:
+        return "scale_down_batch";
+    case ActionKind::kScaleUp:
+        return "scale_up";
+    case ActionKind::kScaleUpAll:
+        return "scale_up_all";
+    case ActionKind::kScaleUpVictims:
+        return "scale_up_victims";
+    }
+    return "unknown";
+}
+
+const char*
+ToString(CandidateOutcome outcome)
+{
+    switch (outcome) {
+    case CandidateOutcome::kChosen:
+        return "chosen";
+    case CandidateOutcome::kRejectedHysteresis:
+        return "hysteresis";
+    case CandidateOutcome::kRejectedPostDownSaturation:
+        return "post_down_saturation";
+    case CandidateOutcome::kRejectedLatencyMargin:
+        return "latency_margin";
+    case CandidateOutcome::kRejectedViolationProb:
+        return "violation_prob";
+    case CandidateOutcome::kNotCheapest:
+        return "not_cheapest";
+    }
+    return "unknown";
+}
+
+const char*
+ToString(DecisionKind kind)
+{
+    switch (kind) {
+    case DecisionKind::kWarmup:
+        return "warmup";
+    case DecisionKind::kFallback:
+        return "fallback";
+    case DecisionKind::kEscalatedFallback:
+        return "escalated_fallback";
+    case DecisionKind::kModel:
+        return "model";
+    case DecisionKind::kNoFeasibleUpscale:
+        return "no_feasible_upscale";
+    }
+    return "unknown";
+}
+
+} // namespace sinan

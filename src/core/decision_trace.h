@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Structured per-interval decision trace of the online scheduler: every
+ * candidate the scheduler considered, the model's predictions for it,
+ * and the reason it was rejected or chosen, together with the trust
+ * state and the safety-path events (warm-up, fallback, escalation).
+ *
+ * The trace is what makes the scheduler's behaviour inspectable — the
+ * paper's fallback/trust mechanics are otherwise invisible in a run log
+ * that only records the final allocation. A ResourceManager fills the
+ * trace through the AttachTelemetry() hook; the harness owns the
+ * buffers, stamps wall-clock interval times, and serializes them next
+ * to the run log (see harness/telemetry_log.h).
+ *
+ * Determinism: entries are appended only from Decide(), which the
+ * harness calls serially per run, and every recorded value is derived
+ * from the deterministic simulation and model evaluation — so the trace
+ * is bit-identical across thread-pool sizes.
+ */
+#ifndef SINAN_CORE_DECISION_TRACE_H
+#define SINAN_CORE_DECISION_TRACE_H
+
+#include <vector>
+
+namespace sinan {
+
+/** Candidate action families (paper Table 1). */
+enum class ActionKind {
+    kHold,
+    kScaleDown,
+    kScaleDownBatch,
+    kScaleUp,
+    kScaleUpAll,
+    kScaleUpVictims,
+};
+
+/** Why a candidate was (not) applied. */
+enum class CandidateOutcome {
+    /** Passed every filter and had the least total CPU. */
+    kChosen,
+    /** Down-action rejected: healthy streak too short to reclaim. */
+    kRejectedHysteresis,
+    /** Down-action rejected: a tier would exceed post_down_util_cap. */
+    kRejectedPostDownSaturation,
+    /** Predicted p99 above QoS minus the (trust-scaled) margin. */
+    kRejectedLatencyMargin,
+    /** Predicted violation probability above p_d / p_u. */
+    kRejectedViolationProb,
+    /** Passed every filter but a cheaper candidate won. */
+    kNotCheapest,
+};
+
+/** Which path produced the interval's allocation. */
+enum class DecisionKind {
+    /** History window not full: conservative utilization stepping. */
+    kWarmup,
+    /** Observed QoS violation: blanket safety upscale. */
+    kFallback,
+    /** Persistent violation: escalated safety upscale (trust lost). */
+    kEscalatedFallback,
+    /** Normal path: a model-filtered candidate was applied. */
+    kModel,
+    /** Normal path, but no candidate passed: scale-up-all. */
+    kNoFeasibleUpscale,
+};
+
+const char* ToString(ActionKind kind);
+const char* ToString(CandidateOutcome outcome);
+const char* ToString(DecisionKind kind);
+
+/** One candidate considered by one decision. */
+struct CandidateTrace {
+    ActionKind kind = ActionKind::kHold;
+    /** Total CPU (cores) of the candidate allocation. */
+    double total_cpu = 0.0;
+    /** Predicted latency percentiles, ms (p95..p99); empty on
+     *  safety-path intervals where the model was not consulted. */
+    std::vector<double> latency_ms;
+    /** Predicted violation probability. */
+    double p_violation = 0.0;
+    CandidateOutcome outcome = CandidateOutcome::kNotCheapest;
+
+    double P99() const
+    {
+        return latency_ms.empty() ? 0.0 : latency_ms.back();
+    }
+};
+
+/** One decision interval. */
+struct DecisionTraceEntry {
+    /** Simulation time of the decision; stamped by the harness (-1
+     *  when the scheduler is driven directly). */
+    double time_s = -1.0;
+    /** 0-based decision index since Reset(). */
+    int interval = 0;
+    DecisionKind kind = DecisionKind::kWarmup;
+
+    /** Observed p99 of the finished interval, and whether it violated
+     *  QoS. */
+    double observed_p99_ms = 0.0;
+    bool violated = false;
+
+    /** Trust state after this interval's bookkeeping. */
+    bool trust_reduced = false;
+    int mispredictions = 0;
+    int healthy_streak = 0;
+    int consecutive_violations = 0;
+    /** Trust transitions that happened on this interval. */
+    bool trust_lost = false;
+    bool trust_restored = false;
+
+    /** Latency filter margin (ms) used on the model path; -1 on the
+     *  safety paths. */
+    double margin_ms = -1.0;
+    /** Whether hysteresis permitted reclaim this interval. */
+    bool may_reclaim = false;
+
+    /** Index of the chosen candidate, -1 when none was applied. */
+    int chosen = -1;
+    std::vector<CandidateTrace> candidates;
+};
+
+/** A full run's decision trace. */
+struct DecisionTrace {
+    std::vector<DecisionTraceEntry> intervals;
+
+    void Clear() { intervals.clear(); }
+};
+
+} // namespace sinan
+
+#endif // SINAN_CORE_DECISION_TRACE_H

@@ -12,6 +12,8 @@
 
 #include "cluster/metrics.h"
 #include "cluster/spec.h"
+#include "common/metrics.h"
+#include "core/decision_trace.h"
 
 namespace sinan {
 
@@ -46,6 +48,20 @@ class ResourceManager {
 
     /** Predicted violation probability of the chosen action, or -1. */
     virtual double LastViolationProb() const { return -1.0; }
+
+    /**
+     * Attaches decision telemetry sinks owned by the caller (the
+     * harness attaches per-run buffers and detaches them before the
+     * run result is returned). Either pointer may be null; managers
+     * without an introspectable decision process ignore the hook.
+     * Sinks must outlive every subsequent Decide() call.
+     */
+    virtual void
+    AttachTelemetry(DecisionTrace* trace, MetricsRegistry* metrics)
+    {
+        (void)trace;
+        (void)metrics;
+    }
 };
 
 } // namespace sinan

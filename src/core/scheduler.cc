@@ -6,6 +6,28 @@
 
 namespace sinan {
 
+namespace {
+
+/** Histogram bucket bounds for predicted/observed tail latency (ms). */
+const std::vector<double>&
+LatencyBounds()
+{
+    static const std::vector<double> b = {1,   2,   5,    10,   20,  50,
+                                          100, 200, 500,  1000, 2000};
+    return b;
+}
+
+/** Histogram bucket bounds for violation probability. */
+const std::vector<double>&
+ProbabilityBounds()
+{
+    static const std::vector<double> b = {0.01, 0.02, 0.05, 0.1,
+                                          0.2,  0.5,  0.9,  1.0};
+    return b;
+}
+
+} // namespace
+
 SinanScheduler::SinanScheduler(HybridModel& model,
                                const SchedulerConfig& cfg)
     : model_(model), cfg_(cfg), window_(model.Features())
@@ -24,6 +46,7 @@ SinanScheduler::Reset()
     mispredictions_ = 0;
     trust_reduced_ = false;
     healthy_streak_ = 0;
+    interval_idx_ = 0;
 }
 
 std::vector<SinanScheduler::Candidate>
@@ -40,18 +63,24 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
                               app.tiers[i].max_cpu);
         return a;
     };
-    auto add = [&](std::vector<double> a, bool down, bool hold) {
+    auto add = [&](std::vector<double> a, ActionKind kind) {
         Candidate c;
         c.alloc = clamp_alloc(std::move(a));
-        c.is_down = down;
-        c.is_hold = hold;
+        c.kind = kind;
+        // A non-hold candidate whose clamped allocation equals the
+        // current one is a phantom: it would duplicate Hold, waste an
+        // Evaluate slot, and — flagged as a down action — let a no-op
+        // masquerade as a reclaim (e.g. a batch down where every
+        // selected tier sits above util_cap).
+        if (kind != ActionKind::kHold && c.alloc == alloc)
+            return;
         c.total_cpu =
             std::accumulate(c.alloc.begin(), c.alloc.end(), 0.0);
         cands.push_back(std::move(c));
     };
 
     // Hold.
-    add(alloc, false, true);
+    add(alloc, ActionKind::kHold);
 
     // Scale Down: single tiers (skipping saturated ones).
     for (int i = 0; i < n; ++i) {
@@ -62,7 +91,7 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
                 continue;
             std::vector<double> a = alloc;
             a[i] -= step;
-            add(std::move(a), true, false);
+            add(std::move(a), ActionKind::kScaleDown);
         }
     }
 
@@ -83,7 +112,7 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
                     continue;
                 a[tier] *= 1.0 - cfg_.batch_down_ratio;
             }
-            add(std::move(a), true, false);
+            add(std::move(a), ActionKind::kScaleDownBatch);
         }
     }
 
@@ -92,7 +121,7 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
         for (double step : cfg_.cpu_steps) {
             std::vector<double> a = alloc;
             a[i] += step;
-            add(std::move(a), false, false);
+            add(std::move(a), ActionKind::kScaleUp);
         }
     }
 
@@ -101,7 +130,7 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
         std::vector<double> a = alloc;
         for (int i = 0; i < n; ++i)
             a[i] = a[i] * (1.0 + cfg_.up_all_ratio) + 0.2;
-        add(std::move(a), false, false);
+        add(std::move(a), ActionKind::kScaleUpAll);
     }
 
     // Scale Up Victims: tiers scaled down within the look-back window.
@@ -120,7 +149,7 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
                 if (victim[i])
                     a[i] += cfg_.cpu_steps.back();
             }
-            add(std::move(a), false, false);
+            add(std::move(a), ActionKind::kScaleUpVictims);
         }
     }
     return cands;
@@ -135,19 +164,89 @@ SinanScheduler::Decide(const IntervalObservation& obs,
     const int n = static_cast<int>(alloc.size());
     window_.Push(obs);
 
+    auto count = [&](const char* name) {
+        if (metrics_)
+            metrics_->Inc(name);
+    };
+
+    DecisionTraceEntry* ent = nullptr;
+    if (trace_) {
+        trace_->intervals.emplace_back();
+        ent = &trace_->intervals.back();
+        ent->interval = interval_idx_;
+    }
+    ++interval_idx_;
+    count("sinan.scheduler.decisions");
+    if (metrics_) {
+        metrics_->Observe("sinan.scheduler.observed_p99_ms", obs.P99(),
+                          LatencyBounds());
+    }
+
     // Track prediction quality for the trust mechanism.
     const bool violated = obs.P99() > qos;
+    bool trust_lost = false;
+    bool trust_restored = false;
     if (pending_pred_p99_ >= 0.0) {
+        count("sinan.scheduler.predictions");
         const bool predicted_ok = pending_pred_p99_ <= qos;
-        if (predicted_ok && violated)
+        if (predicted_ok && violated) {
             ++mispredictions_;
-        if (mispredictions_ > cfg_.trust_threshold)
+            count("sinan.scheduler.mispredictions");
+        }
+        if (!trust_reduced_ && mispredictions_ > cfg_.trust_threshold) {
             trust_reduced_ = true;
+            trust_lost = true;
+        }
     }
     consecutive_violations_ = violated ? consecutive_violations_ + 1 : 0;
     healthy_streak_ = obs.P99() <= cfg_.healthy_frac * qos
                           ? healthy_streak_ + 1
                           : 0;
+
+    // Trust restoration (the paper's counterpart to losing it): a
+    // sustained healthy streak first decays the misprediction count,
+    // then lifts the reduced-trust conservatism once the count is back
+    // under the threshold.
+    if (healthy_streak_ > 0) {
+        if (cfg_.trust_decay_every > 0 && mispredictions_ > 0 &&
+            healthy_streak_ % cfg_.trust_decay_every == 0) {
+            --mispredictions_;
+        }
+        if (trust_reduced_ && cfg_.trust_restore_healthy > 0 &&
+            healthy_streak_ >= cfg_.trust_restore_healthy &&
+            mispredictions_ <= cfg_.trust_threshold) {
+            trust_reduced_ = false;
+            trust_restored = true;
+        }
+    }
+    if (trust_lost)
+        count("sinan.scheduler.trust_lost");
+    if (trust_restored)
+        count("sinan.scheduler.trust_restored");
+
+    // Stamps the interval's closing state into the trace entry and the
+    // state gauges; every return path funnels through here.
+    auto finish = [&](DecisionKind kind) {
+        if (ent) {
+            ent->kind = kind;
+            ent->observed_p99_ms = obs.P99();
+            ent->violated = violated;
+            ent->trust_reduced = trust_reduced_;
+            ent->mispredictions = mispredictions_;
+            ent->healthy_streak = healthy_streak_;
+            ent->consecutive_violations = consecutive_violations_;
+            ent->trust_lost = trust_lost;
+            ent->trust_restored = trust_restored;
+        }
+        if (metrics_) {
+            metrics_->Set("sinan.scheduler.trust_reduced",
+                          trust_reduced_ ? 1.0 : 0.0);
+            metrics_->Set("sinan.scheduler.mispredictions_current",
+                          mispredictions_);
+            metrics_->Set("sinan.scheduler.healthy_streak",
+                          healthy_streak_);
+        }
+    };
 
     // Warm-up: no full history window yet. Falling back to conservative
     // utilization stepping keeps the cluster alive if the run starts
@@ -167,6 +266,8 @@ SinanScheduler::Decide(const IntervalObservation& obs,
             a[i] = std::clamp(a[i], app.tiers[i].min_cpu,
                               app.tiers[i].max_cpu);
         }
+        count("sinan.scheduler.warmup");
+        finish(DecisionKind::kWarmup);
         return a;
     }
 
@@ -182,9 +283,12 @@ SinanScheduler::Decide(const IntervalObservation& obs,
             consecutive_violations_ >= cfg_.max_fallback_after;
         // A violation the model failed to avert for this many intervals
         // also costs it trust: future decisions use the doubled latency
-        // margin until Reset().
-        if (escalate)
+        // margin until it is restored by a healthy streak (or Reset()).
+        if (escalate && !trust_reduced_) {
             trust_reduced_ = true;
+            trust_lost = true;
+            count("sinan.scheduler.trust_lost");
+        }
         for (int i = 0; i < n; ++i) {
             // Saturated tiers get a stronger kick so the built-up queue
             // drains in as few intervals as possible.
@@ -202,6 +306,11 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         last_pred_p99_ = -1.0;
         last_pred_pv_ = -1.0;
         pending_pred_p99_ = -1.0;
+        count("sinan.scheduler.fallbacks");
+        if (escalate)
+            count("sinan.scheduler.escalations");
+        finish(escalate ? DecisionKind::kEscalatedFallback
+                        : DecisionKind::kFallback);
         return a;
     }
 
@@ -225,12 +334,16 @@ SinanScheduler::Decide(const IntervalObservation& obs,
 
     int best = -1;
     int hold_idx = -1;
+    std::vector<CandidateOutcome> outcomes(
+        cands.size(), CandidateOutcome::kNotCheapest);
     for (size_t i = 0; i < cands.size(); ++i) {
-        if (cands[i].is_hold)
+        if (cands[i].IsHold())
             hold_idx = static_cast<int>(i);
-        if (cands[i].is_down) {
-            if (!may_reclaim)
+        if (cands[i].IsDown()) {
+            if (!may_reclaim) {
+                outcomes[i] = CandidateOutcome::kRejectedHysteresis;
                 continue;
+            }
             // Reject downs that would immediately saturate a tier.
             bool saturates = false;
             for (int j = 0; j < n && !saturates; ++j) {
@@ -238,17 +351,60 @@ SinanScheduler::Decide(const IntervalObservation& obs,
                             cfg_.post_down_util_cap *
                                 cands[i].alloc[j];
             }
-            if (saturates)
+            if (saturates) {
+                outcomes[i] =
+                    CandidateOutcome::kRejectedPostDownSaturation;
                 continue;
+            }
         }
         const bool latency_ok = preds[i].P99() <= qos - margin;
         const double pv = preds[i].p_violation;
         const bool prob_ok =
-            cands[i].is_down ? pv < cfg_.p_down : pv < cfg_.p_up;
-        if (!latency_ok || !prob_ok)
+            cands[i].IsDown() ? pv < cfg_.p_down : pv < cfg_.p_up;
+        if (!latency_ok) {
+            outcomes[i] = CandidateOutcome::kRejectedLatencyMargin;
             continue;
+        }
+        if (!prob_ok) {
+            outcomes[i] = CandidateOutcome::kRejectedViolationProb;
+            continue;
+        }
         if (best < 0 || cands[i].total_cpu < cands[best].total_cpu)
             best = static_cast<int>(i);
+    }
+    if (best >= 0)
+        outcomes[best] = CandidateOutcome::kChosen;
+
+    if (metrics_) {
+        metrics_->Inc("sinan.scheduler.candidates", cands.size());
+        for (size_t i = 0; i < cands.size(); ++i) {
+            metrics_->Inc(std::string("sinan.scheduler.outcome.") +
+                          ToString(outcomes[i]));
+            metrics_->Observe("sinan.scheduler.pred_p99_ms",
+                              preds[i].P99(), LatencyBounds());
+            metrics_->Observe("sinan.scheduler.pred_p_violation",
+                              preds[i].p_violation,
+                              ProbabilityBounds());
+        }
+        if (best >= 0) {
+            metrics_->Inc(std::string("sinan.scheduler.chosen.") +
+                          ToString(cands[best].kind));
+        }
+    }
+    if (ent) {
+        ent->margin_ms = margin;
+        ent->may_reclaim = may_reclaim;
+        ent->chosen = best;
+        ent->candidates.reserve(cands.size());
+        for (size_t i = 0; i < cands.size(); ++i) {
+            CandidateTrace ct;
+            ct.kind = cands[i].kind;
+            ct.total_cpu = cands[i].total_cpu;
+            ct.latency_ms = preds[i].latency_ms;
+            ct.p_violation = preds[i].p_violation;
+            ct.outcome = outcomes[i];
+            ent->candidates.push_back(std::move(ct));
+        }
     }
 
     std::vector<double> chosen;
@@ -257,6 +413,8 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         last_pred_p99_ = preds[best].P99();
         last_pred_pv_ = preds[best].p_violation;
         pending_pred_p99_ = last_pred_p99_;
+        count("sinan.scheduler.model_decisions");
+        finish(DecisionKind::kModel);
     } else {
         // No acceptable action: scale everything up.
         chosen.resize(n);
@@ -270,6 +428,8 @@ SinanScheduler::Decide(const IntervalObservation& obs,
             last_pred_pv_ = preds[hold_idx].p_violation;
         }
         pending_pred_p99_ = -1.0;
+        count("sinan.scheduler.no_feasible");
+        finish(DecisionKind::kNoFeasibleUpscale);
     }
 
     // Record this interval's victims for Scale Up Victim.

@@ -51,6 +51,16 @@ struct SchedulerConfig {
     int max_fallback_after = 3;
     /** Mispredictions tolerated before trust is reduced. */
     int trust_threshold = 25;
+    /** Every this many consecutive comfortably-healthy intervals, one
+     *  recorded misprediction is forgiven (0 disables decay). The paper
+     *  restores trust as predictions prove out; without decay a single
+     *  bad phase early in a long run would keep the doubled margin
+     *  forever. */
+    int trust_decay_every = 3;
+    /** Consecutive comfortably-healthy intervals after which reduced
+     *  trust is restored (once mispredictions have decayed back to the
+     *  threshold); 0 disables restoration. */
+    int trust_restore_healthy = 8;
     /** Upper bound on the latency filter margin as a fraction of QoS
      *  (the paper subtracts RMSE_valid; with the simulator's unbounded
      *  queueing spikes the raw RMSE can exceed QoS, which would filter
@@ -84,12 +94,33 @@ class SinanScheduler : public ResourceManager {
     /** True while reduced-trust conservatism is active. */
     bool TrustReduced() const { return trust_reduced_; }
 
+    /**
+     * Attaches per-decision telemetry sinks: every Decide() appends
+     * one DecisionTraceEntry (candidates, rejection reasons, trust
+     * state) and updates the `sinan.scheduler.*` counters/histograms.
+     * Telemetry is observational only — it never changes a decision —
+     * and is bit-identical across thread-pool sizes.
+     */
+    void AttachTelemetry(DecisionTrace* trace,
+                         MetricsRegistry* metrics) override
+    {
+        trace_ = trace;
+        metrics_ = metrics;
+    }
+
   private:
     struct Candidate {
         std::vector<double> alloc;
-        bool is_down = false;
-        bool is_hold = false;
+        ActionKind kind = ActionKind::kHold;
         double total_cpu = 0.0;
+
+        bool
+        IsDown() const
+        {
+            return kind == ActionKind::kScaleDown ||
+                   kind == ActionKind::kScaleDownBatch;
+        }
+        bool IsHold() const { return kind == ActionKind::kHold; }
     };
 
     /** Builds the Table-1 candidate action set. */
@@ -113,6 +144,12 @@ class SinanScheduler : public ResourceManager {
     int consecutive_violations_ = 0;
     int mispredictions_ = 0;
     bool trust_reduced_ = false;
+
+    /** Decisions made since Reset() (trace interval index). */
+    int interval_idx_ = 0;
+    /** Telemetry sinks (not owned; may be null). */
+    DecisionTrace* trace_ = nullptr;
+    MetricsRegistry* metrics_ = nullptr;
 };
 
 } // namespace sinan

@@ -19,6 +19,7 @@ RunManaged(const Application& app, ResourceManager& manager,
 
     manager.Reset();
     RunResult result;
+    manager.AttachTelemetry(&result.decision_trace, &result.metrics);
 
     sim.AddTickable([&](double now, double dt) { gen.Tick(now, dt); });
     sim.AddTickable([&](double now, double dt) { cluster.Tick(now, dt); });
@@ -34,14 +35,22 @@ RunManaged(const Application& app, ResourceManager& manager,
         rec.total_cpu = obs.TotalCpuLimit();
         rec.alloc = alloc;
 
+        const size_t traced = result.decision_trace.intervals.size();
         const std::vector<double> next = manager.Decide(obs, alloc, app);
         cluster.SetAllocation(next);
+        // Stamp the simulation time onto whatever the manager traced
+        // for this decision (the scheduler has no notion of time).
+        for (size_t i = traced;
+             i < result.decision_trace.intervals.size(); ++i)
+            result.decision_trace.intervals[i].time_s = now;
         rec.predicted_p99_ms = manager.LastPredictedP99();
         rec.predicted_violation = manager.LastViolationProb();
         result.timeline.push_back(std::move(rec));
     });
 
     sim.RunFor(cfg.duration_s);
+    // The sinks move with the result; detach before returning.
+    manager.AttachTelemetry(nullptr, nullptr);
 
     // Aggregate post-warmup metrics.
     size_t met = 0, measured = 0;

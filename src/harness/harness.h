@@ -67,6 +67,15 @@ struct RunResult {
     std::vector<double> p99_series_ms;
     /** Full timeline (includes warmup). */
     std::vector<IntervalRecord> timeline;
+    /**
+     * Per-decision telemetry, filled by managers that implement the
+     * AttachTelemetry() hook (SinanScheduler): the structured decision
+     * trace with interval times stamped by the harness, and the
+     * `sinan.scheduler.*` metric registry. Empty for managers without
+     * telemetry. Serializers live in harness/telemetry_log.h.
+     */
+    DecisionTrace decision_trace;
+    MetricsRegistry metrics;
 };
 
 /** Runs @p manager on @p app under @p load. */

@@ -38,6 +38,30 @@ WriteRunLog(const std::string& path, const RunResult& result,
     WriteFile(path, RunLogToCsv(result, app));
 }
 
+namespace {
+
+/** Parses one CSV cell as a double; reports line/column on failure. */
+double
+ParseCell(const std::string& cell, int line_no, size_t col)
+{
+    size_t consumed = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(cell, &consumed);
+    } catch (const std::exception&) {
+        consumed = 0;
+    }
+    if (consumed != cell.size() || cell.empty()) {
+        throw std::invalid_argument(
+            "ParseRunLog: line " + std::to_string(line_no) +
+            ", column " + std::to_string(col) + ": bad numeric cell '" +
+            cell + "'");
+    }
+    return v;
+}
+
+} // namespace
+
 std::vector<RunLogRow>
 ParseRunLog(const std::string& csv)
 {
@@ -47,18 +71,38 @@ ParseRunLog(const std::string& csv)
         throw std::invalid_argument("ParseRunLog: empty input");
     if (line.rfind("time_s,", 0) != 0)
         throw std::invalid_argument("ParseRunLog: bad header");
+    const size_t header_cols =
+        1 + static_cast<size_t>(
+                std::count(line.begin(), line.end(), ','));
 
     std::vector<RunLogRow> rows;
+    int line_no = 1;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty())
             continue;
         std::istringstream ls(line);
         std::string cell;
         std::vector<double> values;
         while (std::getline(ls, cell, ','))
-            values.push_back(std::stod(cell));
-        if (values.size() < 6)
-            throw std::invalid_argument("ParseRunLog: short row");
+            values.push_back(
+                ParseCell(cell, line_no, values.size() + 1));
+        if (values.size() < 6) {
+            throw std::invalid_argument(
+                "ParseRunLog: line " + std::to_string(line_no) +
+                ": short row (" + std::to_string(values.size()) +
+                " columns, need at least 6)");
+        }
+        // The alloc columns must agree with the header's tier list; a
+        // truncated or over-long row would otherwise silently shift
+        // per-tier allocations.
+        if (values.size() != header_cols) {
+            throw std::invalid_argument(
+                "ParseRunLog: line " + std::to_string(line_no) + ": " +
+                std::to_string(values.size()) +
+                " columns but the header has " +
+                std::to_string(header_cols));
+        }
         RunLogRow row;
         row.time_s = values[0];
         row.rps = values[1];

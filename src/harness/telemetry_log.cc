@@ -1,0 +1,170 @@
+#include "harness/telemetry_log.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace sinan {
+
+namespace {
+
+constexpr int kPercentiles = 5; // p95..p99, matching LatencyQuantiles()
+
+void
+AppendEntryPrefix(std::ostringstream& out, const DecisionTraceEntry& e)
+{
+    out << e.time_s << ',' << e.interval << ',' << ToString(e.kind)
+        << ',' << e.observed_p99_ms << ',' << (e.violated ? 1 : 0)
+        << ',' << (e.trust_reduced ? 1 : 0) << ',' << e.mispredictions
+        << ',' << e.healthy_streak << ',' << e.consecutive_violations
+        << ',' << (e.trust_lost ? 1 : 0) << ','
+        << (e.trust_restored ? 1 : 0) << ',' << e.margin_ms << ','
+        << (e.may_reclaim ? 1 : 0);
+}
+
+bool
+EndsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+} // namespace
+
+std::string
+DecisionTraceToCsv(const DecisionTrace& trace)
+{
+    std::ostringstream out;
+    out << "time_s,interval,decision,observed_p99_ms,violated,"
+           "trust_reduced,mispredictions,healthy_streak,"
+           "consecutive_violations,trust_lost,trust_restored,margin_ms,"
+           "may_reclaim,candidate,action,total_cpu";
+    for (int p = 0; p < kPercentiles; ++p)
+        out << ",pred_p" << (95 + p) << "_ms";
+    out << ",p_violation,outcome\n";
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    for (const DecisionTraceEntry& e : trace.intervals) {
+        if (e.candidates.empty()) {
+            AppendEntryPrefix(out, e);
+            out << ",-1,,";
+            for (int p = 0; p <= kPercentiles; ++p)
+                out << ',';
+            out << ",\n";
+            continue;
+        }
+        for (size_t c = 0; c < e.candidates.size(); ++c) {
+            const CandidateTrace& ct = e.candidates[c];
+            AppendEntryPrefix(out, e);
+            out << ',' << c << ',' << ToString(ct.kind) << ','
+                << ct.total_cpu;
+            for (int p = 0; p < kPercentiles; ++p) {
+                out << ',';
+                if (p < static_cast<int>(ct.latency_ms.size()))
+                    out << ct.latency_ms[p];
+            }
+            out << ',' << ct.p_violation << ',' << ToString(ct.outcome)
+                << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::string
+DecisionTraceToJson(const DecisionTrace& trace)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    out << "[\n";
+    for (size_t i = 0; i < trace.intervals.size(); ++i) {
+        const DecisionTraceEntry& e = trace.intervals[i];
+        out << "  {\"time_s\": " << e.time_s
+            << ", \"interval\": " << e.interval << ", \"decision\": \""
+            << ToString(e.kind)
+            << "\", \"observed_p99_ms\": " << e.observed_p99_ms
+            << ", \"violated\": " << (e.violated ? "true" : "false")
+            << ", \"trust_reduced\": "
+            << (e.trust_reduced ? "true" : "false")
+            << ", \"mispredictions\": " << e.mispredictions
+            << ", \"healthy_streak\": " << e.healthy_streak
+            << ", \"consecutive_violations\": "
+            << e.consecutive_violations << ", \"trust_lost\": "
+            << (e.trust_lost ? "true" : "false")
+            << ", \"trust_restored\": "
+            << (e.trust_restored ? "true" : "false")
+            << ", \"margin_ms\": " << e.margin_ms
+            << ", \"may_reclaim\": "
+            << (e.may_reclaim ? "true" : "false")
+            << ", \"chosen\": " << e.chosen << ",\n   \"candidates\": [";
+        for (size_t c = 0; c < e.candidates.size(); ++c) {
+            const CandidateTrace& ct = e.candidates[c];
+            out << (c ? ",\n     " : "\n     ") << "{\"action\": \""
+                << ToString(ct.kind)
+                << "\", \"total_cpu\": " << ct.total_cpu
+                << ", \"latency_ms\": [";
+            for (size_t p = 0; p < ct.latency_ms.size(); ++p)
+                out << (p ? ", " : "") << ct.latency_ms[p];
+            out << "], \"p_violation\": " << ct.p_violation
+                << ", \"outcome\": \"" << ToString(ct.outcome) << "\"}";
+        }
+        out << (e.candidates.empty() ? "]}" : "\n   ]}")
+            << (i + 1 < trace.intervals.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    return out.str();
+}
+
+void
+WriteDecisionTrace(const std::string& path, const DecisionTrace& trace)
+{
+    WriteFile(path, EndsWith(path, ".json")
+                        ? DecisionTraceToJson(trace)
+                        : DecisionTraceToCsv(trace));
+}
+
+void
+WriteMetrics(const std::string& path, const MetricsRegistry& reg)
+{
+    WriteFile(path,
+              EndsWith(path, ".json") ? reg.ToJson() : reg.ToCsv());
+}
+
+double
+TelemetrySummary::PredictionAccuracy() const
+{
+    if (predictions == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(mispredictions) /
+                     static_cast<double>(predictions);
+}
+
+double
+TelemetrySummary::FallbackRate() const
+{
+    if (decisions == 0)
+        return 0.0;
+    return static_cast<double>(fallbacks) /
+           static_cast<double>(decisions);
+}
+
+TelemetrySummary
+SummarizeTelemetry(const MetricsRegistry& reg)
+{
+    TelemetrySummary s;
+    s.decisions = reg.Counter("sinan.scheduler.decisions");
+    s.warmup = reg.Counter("sinan.scheduler.warmup");
+    s.fallbacks = reg.Counter("sinan.scheduler.fallbacks");
+    s.escalations = reg.Counter("sinan.scheduler.escalations");
+    s.model_decisions = reg.Counter("sinan.scheduler.model_decisions");
+    s.no_feasible = reg.Counter("sinan.scheduler.no_feasible");
+    s.candidates = reg.Counter("sinan.scheduler.candidates");
+    s.predictions = reg.Counter("sinan.scheduler.predictions");
+    s.mispredictions = reg.Counter("sinan.scheduler.mispredictions");
+    s.trust_lost = reg.Counter("sinan.scheduler.trust_lost");
+    s.trust_restored = reg.Counter("sinan.scheduler.trust_restored");
+    return s;
+}
+
+} // namespace sinan

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Serialization of the scheduler's decision telemetry (see
+ * core/decision_trace.h and common/metrics.h), emitted next to the run
+ * log: a flat CSV with one row per candidate per decision interval (the
+ * format the acceptance tooling and the figure post-processing consume)
+ * and a nested JSON form for ad-hoc inspection. Both renderings are
+ * deterministic: equal traces produce byte-identical output, which is
+ * what the 1-vs-N-thread parity tests compare.
+ */
+#ifndef SINAN_HARNESS_TELEMETRY_LOG_H
+#define SINAN_HARNESS_TELEMETRY_LOG_H
+
+#include <string>
+
+#include "common/metrics.h"
+#include "core/decision_trace.h"
+
+namespace sinan {
+
+/**
+ * Flat CSV: header plus one row per candidate, and one row with
+ * candidate = -1 for intervals decided on a safety path (warm-up,
+ * fallback) where no candidates were evaluated. Columns:
+ *   time_s, interval, decision, observed_p99_ms, violated,
+ *   trust_reduced, mispredictions, healthy_streak,
+ *   consecutive_violations, trust_lost, trust_restored, margin_ms,
+ *   may_reclaim, candidate, action, total_cpu, pred_p95_ms..pred_p99_ms,
+ *   p_violation, outcome
+ */
+std::string DecisionTraceToCsv(const DecisionTrace& trace);
+
+/** Nested JSON: an array of interval objects with their candidates. */
+std::string DecisionTraceToJson(const DecisionTrace& trace);
+
+/**
+ * Writes the trace to @p path (creating parent directories); a path
+ * ending in ".json" selects the JSON rendering, anything else CSV.
+ */
+void WriteDecisionTrace(const std::string& path,
+                        const DecisionTrace& trace);
+
+/** Writes a metrics registry to @p path (".json" selects JSON). */
+void WriteMetrics(const std::string& path, const MetricsRegistry& reg);
+
+/** Summary counters derived from a run's metric registry. */
+struct TelemetrySummary {
+    uint64_t decisions = 0;
+    uint64_t warmup = 0;
+    uint64_t fallbacks = 0;
+    uint64_t escalations = 0;
+    uint64_t model_decisions = 0;
+    uint64_t no_feasible = 0;
+    uint64_t candidates = 0;
+    uint64_t predictions = 0;
+    uint64_t mispredictions = 0;
+    uint64_t trust_lost = 0;
+    uint64_t trust_restored = 0;
+
+    /** Fraction of evaluated predictions that proved out (1 when the
+     *  manager made no predictions). */
+    double PredictionAccuracy() const;
+
+    /** Fallback intervals (incl. escalations) per decision. */
+    double FallbackRate() const;
+};
+
+/** Reads the `sinan.scheduler.*` counters out of @p reg. */
+TelemetrySummary SummarizeTelemetry(const MetricsRegistry& reg);
+
+} // namespace sinan
+
+#endif // SINAN_HARNESS_TELEMETRY_LOG_H

@@ -8,7 +8,9 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -217,6 +219,56 @@ TEST(PercentileDigest, ResetClears)
     EXPECT_EQ(d.Quantile(0.5), 0.0);
 }
 
+TEST(PercentileDigest, SealMatchesUnsealedQueries)
+{
+    PercentileDigest a, b;
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i) {
+        const double v = rng.Uniform(0, 50);
+        a.Add(v);
+        b.Add(v);
+    }
+    b.Seal();
+    for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.Quantile(p), b.Quantile(p));
+    EXPECT_DOUBLE_EQ(a.Max(), b.Max());
+    EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(PercentileDigest, ConcurrentConstReadersDoNotRace)
+{
+    // Regression: Quantile()/Max() used to sort `mutable` state from
+    // const methods, so two threads reading one digest through const
+    // refs raced (caught under TSan). Const queries must now be pure.
+    PercentileDigest d;
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i)
+        d.Add(rng.Uniform(0, 1000));
+    const PercentileDigest& ref = d;
+
+    std::vector<double> results(8, 0.0);
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 8; ++r) {
+        readers.emplace_back([&ref, &results, r] {
+            double acc = 0.0;
+            for (int i = 0; i < 50; ++i) {
+                acc += ref.Quantile(0.99);
+                acc += ref.Max();
+                acc += ref.Quantiles({0.5, 0.95}).back();
+            }
+            results[r] = acc;
+        });
+    }
+    for (std::thread& t : readers)
+        t.join();
+    for (int r = 1; r < 8; ++r)
+        EXPECT_DOUBLE_EQ(results[r], results[0]);
+    // The buffer was never mutated: order-sensitive state is intact.
+    EXPECT_EQ(d.Count(), 2000u);
+    d.Seal();
+    EXPECT_DOUBLE_EQ(d.Quantile(1.0), d.Max());
+}
+
 TEST(PercentileDigest, QuantilesBatchMatchesSingles)
 {
     PercentileDigest d;
@@ -375,6 +427,75 @@ TEST(RingWindow, ClearResets)
     EXPECT_EQ(w.Size(), 0u);
     w.Push(9);
     EXPECT_EQ(w.At(0), 9);
+}
+
+TEST(MetricsRegistry, CountersAndGauges)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.Counter("absent"), 0u);
+    EXPECT_DOUBLE_EQ(reg.Gauge("absent"), 0.0);
+    reg.Inc("a");
+    reg.Inc("a", 4);
+    reg.Set("g", 2.5);
+    reg.Set("g", -1.0);
+    EXPECT_EQ(reg.Counter("a"), 5u);
+    EXPECT_DOUBLE_EQ(reg.Gauge("g"), -1.0);
+    reg.Clear();
+    EXPECT_EQ(reg.Counter("a"), 0u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndSummary)
+{
+    MetricsRegistry reg;
+    reg.Observe("h", 0.5, {1.0, 10.0, 100.0});
+    reg.Observe("h", 1.0);  // boundary lands in its bucket (inclusive)
+    reg.Observe("h", 50.0);
+    reg.Observe("h", 1000.0); // overflow
+    const FixedHistogram* h = reg.Histogram("h");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->Counts().size(), 4u);
+    EXPECT_EQ(h->Counts()[0], 2u);
+    EXPECT_EQ(h->Counts()[1], 0u);
+    EXPECT_EQ(h->Counts()[2], 1u);
+    EXPECT_EQ(h->Counts()[3], 1u);
+    EXPECT_EQ(h->Count(), 4u);
+    EXPECT_DOUBLE_EQ(h->Sum(), 1051.5);
+    EXPECT_DOUBLE_EQ(h->Min(), 0.5);
+    EXPECT_DOUBLE_EQ(h->Max(), 1000.0);
+    EXPECT_EQ(reg.Histogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, HistogramRejectsUnsortedBounds)
+{
+    EXPECT_THROW(FixedHistogram({3.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SerializationIsDeterministic)
+{
+    auto fill = [](MetricsRegistry& reg, bool reorder) {
+        if (reorder) {
+            reg.Set("gauge.z", 7.0);
+            reg.Inc("counter.b", 2);
+            reg.Inc("counter.a");
+        } else {
+            reg.Inc("counter.a");
+            reg.Inc("counter.b", 2);
+            reg.Set("gauge.z", 7.0);
+        }
+        reg.Observe("hist", 3.0, {1.0, 5.0});
+        reg.Observe("hist", 9.0);
+    };
+    MetricsRegistry x, y;
+    fill(x, false);
+    fill(y, true);
+    // Same metrics in any insertion order render byte-identically.
+    EXPECT_EQ(x.ToCsv(), y.ToCsv());
+    EXPECT_EQ(x.ToJson(), y.ToJson());
+    EXPECT_NE(x.ToCsv().find("counter,counter.a,value,1"),
+              std::string::npos);
+    EXPECT_NE(x.ToCsv().find("histogram,hist,le_inf,1"),
+              std::string::npos);
+    EXPECT_NE(x.ToJson().find("\"counter.b\": 2"), std::string::npos);
 }
 
 } // namespace

@@ -86,6 +86,64 @@ TEST(RunLog, ParserRejectsGarbage)
         std::invalid_argument);
 }
 
+TEST(RunLog, MalformedCellReportsLineAndColumn)
+{
+    const std::string csv =
+        "time_s,rps,p99_ms,predicted_p99_ms,predicted_violation,"
+        "total_cpu,cpu:a\n"
+        "1,100,50,45,0.1,6,2\n"
+        "2,100,oops,45,0.1,6,2\n";
+    try {
+        ParseRunLog(csv);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("column 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'oops'"), std::string::npos) << msg;
+    }
+}
+
+TEST(RunLog, RejectsTrailingGarbageInCell)
+{
+    // std::stod would parse the "1.5" prefix and silently drop "x".
+    const std::string csv =
+        "time_s,rps,p99_ms,predicted_p99_ms,predicted_violation,"
+        "total_cpu,cpu:a\n"
+        "1.5x,100,50,45,0.1,6,2\n";
+    EXPECT_THROW(ParseRunLog(csv), std::invalid_argument);
+}
+
+TEST(RunLog, RejectsEmptyCell)
+{
+    const std::string csv =
+        "time_s,rps,p99_ms,predicted_p99_ms,predicted_violation,"
+        "total_cpu,cpu:a\n"
+        "1,100,,45,0.1,6,2\n";
+    EXPECT_THROW(ParseRunLog(csv), std::invalid_argument);
+}
+
+TEST(RunLog, RejectsAllocColumnCountMismatch)
+{
+    // Header declares two tiers; rows with one or three alloc cells
+    // must be rejected rather than silently shifting allocations.
+    const std::string header =
+        "time_s,rps,p99_ms,predicted_p99_ms,predicted_violation,"
+        "total_cpu,cpu:a,cpu:b\n";
+    EXPECT_NO_THROW(ParseRunLog(header + "1,100,50,45,0.1,6,2,3\n"));
+    try {
+        ParseRunLog(header + "1,100,50,45,0.1,6,2\n");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("7 columns"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("header has 8"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(ParseRunLog(header + "1,100,50,45,0.1,6,2,3,4\n"),
+                 std::invalid_argument);
+}
+
 TEST(RunLog, SummaryMatchesDirectComputation)
 {
     const RunResult r = ToyResult(10); // p99: 100..190, QoS 150

@@ -169,6 +169,71 @@ TEST_F(SchedulerFixture, PersistentViolationReducesModelTrust)
     EXPECT_FALSE(sched.TrustReduced());
 }
 
+TEST_F(SchedulerFixture, TrustRestoredAfterSustainedHealthyStreak)
+{
+    // Regression: trust_reduced_ used to latch on forever; the paper
+    // restores trust as predictions prove out.
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 2;
+    cfg.trust_decay_every = 2;
+    cfg.trust_restore_healthy = 4;
+    SinanScheduler sched(*model_, cfg);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    for (int t = 0; t < features_->history; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100), alloc, *app_);
+    }
+    // Violation streak reaching max_fallback_after loses trust...
+    int t = features_->history;
+    for (int v = 0; v < 2; ++v) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, 2.0, 0.95,
+                    app_->qos_ms + 200.0),
+            alloc, *app_);
+    }
+    ASSERT_TRUE(sched.TrustReduced());
+    // ...a short healthy stretch is not enough to restore it...
+    for (int k = 0; k < cfg.trust_restore_healthy - 1; ++k) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, 2.0, 0.4, 90), alloc, *app_);
+        EXPECT_TRUE(sched.TrustReduced());
+    }
+    // ...but a sustained one is.
+    alloc = sched.Decide(
+        MakeObs(*features_, t++, 100, 2.0, 0.4, 90), alloc, *app_);
+    EXPECT_FALSE(sched.TrustReduced());
+}
+
+TEST_F(SchedulerFixture, MispredictionsDecayDuringHealthyStreak)
+{
+    // Regression: mispredictions_ only ever grew, so one bad phase
+    // early in a long run poisoned the trust budget permanently.
+    SchedulerConfig cfg;
+    cfg.trust_decay_every = 1;
+    SinanScheduler sched(*model_, cfg);
+    std::vector<double> alloc(app_->tiers.size(), 4.0);
+    for (int t = 0; t + 1 < features_->history; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 4.0, 0.4, 90), alloc, *app_);
+    }
+    // First model decision: a prediction is pending.
+    alloc = sched.Decide(
+        MakeObs(*features_, features_->history, 100, 4.0, 0.4, 90),
+        alloc, *app_);
+    ASSERT_GT(sched.LastPredictedP99(), 0.0);
+    // The model predicted OK but the interval violated: misprediction.
+    alloc = sched.Decide(
+        MakeObs(*features_, features_->history + 1, 100, 4.0, 0.95,
+                app_->qos_ms + 100.0),
+        alloc, *app_);
+    ASSERT_EQ(sched.Mispredictions(), 1);
+    // Comfortably-healthy intervals decay the count back to zero.
+    alloc = sched.Decide(
+        MakeObs(*features_, features_->history + 2, 100, 4.0, 0.4, 90),
+        alloc, *app_);
+    EXPECT_EQ(sched.Mispredictions(), 0);
+}
+
 TEST_F(SchedulerFixture, BrokenViolationStreakKeepsTrust)
 {
     SchedulerConfig cfg;

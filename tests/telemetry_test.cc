@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the decision-telemetry subsystem: the scheduler's decision
+ * trace (candidate outcomes, safety-path events, trust transitions),
+ * the `sinan.scheduler.*` metric registry, serialization, and
+ * bit-identical 1-vs-N-thread parity of the full telemetry output.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "app/apps.h"
+#include "common/thread_pool.h"
+#include "core/scheduler.h"
+#include "harness/harness.h"
+#include "harness/telemetry_log.h"
+#include "test_util.h"
+
+namespace sinan {
+namespace {
+
+using testutil::MakeObs;
+using testutil::SmallFeatures;
+using testutil::SyntheticDataset;
+
+/** Fixture with a tiny hybrid model trained on the synthetic law. */
+class TelemetryFixture : public ::testing::Test {
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        features_ = new FeatureConfig(SmallFeatures(4, 3));
+        const Dataset all = SyntheticDataset(*features_, 500, 171);
+        Rng rng(173);
+        const auto [train, valid] = all.Split(0.9, rng);
+        HybridConfig cfg;
+        cfg.train.epochs = 15;
+        cfg.bt.n_trees = 60;
+        model_ = new HybridModel(*features_, cfg, 177);
+        model_->Train(train, valid);
+
+        app_ = new Application();
+        app_->name = "toy";
+        app_->qos_ms = features_->qos_ms;
+        for (int i = 0; i < features_->n_tiers; ++i) {
+            TierSpec t;
+            t.name = "tier" + std::to_string(i);
+            t.min_cpu = 0.2;
+            t.max_cpu = 8.0;
+            t.init_cpu = 2.0;
+            app_->tiers.push_back(t);
+        }
+        RequestType rt;
+        rt.name = "r";
+        rt.root.tier = 0;
+        app_->request_types.push_back(rt);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        delete features_;
+        delete app_;
+        model_ = nullptr;
+        features_ = nullptr;
+        app_ = nullptr;
+    }
+
+    /** Drives warm-up intervals until the window is one observation
+     *  short of ready, so the next Decide() is the first model path. */
+    static std::vector<double>
+    Warmup(SinanScheduler& sched, std::vector<double> alloc,
+           double p99 = 100.0)
+    {
+        for (int t = 0; t + 1 < features_->history; ++t) {
+            alloc = sched.Decide(
+                MakeObs(*features_, t, 100, alloc[0], 0.5, p99), alloc,
+                *app_);
+        }
+        return alloc;
+    }
+
+    static FeatureConfig* features_;
+    static HybridModel* model_;
+    static Application* app_;
+};
+
+FeatureConfig* TelemetryFixture::features_ = nullptr;
+HybridModel* TelemetryFixture::model_ = nullptr;
+Application* TelemetryFixture::app_ = nullptr;
+
+TEST_F(TelemetryFixture, WarmupIntervalsAreTraced)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+
+    const std::vector<double> alloc(app_->tiers.size(), 2.0);
+    sched.Decide(MakeObs(*features_, 0, 100, 2.0, 0.2, 100), alloc,
+                 *app_);
+    ASSERT_EQ(trace.intervals.size(), 1u);
+    EXPECT_EQ(trace.intervals[0].kind, DecisionKind::kWarmup);
+    EXPECT_TRUE(trace.intervals[0].candidates.empty());
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.warmup"), 1u);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.decisions"), 1u);
+}
+
+TEST_F(TelemetryFixture, ForcedViolationProducesFallbackEvent)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    alloc = Warmup(sched, alloc);
+
+    // Forced QoS violation: the safety path must fire and be traced.
+    alloc = sched.Decide(MakeObs(*features_, features_->history, 100,
+                                 alloc[0], 0.95,
+                                 app_->qos_ms + 100.0),
+                         alloc, *app_);
+    const DecisionTraceEntry& e = trace.intervals.back();
+    EXPECT_EQ(e.kind, DecisionKind::kFallback);
+    EXPECT_TRUE(e.violated);
+    EXPECT_TRUE(e.candidates.empty());
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.fallbacks"), 1u);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.escalations"), 0u);
+}
+
+TEST_F(TelemetryFixture, EscalatedFallbackIsDistinguished)
+{
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 2;
+    SinanScheduler sched(*model_, cfg);
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    alloc = Warmup(sched, alloc);
+    int t = features_->history;
+    for (int v = 0; v < 2; ++v) {
+        alloc = sched.Decide(MakeObs(*features_, t++, 100, alloc[0],
+                                     0.95, app_->qos_ms + 200.0),
+                             alloc, *app_);
+    }
+    EXPECT_EQ(trace.intervals.back().kind,
+              DecisionKind::kEscalatedFallback);
+    EXPECT_TRUE(trace.intervals.back().trust_lost);
+    EXPECT_TRUE(trace.intervals.back().trust_reduced);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.escalations"), 1u);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.trust_lost"), 1u);
+}
+
+TEST_F(TelemetryFixture, ModelDecisionTracesEveryCandidateWithOutcome)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+
+    std::vector<double> alloc(app_->tiers.size(), 4.0);
+    alloc = Warmup(sched, alloc);
+    sched.Decide(
+        MakeObs(*features_, features_->history, 100, alloc[0], 0.4, 90),
+        alloc, *app_);
+
+    const DecisionTraceEntry& e = trace.intervals.back();
+    ASSERT_TRUE(e.kind == DecisionKind::kModel ||
+                e.kind == DecisionKind::kNoFeasibleUpscale);
+    ASSERT_FALSE(e.candidates.empty());
+    EXPECT_GT(e.margin_ms, 0.0);
+    int chosen_count = 0;
+    for (const CandidateTrace& ct : e.candidates) {
+        // Every model-path candidate carries its predictions.
+        EXPECT_EQ(ct.latency_ms.size(), 5u);
+        EXPECT_GE(ct.p_violation, 0.0);
+        EXPECT_LE(ct.p_violation, 1.0);
+        chosen_count += ct.outcome == CandidateOutcome::kChosen;
+    }
+    if (e.kind == DecisionKind::kModel) {
+        EXPECT_EQ(chosen_count, 1);
+        ASSERT_GE(e.chosen, 0);
+        EXPECT_EQ(e.candidates[e.chosen].outcome,
+                  CandidateOutcome::kChosen);
+    } else {
+        EXPECT_EQ(chosen_count, 0);
+        EXPECT_EQ(e.chosen, -1);
+    }
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.candidates"),
+              e.candidates.size());
+}
+
+TEST_F(TelemetryFixture, RejectedDownCandidateCarriesHysteresisReason)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    sched.AttachTelemetry(&trace, nullptr);
+
+    std::vector<double> alloc(app_->tiers.size(), 4.0);
+    // Warm up at a p99 that meets QoS but is NOT comfortably healthy
+    // (above healthy_frac * QoS = 400), so the healthy streak stays 0
+    // and hysteresis forbids reclaiming.
+    alloc = Warmup(sched, alloc, 450.0);
+    sched.Decide(MakeObs(*features_, features_->history, 100, alloc[0],
+                         0.4, 450.0),
+                 alloc, *app_);
+
+    const DecisionTraceEntry& e = trace.intervals.back();
+    EXPECT_FALSE(e.may_reclaim);
+    int down_candidates = 0;
+    for (const CandidateTrace& ct : e.candidates) {
+        if (ct.kind != ActionKind::kScaleDown &&
+            ct.kind != ActionKind::kScaleDownBatch)
+            continue;
+        ++down_candidates;
+        EXPECT_EQ(ct.outcome, CandidateOutcome::kRejectedHysteresis);
+    }
+    EXPECT_GT(down_candidates, 0);
+}
+
+TEST_F(TelemetryFixture, PhantomNoOpDownCandidatesAreNotEmitted)
+{
+    // Regression: when every one of the k least-utilized tiers is above
+    // util_cap, the batch-down loop used to emit a candidate identical
+    // to Hold but flagged as a down action.
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    sched.AttachTelemetry(&trace, nullptr);
+
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    alloc = Warmup(sched, alloc);
+    // All tiers above util_cap (0.90) but latency healthy: no tier may
+    // be scaled down, so no down candidate of any kind may appear.
+    sched.Decide(
+        MakeObs(*features_, features_->history, 100, alloc[0], 0.95, 90),
+        alloc, *app_);
+
+    const DecisionTraceEntry& e = trace.intervals.back();
+    ASSERT_FALSE(e.candidates.empty());
+    const double hold_cpu =
+        std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    for (const CandidateTrace& ct : e.candidates) {
+        const bool down = ct.kind == ActionKind::kScaleDown ||
+                          ct.kind == ActionKind::kScaleDownBatch;
+        EXPECT_FALSE(down) << "phantom down candidate with total_cpu "
+                           << ct.total_cpu << " (hold " << hold_cpu
+                           << ")";
+    }
+}
+
+TEST_F(TelemetryFixture, TrustRestorationIsTraced)
+{
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 2;
+    cfg.trust_decay_every = 2;
+    cfg.trust_restore_healthy = 4;
+    SinanScheduler sched(*model_, cfg);
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    alloc = Warmup(sched, alloc);
+    int t = features_->history;
+    for (int v = 0; v < 2; ++v) {
+        alloc = sched.Decide(MakeObs(*features_, t++, 100, alloc[0],
+                                     0.95, app_->qos_ms + 200.0),
+                             alloc, *app_);
+    }
+    ASSERT_TRUE(sched.TrustReduced());
+    bool restored_seen = false;
+    for (int k = 0; k < cfg.trust_restore_healthy; ++k) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, alloc[0], 0.4, 90), alloc,
+            *app_);
+        restored_seen |= trace.intervals.back().trust_restored;
+    }
+    EXPECT_FALSE(sched.TrustReduced());
+    EXPECT_TRUE(restored_seen);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.trust_restored"), 1u);
+}
+
+TEST_F(TelemetryFixture, TraceSerializesToCsvAndJson)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    sched.AttachTelemetry(&trace, nullptr);
+
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    alloc = Warmup(sched, alloc);
+    alloc = sched.Decide(
+        MakeObs(*features_, features_->history, 100, alloc[0], 0.4, 90),
+        alloc, *app_);
+
+    const std::string csv = DecisionTraceToCsv(trace);
+    EXPECT_NE(csv.find("time_s,interval,decision"), std::string::npos);
+    EXPECT_NE(csv.find("warmup"), std::string::npos);
+    // One header + one row per warmup interval + one per candidate.
+    size_t rows = 0;
+    for (char ch : csv)
+        rows += ch == '\n';
+    EXPECT_EQ(rows, 1u + static_cast<size_t>(features_->history - 1) +
+                        trace.intervals.back().candidates.size());
+
+    const std::string json = DecisionTraceToJson(trace);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"decision\": \"warmup\""), std::string::npos);
+    EXPECT_NE(json.find("\"candidates\": ["), std::string::npos);
+}
+
+TEST_F(TelemetryFixture, TelemetryBitIdenticalAcrossThreadCounts)
+{
+    // The same decision sequence driven at 1 and at 8 threads must
+    // serialize to byte-identical telemetry (HybridModel::Evaluate is
+    // the parallel hot path under the scheduler).
+    auto run = [&](int threads) {
+        SetNumThreads(threads);
+        SinanScheduler sched(*model_, SchedulerConfig{});
+        DecisionTrace trace;
+        MetricsRegistry metrics;
+        sched.AttachTelemetry(&trace, &metrics);
+        std::vector<double> alloc(app_->tiers.size(), 4.0);
+        Rng rng(191);
+        for (int t = 0; t < 20; ++t) {
+            const IntervalObservation obs =
+                MakeObs(*features_, t, rng.Uniform(50, 400), alloc[0],
+                        rng.Uniform(0.2, 0.9), rng.Uniform(50, 600));
+            alloc = sched.Decide(obs, alloc, *app_);
+        }
+        return DecisionTraceToCsv(trace) + "\n===\n" + metrics.ToCsv();
+    };
+    const std::string serial = run(1);
+    const std::string parallel = run(8);
+    SetNumThreads(0);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(TelemetryFixture, HarnessStampsTimesAndExportsTelemetry)
+{
+    // End-to-end: a managed run fills RunResult::decision_trace with
+    // harness-stamped interval times and a populated registry.
+    const Application app = BuildSocialNetwork();
+    PipelineConfig pcfg;
+    pcfg.collect_s = 120.0;
+    pcfg.hybrid = DefaultHybridConfig();
+    pcfg.hybrid.train.epochs = 2;
+    pcfg.hybrid.bt.n_trees = 20;
+    const TrainedSinan trained = TrainSinanForApp(app, pcfg);
+    SinanScheduler sched(*trained.model, SchedulerConfig{});
+    ConstantLoad load(100.0);
+    RunConfig cfg;
+    cfg.duration_s = 12.0;
+    const RunResult r = RunManaged(app, sched, load, cfg);
+
+    ASSERT_EQ(r.decision_trace.intervals.size(), r.timeline.size());
+    for (size_t i = 0; i < r.timeline.size(); ++i) {
+        EXPECT_DOUBLE_EQ(r.decision_trace.intervals[i].time_s,
+                         r.timeline[i].time_s);
+        EXPECT_EQ(r.decision_trace.intervals[i].interval,
+                  static_cast<int>(i));
+    }
+    EXPECT_EQ(r.metrics.Counter("sinan.scheduler.decisions"),
+              r.timeline.size());
+    const TelemetrySummary tel = SummarizeTelemetry(r.metrics);
+    EXPECT_EQ(tel.decisions, r.timeline.size());
+    EXPECT_GE(tel.PredictionAccuracy(), 0.0);
+    EXPECT_LE(tel.PredictionAccuracy(), 1.0);
+}
+
+} // namespace
+} // namespace sinan

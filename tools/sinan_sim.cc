@@ -10,11 +10,13 @@
  *             [--users N | --diurnal LO:HI:PERIOD] [--duration S]
  *             [--warmup S] [--seed N] [--collect S] [--epochs N]
  *             [--mix W0,W1,...] [--log FILE] [--threads N]
+ *             [--decision-log FILE] [--metrics FILE]
  *
  * Examples:
  *   sinan_sim --app social --manager cons --users 250 --duration 120
  *   sinan_sim --app hotel --manager sinan --users 2500 --collect 800 \
- *             --epochs 8 --log hotel_sinan.csv
+ *             --epochs 8 --log hotel_sinan.csv \
+ *             --decision-log decisions.csv --metrics metrics.json
  */
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +31,7 @@
 #include "core/scheduler.h"
 #include "harness/harness.h"
 #include "harness/runlog.h"
+#include "harness/telemetry_log.h"
 
 namespace {
 
@@ -49,6 +52,9 @@ struct CliOptions {
     int epochs = 8;
     std::string mix;
     std::string log_path;
+    /** Decision-trace / metrics output (".json" selects JSON). */
+    std::string decision_log_path;
+    std::string metrics_path;
     /** 0 = keep the default (SINAN_THREADS or hardware concurrency). */
     int threads = 0;
 };
@@ -65,7 +71,8 @@ Usage(const char* msg)
         "                 [--users N | --diurnal LO:HI:PERIOD]\n"
         "                 [--duration S] [--warmup S] [--seed N]\n"
         "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
-        "                 [--log FILE] [--threads N]\n");
+        "                 [--log FILE] [--threads N]\n"
+        "                 [--decision-log FILE] [--metrics FILE]\n");
     std::exit(2);
 }
 
@@ -108,6 +115,10 @@ Parse(int argc, char** argv)
             opt.mix = need(i++);
         } else if (a == "--log") {
             opt.log_path = need(i++);
+        } else if (a == "--decision-log") {
+            opt.decision_log_path = need(i++);
+        } else if (a == "--metrics") {
+            opt.metrics_path = need(i++);
         } else if (a == "--threads") {
             opt.threads = std::atoi(need(i++));
             if (opt.threads < 0)
@@ -212,9 +223,43 @@ main(int argc, char** argv)
     std::printf("  mean p99          : %.1f ms (QoS %.0f ms)\n",
                 r.mean_p99_ms, app.qos_ms);
 
+    const TelemetrySummary tel = SummarizeTelemetry(r.metrics);
+    if (tel.decisions > 0) {
+        std::printf("  decisions         : %llu (%llu warmup, %llu "
+                    "model, %llu no-feasible)\n",
+                    static_cast<unsigned long long>(tel.decisions),
+                    static_cast<unsigned long long>(tel.warmup),
+                    static_cast<unsigned long long>(tel.model_decisions),
+                    static_cast<unsigned long long>(tel.no_feasible));
+        std::printf("  fallbacks         : %llu (%llu escalated), rate "
+                    "%.3f\n",
+                    static_cast<unsigned long long>(tel.fallbacks),
+                    static_cast<unsigned long long>(tel.escalations),
+                    tel.FallbackRate());
+        std::printf("  prediction acc.   : %.3f (%llu mispredictions / "
+                    "%llu predictions)\n",
+                    tel.PredictionAccuracy(),
+                    static_cast<unsigned long long>(tel.mispredictions),
+                    static_cast<unsigned long long>(tel.predictions));
+        std::printf("  trust events      : %llu lost, %llu restored\n",
+                    static_cast<unsigned long long>(tel.trust_lost),
+                    static_cast<unsigned long long>(tel.trust_restored));
+    }
+
     if (!opt.log_path.empty()) {
         WriteRunLog(opt.log_path, r, app);
         std::printf("  execution log     : %s\n", opt.log_path.c_str());
+    }
+    if (!opt.decision_log_path.empty()) {
+        WriteDecisionTrace(opt.decision_log_path, r.decision_trace);
+        std::printf("  decision log      : %s (%zu intervals)\n",
+                    opt.decision_log_path.c_str(),
+                    r.decision_trace.intervals.size());
+    }
+    if (!opt.metrics_path.empty()) {
+        WriteMetrics(opt.metrics_path, r.metrics);
+        std::printf("  metrics           : %s\n",
+                    opt.metrics_path.c_str());
     }
     return 0;
 }
