@@ -146,14 +146,16 @@ AblationBanditCoefficients(const PipelineConfig& pcfg,
             viol += s.p99_ms > f.qos_ms;
             double total = 0.0;
             for (int i = 0; i < f.n_tiers; ++i)
-                total += s.xrc[i] * f.cpu_scale;
+                total += static_cast<double>(s.xrc[i]) * f.cpu_scale;
             alloc += total;
         }
         t.Row()
             .Add(name)
             .Add(static_cast<long long>(d.samples.size()))
             .Add(d.ViolationRate(), 2)
-            .Add(static_cast<double>(viol) / d.samples.size(), 3)
+            .Add(static_cast<double>(viol) /
+                     static_cast<double>(d.samples.size()),
+                 3)
             .Add(alloc / static_cast<double>(d.samples.size()), 1);
     };
     {
@@ -201,6 +203,7 @@ AblationTickSize()
                 }
             }
         }
+        all.Seal();
         t.Row()
             .Add(tick_ms, 0)
             .Add(all.Quantile(0.25), 1)

@@ -112,7 +112,9 @@ main()
             .Add(s.name)
             .Add(static_cast<long long>(s.data.samples.size()))
             .Add(s.data.ViolationRate(), 2)
-            .Add(static_cast<double>(viol) / s.data.samples.size(), 3);
+            .Add(static_cast<double>(viol) /
+                     static_cast<double>(s.data.samples.size()),
+                 3);
     }
     std::printf("%s", shape.Render().c_str());
 

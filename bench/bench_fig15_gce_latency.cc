@@ -48,7 +48,8 @@ main()
             const RunResult r = RunManaged(app, sinan, load, cfg);
             pooled.insert(pooled.end(), r.p99_series_ms.begin(),
                           r.p99_series_ms.end());
-            met += r.qos_meet_prob * r.p99_series_ms.size();
+            met += r.qos_meet_prob *
+                   static_cast<double>(r.p99_series_ms.size());
             total += static_cast<double>(r.p99_series_ms.size());
             std::printf("  W%zu users=%3.0f done (P(meet)=%.2f)\n", w,
                         users, r.qos_meet_prob);

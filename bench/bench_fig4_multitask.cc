@@ -138,9 +138,13 @@ main()
             if (s.p99_ms > app.qos_ms)
                 continue;
             const int row = static_cast<int>(i - begin);
-            const double truth = s.y_latency.back() * f.qos_ms;
-            const double mt = mt_lat.At(row, m - 1) * f.qos_ms;
-            const double cn = cnn_lat.At(row, m - 1) * f.qos_ms;
+            const double truth =
+                static_cast<double>(s.y_latency.back()) * f.qos_ms;
+            const double mt =
+                static_cast<double>(mt_lat.At(row, m - 1)) * f.qos_ms;
+            const double cn =
+                static_cast<double>(cnn_lat.At(row, m - 1)) *
+                f.qos_ms;
             mt_bias += mt - truth;
             mt_abs += std::abs(mt - truth);
             cnn_bias += cn - truth;

@@ -116,8 +116,17 @@ class Cluster {
     /** Requests injected but not yet completed (all types). */
     int64_t InFlight() const { return in_flight_; }
 
-    /** Completed-request latency digest of the current interval. */
-    const PercentileDigest& Latencies() const { return latency_; }
+    /**
+     * Completed-request latency digest of the current interval,
+     * sealed here so callers can query it directly (the digest's
+     * sealed-before-query contract).
+     */
+    const PercentileDigest&
+    Latencies()
+    {
+        latency_.Seal();
+        return latency_;
+    }
 
     /** Removes and returns the traces completed since the last call. */
     std::vector<Trace> TakeTraces();

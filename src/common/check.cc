@@ -1,0 +1,41 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sinan {
+namespace check_detail {
+
+void
+Fail(const char* macro, const char* expr, const char* file, int line,
+     const std::string& detail)
+{
+    std::ostringstream o;
+    o << macro << " failed: " << expr;
+    if (!detail.empty())
+        o << ' ' << detail;
+    o << " at " << file << ':' << line;
+    const std::string msg = o.str();
+    if (std::getenv("SINAN_CHECK_ABORT") != nullptr) {
+        std::fprintf(stderr, "%s\n", msg.c_str());
+        std::fflush(stderr);
+        std::abort();
+    }
+    throw ContractViolation(msg);
+}
+
+std::string
+FormatShape(const std::vector<int>& shape)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(shape[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace check_detail
+} // namespace sinan

@@ -41,7 +41,11 @@ class FixedHistogram {
 
     uint64_t Count() const { return count_; }
     double Sum() const { return sum_; }
-    double Mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double
+    Mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     double Min() const { return count_ ? min_ : 0.0; }
     double Max() const { return count_ ? max_ : 0.0; }
 

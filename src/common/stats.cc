@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace sinan {
 
 void
@@ -45,13 +47,10 @@ PercentileDigest::Quantile(double p) const
 {
     if (samples_.empty())
         return 0.0;
-    if (sorted_)
-        return SortedQuantile(samples_, p);
-    // Unsealed: sort a private copy so concurrent const readers never
-    // race on the buffer (Seal() first to avoid the copy).
-    std::vector<double> copy = samples_;
-    std::sort(copy.begin(), copy.end());
-    return SortedQuantile(copy, p);
+    SINAN_CHECK_MSG(sorted_,
+                    "PercentileDigest: Seal() before querying an "
+                    "interval's quantiles");
+    return SortedQuantile(samples_, p);
 }
 
 std::vector<double>
@@ -59,15 +58,8 @@ PercentileDigest::Quantiles(const std::vector<double>& ps) const
 {
     std::vector<double> out;
     out.reserve(ps.size());
-    if (samples_.empty() || sorted_) {
-        for (double p : ps)
-            out.push_back(Quantile(p));
-        return out;
-    }
-    std::vector<double> copy = samples_;
-    std::sort(copy.begin(), copy.end());
     for (double p : ps)
-        out.push_back(SortedQuantile(copy, p));
+        out.push_back(Quantile(p));
     return out;
 }
 
@@ -87,9 +79,10 @@ PercentileDigest::Max() const
 {
     if (samples_.empty())
         return 0.0;
-    if (sorted_)
-        return samples_.back();
-    return *std::max_element(samples_.begin(), samples_.end());
+    SINAN_CHECK_MSG(sorted_,
+                    "PercentileDigest: Seal() before querying an "
+                    "interval's maximum");
+    return samples_.back();
 }
 
 void
@@ -143,8 +136,7 @@ VectorQuantile(std::vector<double> values, double p)
 double
 Rmse(const std::vector<double>& a, const std::vector<double>& b)
 {
-    if (a.size() != b.size())
-        throw std::invalid_argument("Rmse: size mismatch");
+    SINAN_CHECK_EQ(a.size(), b.size());
     if (a.empty())
         return 0.0;
     double acc = 0.0;

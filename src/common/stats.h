@@ -18,13 +18,17 @@ namespace sinan {
  * by Reset() so the digest can be reused interval after interval without
  * reallocation.
  *
- * Thread safety: the const query methods never mutate the digest, so
- * any number of threads may query one digest concurrently (e.g. sweep
- * workers reading a shared reference). Queries on an unsealed digest
- * sort a private copy of the buffer; call Seal() after the writes of an
- * interval to sort in place once and make subsequent queries cheap.
- * Add()/Seal()/Reset() still require external serialization against
- * each other and against queries, like any single-writer container.
+ * Contract: Seal() must be called after the interval's writes and
+ * before any Quantile()/Quantiles()/Max() query on a non-empty digest —
+ * querying an unsealed digest raises a ContractViolation (see
+ * common/check.h). Sealing sorts the buffer in place exactly once, so
+ * queries are pure reads.
+ *
+ * Thread safety: because queries never touch an unsealed buffer, any
+ * number of threads may query one sealed digest concurrently (e.g.
+ * sweep workers reading a shared reference). Add()/Seal()/Reset()
+ * still require external serialization against each other and against
+ * queries, like any single-writer container.
  */
 class PercentileDigest {
   public:
@@ -43,6 +47,7 @@ class PercentileDigest {
     /**
      * Returns the p-quantile (p in [0,1]) via linear interpolation.
      * Returns 0 for an empty digest (an idle interval has no latency).
+     * The digest must be sealed (contract violation otherwise).
      */
     double Quantile(double p) const;
 
@@ -52,7 +57,7 @@ class PercentileDigest {
     /** Arithmetic mean of the interval's samples (0 when empty). */
     double Mean() const;
 
-    /** Largest sample (0 when empty). */
+    /** Largest sample (0 when empty); requires a sealed digest. */
     double Max() const;
 
     /** Clears the buffer for the next interval. */
@@ -73,7 +78,11 @@ class RunningSummary {
     void Add(double v);
 
     size_t Count() const { return count_; }
-    double Mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double
+    Mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     double Min() const { return count_ ? min_ : 0.0; }
     double Max() const { return count_ ? max_ : 0.0; }
     double Sum() const { return sum_; }

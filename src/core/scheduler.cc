@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
+
 namespace sinan {
 
 namespace {
@@ -152,6 +154,18 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
             add(std::move(a), ActionKind::kScaleUpVictims);
         }
     }
+#ifndef SINAN_DISABLE_DCHECKS
+    // Postcondition: every candidate stays within the per-tier action
+    // bounds of Table 1 — clamp_alloc guarantees it, and the contract
+    // keeps any future candidate generator honest.
+    for (const Candidate& c : cands) {
+        SINAN_DCHECK_EQ(c.alloc.size(), alloc.size());
+        for (int i = 0; i < n; ++i) {
+            SINAN_DCHECK_BOUNDS(c.alloc[i], app.tiers[i].min_cpu - 1e-9,
+                                app.tiers[i].max_cpu + 1e-9);
+        }
+    }
+#endif
     return cands;
 }
 
@@ -162,6 +176,12 @@ SinanScheduler::Decide(const IntervalObservation& obs,
 {
     const double qos = model_.Features().qos_ms;
     const int n = static_cast<int>(alloc.size());
+    SINAN_CHECK_EQ(alloc.size(), app.tiers.size());
+    SINAN_CHECK_EQ(obs.tiers.size(), app.tiers.size());
+    for (int i = 0; i < n; ++i) {
+        SINAN_CHECK_BOUNDS(alloc[i], app.tiers[i].min_cpu - 1e-9,
+                           app.tiers[i].max_cpu + 1e-9);
+    }
     window_.Push(obs);
 
     auto count = [&](const char* name) {
@@ -322,6 +342,15 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         allocs.push_back(c.alloc);
     const std::vector<Prediction> preds =
         model_.Evaluate(window_, allocs);
+    SINAN_CHECK_EQ(preds.size(), cands.size());
+    for (const Prediction& p : preds) {
+        // A NaN prediction would silently poison every margin
+        // comparison below (NaN <= x is false, so the candidate is
+        // rejected and the scheduler degrades to blanket upscaling
+        // without ever reporting the model fault).
+        SINAN_CHECK_FINITE(p.P99());
+        SINAN_CHECK_BOUNDS(p.p_violation, 0.0, 1.0);
+    }
 
     // Reduced trust makes the latency margin twice as conservative.
     const double margin =
@@ -431,6 +460,13 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         count("sinan.scheduler.no_feasible");
         finish(DecisionKind::kNoFeasibleUpscale);
     }
+
+#ifndef SINAN_DISABLE_DCHECKS
+    for (int i = 0; i < n; ++i) {
+        SINAN_DCHECK_BOUNDS(chosen[i], app.tiers[i].min_cpu - 1e-9,
+                            app.tiers[i].max_cpu + 1e-9);
+    }
+#endif
 
     // Record this interval's victims for Scale Up Victim.
     std::vector<int> victims;

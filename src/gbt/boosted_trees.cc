@@ -8,6 +8,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace sinan {
@@ -31,8 +32,11 @@ struct HistCell {
 BoostedTrees::BoostedTrees(const GbtConfig& cfg, Objective obj)
     : cfg_(cfg), obj_(obj)
 {
-    if (cfg.n_trees <= 0 || cfg.max_depth < 0 || cfg.max_bins < 2)
-        throw std::invalid_argument("BoostedTrees: bad config");
+    SINAN_CHECK_MSG(cfg.n_trees > 0 && cfg.max_depth >= 0 &&
+                        cfg.max_bins >= 2,
+                    "BoostedTrees: bad config (n_trees "
+                        << cfg.n_trees << ", max_depth " << cfg.max_depth
+                        << ", max_bins " << cfg.max_bins << ")");
 }
 
 void
@@ -40,11 +44,24 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
 {
     const int n = train.n_rows;
     const int d = train.n_features;
-    if (n <= 0 || d <= 0 ||
-        static_cast<int>(train.y.size()) != n ||
-        static_cast<int>(train.x.size()) != n * d) {
-        throw std::invalid_argument("BoostedTrees::Train: bad dataset");
+    SINAN_CHECK_MSG(n > 0 && d > 0,
+                    "BoostedTrees::Train: empty dataset (" << n << "x"
+                                                           << d << ")");
+    SINAN_CHECK_EQ(train.y.size(), static_cast<size_t>(n));
+    SINAN_CHECK_EQ(train.x.size(),
+                   static_cast<size_t>(n) * static_cast<size_t>(d));
+    if (valid) {
+        SINAN_CHECK_EQ(valid->n_features, d);
+        SINAN_CHECK_EQ(valid->x.size(),
+                       static_cast<size_t>(valid->n_rows) *
+                           static_cast<size_t>(d));
     }
+    // Non-finite features or labels would silently poison every split
+    // gain downstream; reject them at the training boundary.
+    for (float v : train.y)
+        SINAN_CHECK_FINITE(v);
+    for (float v : train.x)
+        SINAN_CHECK_FINITE(v);
     n_features_ = d;
     trees_.clear();
     feature_gain_.assign(d, 0.0);
@@ -52,7 +69,7 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
     // Base score: mean target (log-odds for the logistic objective).
     double mean_y = 0.0;
     for (float v : train.y)
-        mean_y += v;
+        mean_y += static_cast<double>(v);
     mean_y /= n;
     if (obj_ == Objective::kLogistic) {
         const double p = std::clamp(mean_y, 1e-6, 1.0 - 1e-6);
@@ -112,10 +129,11 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
             for (int64_t i = lo; i < hi; ++i) {
                 if (obj_ == Objective::kLogistic) {
                     const double p = Sigmoid(margin[i]);
-                    grad[i] = p - train.y[i];
+                    grad[i] = p - static_cast<double>(train.y[i]);
                     hess[i] = std::max(p * (1.0 - p), 1e-9);
                 } else {
-                    grad[i] = margin[i] - train.y[i];
+                    grad[i] =
+                        margin[i] - static_cast<double>(train.y[i]);
                     hess[i] = 1.0;
                 }
             }
@@ -306,11 +324,12 @@ BoostedTrees::Train(const GbtDataset& train, const GbtDataset* valid)
                     &valid->x[static_cast<size_t>(i) * d]);
                 if (obj_ == Objective::kLogistic) {
                     const double z = val_margin[i];
-                    const double y = valid->y[i];
+                    const double y = static_cast<double>(valid->y[i]);
                     loss += std::log1p(std::exp(-std::abs(z))) +
                             std::max(z, 0.0) - z * y;
                 } else {
-                    const double e = val_margin[i] - valid->y[i];
+                    const double e =
+                        val_margin[i] - static_cast<double>(valid->y[i]);
                     loss += e * e;
                 }
             }

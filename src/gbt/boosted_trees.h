@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+
 namespace sinan {
 
 /** Training hyper-parameters. */
@@ -81,10 +83,13 @@ class BoostedTrees {
     /** Probability (logistic objective) or value (squared objective). */
     double Predict(const float* row) const;
 
-    /** Convenience overload. */
+    /** Convenience overload; checks the row width against training. */
     double
     Predict(const std::vector<float>& row) const
     {
+        if (n_features_ > 0)
+            SINAN_CHECK_EQ(row.size(),
+                           static_cast<size_t>(n_features_));
         return Predict(row.data());
     }
 

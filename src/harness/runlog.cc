@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/table.h"
 
 namespace sinan {
@@ -21,6 +22,10 @@ RunLogToCsv(const RunResult& result, const Application& app)
     out.setf(std::ios::fixed);
     out.precision(4);
     for (const IntervalRecord& rec : result.timeline) {
+        // A record whose allocation width drifted from the tier list
+        // would silently shift every column after total_cpu.
+        SINAN_CHECK_EQ(rec.alloc.size(), app.tiers.size());
+        SINAN_CHECK_FINITE(rec.p99_ms);
         out << rec.time_s << ',' << rec.rps << ',' << rec.p99_ms << ','
             << rec.predicted_p99_ms << ',' << rec.predicted_violation
             << ',' << rec.total_cpu;

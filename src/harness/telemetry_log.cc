@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/check.h"
 #include "common/table.h"
 
 namespace sinan {
@@ -54,8 +55,14 @@ DecisionTraceToCsv(const DecisionTrace& trace)
             out << ",\n";
             continue;
         }
+        SINAN_CHECK_BOUNDS(e.chosen, -1,
+                           static_cast<int>(e.candidates.size()) - 1);
         for (size_t c = 0; c < e.candidates.size(); ++c) {
             const CandidateTrace& ct = e.candidates[c];
+            // Wider-than-schema prediction vectors would be silently
+            // truncated to kPercentiles columns.
+            SINAN_CHECK_LE(ct.latency_ms.size(),
+                           static_cast<size_t>(kPercentiles));
             AppendEntryPrefix(out, e);
             out << ',' << c << ',' << ToString(ct.kind) << ','
                 << ct.total_cpu;

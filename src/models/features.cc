@@ -156,7 +156,7 @@ Dataset::ViolationRate() const
         return 0.0;
     double acc = 0.0;
     for (const Sample& s : samples)
-        acc += s.violation;
+        acc += static_cast<double>(s.violation);
     return acc / static_cast<double>(samples.size());
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace sinan {
@@ -98,7 +99,7 @@ HybridModel::TrainBt(const Dataset& train, const Dataset& valid,
                 bt_.Predict(&data.x[static_cast<size_t>(i) *
                                     data.n_features]);
             const bool pred = p >= 0.5;
-            const bool truth = data.y[i] >= 0.5;
+            const bool truth = static_cast<double>(data.y[i]) >= 0.5;
             if (pred == truth)
                 ++correct;
             if (truth) {
@@ -151,10 +152,13 @@ HybridModel::Evaluate(const MetricWindow& window,
 {
     if (allocations.empty())
         return {};
+    const size_t n_tiers = static_cast<size_t>(window.Config().n_tiers);
     std::vector<Sample> samples;
     samples.reserve(allocations.size());
-    for (const auto& alloc : allocations)
+    for (const auto& alloc : allocations) {
+        SINAN_CHECK_EQ(alloc.size(), n_tiers);
         samples.push_back(BuildInput(window, alloc));
+    }
     std::vector<const Sample*> ptrs;
     ptrs.reserve(samples.size());
     for (const Sample& s : samples)
@@ -163,6 +167,7 @@ HybridModel::Evaluate(const MetricWindow& window,
 
     const Tensor pred = cnn_.Forward(batch);
     const Tensor& latent = cnn_.Latent();
+    SINAN_CHECK_EQ(pred.Dim(0), static_cast<int>(allocations.size()));
 
     // Per-candidate BT scoring is the scheduler's per-interval hot
     // loop (one Predict per Table-1 action); candidates are
@@ -176,7 +181,8 @@ HybridModel::Evaluate(const MetricWindow& window,
             p.latency_ms.resize(m);
             for (int j = 0; j < m; ++j) {
                 p.latency_ms[j] =
-                    pred.At(static_cast<int>(i), j) * fcfg_.qos_ms;
+                    static_cast<double>(pred.At(static_cast<int>(i), j)) *
+                    fcfg_.qos_ms;
             }
             p.p_violation =
                 bt_.Predict(BtRow(latent, static_cast<int>(i), batch));

@@ -112,7 +112,8 @@ EvalRmseMs(LatencyModel& model, const Dataset& data,
         const Tensor target = data.MakeLatencyTargets(order, begin, end);
         const Tensor pred = model.Forward(batch);
         for (size_t i = 0; i < pred.Size(); ++i) {
-            const double d = (pred[i] - target[i]) * fcfg.qos_ms;
+            const double d =
+                static_cast<double>(pred[i] - target[i]) * fcfg.qos_ms;
             acc += d * d;
             ++count;
         }
@@ -148,7 +149,8 @@ PredictP99Ms(LatencyModel& model, const Dataset& data,
         const Tensor pred = model.Forward(batch);
         const int m = pred.Dim(1);
         for (int i = 0; i < pred.Dim(0); ++i)
-            out.push_back(pred.At(i, m - 1) * fcfg.qos_ms);
+            out.push_back(static_cast<double>(pred.At(i, m - 1)) *
+                          fcfg.qos_ms);
     }
     return out;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace sinan {
 
 Adam::Adam(std::vector<Param*> params, double lr, double beta1,
@@ -10,10 +12,11 @@ Adam::Adam(std::vector<Param*> params, double lr, double beta1,
     : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
       eps_(eps), weight_decay_(weight_decay)
 {
-    if (lr <= 0.0)
-        throw std::invalid_argument("Adam: non-positive learning rate");
-    if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0)
-        throw std::invalid_argument("Adam: betas must be in [0, 1)");
+    SINAN_CHECK_GT(lr, 0.0);
+    SINAN_CHECK_MSG(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 &&
+                        beta2 < 1.0,
+                    "Adam: betas must be in [0, 1) (" << beta1 << ", "
+                        << beta2 << ")");
     m_.reserve(params_.size());
     v_.reserve(params_.size());
     for (Param* p : params_) {
@@ -33,14 +36,17 @@ Adam::Step()
         Tensor& m = m_[k];
         Tensor& v = v_[k];
         for (size_t i = 0; i < p.value.Size(); ++i) {
-            const double g =
-                p.grad[i] + weight_decay_ * p.value[i];
-            m[i] = static_cast<float>(beta1_ * m[i] +
-                                      (1.0 - beta1_) * g);
-            v[i] = static_cast<float>(beta2_ * v[i] +
-                                      (1.0 - beta2_) * g * g);
-            const double m_hat = m[i] / bc1;
-            const double v_hat = v[i] / bc2;
+            const double g = static_cast<double>(p.grad[i]) +
+                             weight_decay_ *
+                                 static_cast<double>(p.value[i]);
+            m[i] = static_cast<float>(
+                beta1_ * static_cast<double>(m[i]) +
+                (1.0 - beta1_) * g);
+            v[i] = static_cast<float>(
+                beta2_ * static_cast<double>(v[i]) +
+                (1.0 - beta2_) * g * g);
+            const double m_hat = static_cast<double>(m[i]) / bc1;
+            const double v_hat = static_cast<double>(v[i]) / bc2;
             p.value[i] -= static_cast<float>(
                 lr_ * m_hat / (std::sqrt(v_hat) + eps_));
         }

@@ -2,13 +2,15 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace sinan {
 
 Dropout::Dropout(double p, uint64_t seed)
     : p_(p), rng_(seed)
 {
-    if (p < 0.0 || p >= 1.0)
-        throw std::invalid_argument("Dropout: p must be in [0, 1)");
+    SINAN_CHECK_MSG(p >= 0.0 && p < 1.0,
+                    "Dropout: p must be in [0, 1) (got " << p << ")");
 }
 
 Tensor
@@ -34,8 +36,7 @@ Dropout::Backward(const Tensor& dy)
 {
     if (mask_.Empty())
         return dy;
-    if (dy.Size() != mask_.Size())
-        throw std::invalid_argument("Dropout::Backward: shape mismatch");
+    SINAN_CHECK_EQ(dy.Size(), mask_.Size());
     Tensor dx = dy;
     for (size_t i = 0; i < dx.Size(); ++i)
         dx[i] *= mask_[i];

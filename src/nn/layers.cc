@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace sinan {
@@ -19,8 +20,9 @@ constexpr int64_t kConvBatchGrain = 4;
 
 Dense::Dense(int in_features, int out_features, Rng& rng)
 {
-    if (in_features <= 0 || out_features <= 0)
-        throw std::invalid_argument("Dense: non-positive dimensions");
+    SINAN_CHECK_MSG(in_features > 0 && out_features > 0,
+                    "Dense: non-positive dimensions (" << in_features
+                        << "x" << out_features << ")");
     // Kaiming initialization for ReLU-dominated nets.
     const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
     w_ = Param(Tensor::Randn({in_features, out_features}, rng, stddev));
@@ -30,8 +32,8 @@ Dense::Dense(int in_features, int out_features, Rng& rng)
 Tensor
 Dense::Forward(const Tensor& x)
 {
-    if (x.Rank() != 2 || x.Dim(1) != w_.value.Dim(0))
-        throw std::invalid_argument("Dense::Forward: bad input shape");
+    SINAN_CHECK_EQ(x.Rank(), 2);
+    SINAN_CHECK_SHAPE(x, x.Dim(0), w_.value.Dim(0));
     x_cache_ = x;
     Tensor y({x.Dim(0), w_.value.Dim(1)});
     MatMul(x, w_.value, y);
@@ -50,10 +52,8 @@ Tensor
 Dense::Backward(const Tensor& dy)
 {
     const int batch = x_cache_.Dim(0);
-    if (dy.Rank() != 2 || dy.Dim(0) != batch ||
-        dy.Dim(1) != w_.value.Dim(1)) {
-        throw std::invalid_argument("Dense::Backward: bad gradient shape");
-    }
+    SINAN_CHECK_EQ(dy.Rank(), 2);
+    SINAN_CHECK_SHAPE(dy, batch, w_.value.Dim(1));
     // dW += x^T dy ; db += colsum(dy) ; dx = dy W^T.
     MatMulTa(x_cache_, dy, w_.grad, /*accumulate=*/true);
     const int out = w_.value.Dim(1);
@@ -98,8 +98,7 @@ ReLU::Forward(const Tensor& x)
 Tensor
 ReLU::Backward(const Tensor& dy)
 {
-    if (dy.Size() != x_cache_.Size())
-        throw std::invalid_argument("ReLU::Backward: bad gradient shape");
+    SINAN_CHECK_EQ(dy.Size(), x_cache_.Size());
     Tensor dx = dy;
     for (size_t i = 0; i < dx.Size(); ++i)
         dx[i] = x_cache_[i] > 0.0f ? dx[i] : 0.0f;
@@ -109,10 +108,12 @@ ReLU::Backward(const Tensor& dy)
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, Rng& rng)
     : kernel_(kernel)
 {
-    if (kernel <= 0 || kernel % 2 == 0)
-        throw std::invalid_argument("Conv2D: kernel must be odd positive");
-    if (in_channels <= 0 || out_channels <= 0)
-        throw std::invalid_argument("Conv2D: non-positive channels");
+    SINAN_CHECK_MSG(kernel > 0 && kernel % 2 == 1,
+                    "Conv2D: kernel must be odd positive (got " << kernel
+                        << ")");
+    SINAN_CHECK_MSG(in_channels > 0 && out_channels > 0,
+                    "Conv2D: non-positive channels (" << in_channels
+                        << " -> " << out_channels << ")");
     const int fan_in = in_channels * kernel * kernel;
     const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
     w_ = Param(Tensor::Randn({out_channels, in_channels, kernel, kernel},
@@ -123,8 +124,8 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel, Rng& rng)
 Tensor
 Conv2D::Forward(const Tensor& x)
 {
-    if (x.Rank() != 4 || x.Dim(1) != w_.value.Dim(1))
-        throw std::invalid_argument("Conv2D::Forward: bad input shape");
+    SINAN_CHECK_EQ(x.Rank(), 4);
+    SINAN_CHECK_SHAPE(x, x.Dim(0), w_.value.Dim(1), x.Dim(2), x.Dim(3));
     x_cache_ = x;
     const int batch = x.Dim(0), in_c = x.Dim(1), h = x.Dim(2),
               w = x.Dim(3);
@@ -171,10 +172,8 @@ Conv2D::Backward(const Tensor& dy)
     const int batch = x.Dim(0), in_c = x.Dim(1), h = x.Dim(2),
               w = x.Dim(3);
     const int out_c = w_.value.Dim(0);
-    if (dy.Rank() != 4 || dy.Dim(0) != batch || dy.Dim(1) != out_c ||
-        dy.Dim(2) != h || dy.Dim(3) != w) {
-        throw std::invalid_argument("Conv2D::Backward: bad gradient shape");
-    }
+    SINAN_CHECK_EQ(dy.Rank(), 4);
+    SINAN_CHECK_SHAPE(dy, batch, out_c, h, w);
     const int pad = kernel_ / 2;
     Tensor dx({batch, in_c, h, w});
     // Batch-blocked: dx writes are disjoint per sample; the shared
@@ -248,8 +247,7 @@ Tensor
 Flatten::Forward(const Tensor& x)
 {
     in_shape_ = x.Shape();
-    if (x.Rank() < 2)
-        throw std::invalid_argument("Flatten::Forward: rank < 2");
+    SINAN_CHECK_GE(x.Rank(), 2);
     int rest = 1;
     for (int d = 1; d < x.Rank(); ++d)
         rest *= x.Dim(d);

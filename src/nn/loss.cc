@@ -3,13 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace sinan {
 
 LossResult
 MseLoss(const Tensor& pred, const Tensor& target)
 {
-    if (pred.Size() != target.Size() || pred.Empty())
-        throw std::invalid_argument("MseLoss: shape mismatch or empty");
+    SINAN_CHECK_MSG(pred.Size() == target.Size() && !pred.Empty(),
+                    "MseLoss: shape mismatch or empty ("
+                        << pred.Size() << " vs " << target.Size() << ")");
     LossResult r;
     r.grad = Tensor(pred.Shape());
     const double n = static_cast<double>(pred.Size());
@@ -44,8 +47,9 @@ LossResult
 ScaledMseLoss(const Tensor& pred, const Tensor& target, double t,
               double alpha, double leak)
 {
-    if (pred.Size() != target.Size() || pred.Empty())
-        throw std::invalid_argument("ScaledMseLoss: shape mismatch");
+    SINAN_CHECK_MSG(pred.Size() == target.Size() && !pred.Empty(),
+                    "ScaledMseLoss: shape mismatch ("
+                        << pred.Size() << " vs " << target.Size() << ")");
     LossResult r;
     r.grad = Tensor(pred.Shape());
     const double n = static_cast<double>(pred.Size());
@@ -67,8 +71,10 @@ ScaledMseLoss(const Tensor& pred, const Tensor& target, double t,
 LossResult
 BceWithLogitsLoss(const Tensor& logits, const Tensor& target)
 {
-    if (logits.Size() != target.Size() || logits.Empty())
-        throw std::invalid_argument("BceWithLogitsLoss: shape mismatch");
+    SINAN_CHECK_MSG(logits.Size() == target.Size() && !logits.Empty(),
+                    "BceWithLogitsLoss: shape mismatch ("
+                        << logits.Size() << " vs " << target.Size()
+                        << ")");
     LossResult r;
     r.grad = Tensor(logits.Shape());
     const double n = static_cast<double>(logits.Size());

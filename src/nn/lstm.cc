@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace sinan {
 
 namespace {
@@ -17,8 +19,9 @@ Sigmoid(float v)
 
 Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
 {
-    if (input_size <= 0 || hidden_size <= 0)
-        throw std::invalid_argument("Lstm: non-positive dimensions");
+    SINAN_CHECK_MSG(input_size > 0 && hidden_size > 0,
+                    "Lstm: non-positive dimensions (" << input_size
+                        << "x" << hidden_size << ")");
     const float sx = std::sqrt(1.0f / static_cast<float>(input_size));
     const float sh = std::sqrt(1.0f / static_cast<float>(hidden_size));
     wx_ = Param(Tensor::Randn({input_size, 4 * hidden_size}, rng, sx));
@@ -32,8 +35,8 @@ Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
 Tensor
 Lstm::Forward(const Tensor& x)
 {
-    if (x.Rank() != 3 || x.Dim(2) != wx_.value.Dim(0))
-        throw std::invalid_argument("Lstm::Forward: bad input shape");
+    SINAN_CHECK_EQ(x.Rank(), 3);
+    SINAN_CHECK_SHAPE(x, x.Dim(0), x.Dim(1), wx_.value.Dim(0));
     x_cache_ = x;
     const int batch = x.Dim(0), steps = x.Dim(1), in = x.Dim(2);
     const int hid = HiddenSize();
@@ -83,8 +86,8 @@ Lstm::Backward(const Tensor& dy)
     const Tensor& x = x_cache_;
     const int batch = x.Dim(0), steps = x.Dim(1), in = x.Dim(2);
     const int hid = HiddenSize();
-    if (dy.Rank() != 2 || dy.Dim(0) != batch || dy.Dim(1) != hid)
-        throw std::invalid_argument("Lstm::Backward: bad gradient shape");
+    SINAN_CHECK_EQ(dy.Rank(), 2);
+    SINAN_CHECK_SHAPE(dy, batch, hid);
 
     Tensor dx({batch, steps, in});
     Tensor dh = dy;               // [B, H]

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace sinan {
 
 Sgd::Sgd(std::vector<Param*> params, double lr, double momentum,
@@ -10,8 +12,7 @@ Sgd::Sgd(std::vector<Param*> params, double lr, double momentum,
     : params_(std::move(params)), lr_(lr), momentum_(momentum),
       weight_decay_(weight_decay), clip_norm_(clip_norm)
 {
-    if (lr <= 0.0)
-        throw std::invalid_argument("Sgd: non-positive learning rate");
+    SINAN_CHECK_GT(lr, 0.0);
     velocity_.reserve(params_.size());
     for (Param* p : params_)
         velocity_.emplace_back(p->value.Shape());
@@ -25,7 +26,8 @@ Sgd::Step()
         double sq = 0.0;
         for (Param* p : params_) {
             for (size_t i = 0; i < p->grad.Size(); ++i)
-                sq += static_cast<double>(p->grad[i]) * p->grad[i];
+                sq += static_cast<double>(p->grad[i]) *
+                      static_cast<double>(p->grad[i]);
         }
         const double norm = std::sqrt(sq);
         if (norm > clip_norm_)

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace sinan {
@@ -17,8 +18,7 @@ ShapeSize(const std::vector<int>& shape)
 {
     size_t n = 1;
     for (int d : shape) {
-        if (d < 0)
-            throw std::invalid_argument("Tensor: negative dimension");
+        SINAN_CHECK_GE(d, 0);
         n *= static_cast<size_t>(d);
     }
     return shape.empty() ? 0 : n;
@@ -80,8 +80,7 @@ Tensor::Offset4(int i, int j, int k, int l) const
 Tensor
 Tensor::Reshaped(std::vector<int> shape) const
 {
-    if (ShapeSize(shape) != Size())
-        throw std::invalid_argument("Tensor::Reshaped: size mismatch");
+    SINAN_CHECK_EQ(ShapeSize(shape), Size());
     Tensor t;
     t.shape_ = std::move(shape);
     t.data_ = data_;
@@ -104,8 +103,7 @@ Tensor::Scale(float s)
 void
 Tensor::Add(const Tensor& other)
 {
-    if (other.Size() != Size())
-        throw std::invalid_argument("Tensor::Add: size mismatch");
+    SINAN_CHECK_EQ(other.Size(), Size());
     for (size_t i = 0; i < data_.size(); ++i)
         data_[i] += other.data_[i];
 }
@@ -113,8 +111,7 @@ Tensor::Add(const Tensor& other)
 void
 Tensor::Axpy(float alpha, const Tensor& other)
 {
-    if (other.Size() != Size())
-        throw std::invalid_argument("Tensor::Axpy: size mismatch");
+    SINAN_CHECK_EQ(other.Size(), Size());
     for (size_t i = 0; i < data_.size(); ++i)
         data_[i] += alpha * other.data_[i];
 }
@@ -165,12 +162,13 @@ void
 CheckMatmul(const Tensor& a, const Tensor& b, const Tensor& c, int m,
             int k, int k2, int n)
 {
-    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
-        throw std::invalid_argument("MatMul: rank-2 tensors required");
-    if (k != k2)
-        throw std::invalid_argument("MatMul: inner dimension mismatch");
-    if (c.Dim(0) != m || c.Dim(1) != n)
-        throw std::invalid_argument("MatMul: output shape mismatch");
+    SINAN_CHECK_MSG(a.Rank() == 2 && b.Rank() == 2 && c.Rank() == 2,
+                    "MatMul: rank-2 tensors required (ranks "
+                        << a.Rank() << ", " << b.Rank() << ", "
+                        << c.Rank() << ")");
+    SINAN_CHECK_MSG(k == k2, "MatMul: inner dimension mismatch ("
+                                 << k << " vs " << k2 << ")");
+    SINAN_CHECK_SHAPE(c, m, n);
 }
 
 /**
@@ -195,8 +193,8 @@ RowGrain(int m, int k, int n)
 void
 MatMul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
 {
-    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
-        throw std::invalid_argument("MatMul: rank-2 tensors required");
+    SINAN_CHECK_MSG(a.Rank() == 2 && b.Rank() == 2 && c.Rank() == 2,
+                    "MatMul: rank-2 tensors required");
     const int m = a.Dim(0), k = a.Dim(1), n = b.Dim(1);
     CheckMatmul(a, b, c, m, k, b.Dim(0), n);
     if (!accumulate)
@@ -220,8 +218,8 @@ MatMul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
 void
 MatMulTa(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
 {
-    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
-        throw std::invalid_argument("MatMulTa: rank-2 tensors required");
+    SINAN_CHECK_MSG(a.Rank() == 2 && b.Rank() == 2 && c.Rank() == 2,
+                    "MatMulTa: rank-2 tensors required");
     const int k = a.Dim(0), m = a.Dim(1), n = b.Dim(1);
     CheckMatmul(a, b, c, m, k, b.Dim(0), n);
     if (!accumulate)
@@ -249,8 +247,8 @@ MatMulTa(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
 void
 MatMulTb(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
 {
-    if (a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2)
-        throw std::invalid_argument("MatMulTb: rank-2 tensors required");
+    SINAN_CHECK_MSG(a.Rank() == 2 && b.Rank() == 2 && c.Rank() == 2,
+                    "MatMulTb: rank-2 tensors required");
     const int m = a.Dim(0), k = a.Dim(1), n = b.Dim(0);
     CheckMatmul(a, b, c, m, k, b.Dim(1), n);
     if (!accumulate)

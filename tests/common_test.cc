@@ -10,6 +10,7 @@
 #include <fstream>
 #include <thread>
 
+#include "common/check.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -183,6 +184,7 @@ TEST(PercentileDigest, SingleValue)
 {
     PercentileDigest d;
     d.Add(42.0);
+    d.Seal();
     EXPECT_EQ(d.Quantile(0.0), 42.0);
     EXPECT_EQ(d.Quantile(0.5), 42.0);
     EXPECT_EQ(d.Quantile(1.0), 42.0);
@@ -193,6 +195,7 @@ TEST(PercentileDigest, KnownQuantilesOfSequence)
     PercentileDigest d;
     for (int i = 1; i <= 101; ++i)
         d.Add(static_cast<double>(i));
+    d.Seal();
     EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
     EXPECT_DOUBLE_EQ(d.Quantile(0.5), 51.0);
     EXPECT_DOUBLE_EQ(d.Quantile(1.0), 101.0);
@@ -204,8 +207,10 @@ TEST(PercentileDigest, InterleavedAddAndQuery)
     PercentileDigest d;
     d.Add(10.0);
     d.Add(20.0);
+    d.Seal();
     EXPECT_DOUBLE_EQ(d.Quantile(1.0), 20.0);
-    d.Add(30.0); // invalidates sort cache
+    d.Add(30.0); // invalidates the sealed state
+    d.Seal();    // re-sealing after more writes is allowed
     EXPECT_DOUBLE_EQ(d.Quantile(1.0), 30.0);
     EXPECT_DOUBLE_EQ(d.Quantile(0.0), 10.0);
 }
@@ -219,31 +224,35 @@ TEST(PercentileDigest, ResetClears)
     EXPECT_EQ(d.Quantile(0.5), 0.0);
 }
 
-TEST(PercentileDigest, SealMatchesUnsealedQueries)
+TEST(PercentileDigest, UnsealedQueryIsAContractViolation)
 {
-    PercentileDigest a, b;
-    Rng rng(11);
-    for (int i = 0; i < 300; ++i) {
-        const double v = rng.Uniform(0, 50);
-        a.Add(v);
-        b.Add(v);
-    }
-    b.Seal();
-    for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
-        EXPECT_DOUBLE_EQ(a.Quantile(p), b.Quantile(p));
-    EXPECT_DOUBLE_EQ(a.Max(), b.Max());
-    EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+    // Sealed-before-query is a hard contract: an unsealed query used
+    // to silently sort a private copy, which hid missing roll-up calls
+    // and cost an O(n log n) copy per query on the telemetry path.
+    PercentileDigest d;
+    d.Add(1.0);
+    d.Add(2.0);
+    EXPECT_THROW(d.Quantile(0.5), ContractViolation);
+    EXPECT_THROW(d.Quantiles({0.5, 0.9}), ContractViolation);
+    EXPECT_THROW(d.Max(), ContractViolation);
+    // Mean and Count never needed the sort; they stay queryable.
+    EXPECT_DOUBLE_EQ(d.Mean(), 1.5);
+    EXPECT_EQ(d.Count(), 2u);
+    d.Seal();
+    EXPECT_DOUBLE_EQ(d.Quantile(0.5), 1.5);
 }
 
 TEST(PercentileDigest, ConcurrentConstReadersDoNotRace)
 {
     // Regression: Quantile()/Max() used to sort `mutable` state from
     // const methods, so two threads reading one digest through const
-    // refs raced (caught under TSan). Const queries must now be pure.
+    // refs raced (caught under TSan). Queries on a sealed digest are
+    // pure reads, so concurrent const readers are safe.
     PercentileDigest d;
     Rng rng(13);
     for (int i = 0; i < 2000; ++i)
         d.Add(rng.Uniform(0, 1000));
+    d.Seal();
     const PercentileDigest& ref = d;
 
     std::vector<double> results(8, 0.0);
@@ -263,9 +272,7 @@ TEST(PercentileDigest, ConcurrentConstReadersDoNotRace)
         t.join();
     for (int r = 1; r < 8; ++r)
         EXPECT_DOUBLE_EQ(results[r], results[0]);
-    // The buffer was never mutated: order-sensitive state is intact.
     EXPECT_EQ(d.Count(), 2000u);
-    d.Seal();
     EXPECT_DOUBLE_EQ(d.Quantile(1.0), d.Max());
 }
 
@@ -275,6 +282,7 @@ TEST(PercentileDigest, QuantilesBatchMatchesSingles)
     Rng rng(3);
     for (int i = 0; i < 500; ++i)
         d.Add(rng.Uniform(0, 100));
+    d.Seal();
     const auto qs = d.Quantiles({0.5, 0.9, 0.99});
     EXPECT_DOUBLE_EQ(qs[0], d.Quantile(0.5));
     EXPECT_DOUBLE_EQ(qs[1], d.Quantile(0.9));
@@ -287,6 +295,7 @@ TEST(PercentileDigest, MeanAndMax)
     d.Add(1.0);
     d.Add(2.0);
     d.Add(6.0);
+    d.Seal();
     EXPECT_DOUBLE_EQ(d.Mean(), 3.0);
     EXPECT_DOUBLE_EQ(d.Max(), 6.0);
 }
@@ -301,6 +310,7 @@ TEST_P(QuantileMonotoneTest, MonotoneInP)
     const int n = 1 + static_cast<int>(rng.UniformInt(300ULL));
     for (int i = 0; i < n; ++i)
         d.Add(rng.Normal(50, 20));
+    d.Seal();
     double prev = d.Quantile(0.0);
     for (double p = 0.05; p <= 1.0; p += 0.05) {
         const double q = d.Quantile(p);

@@ -157,7 +157,8 @@ TEST(BoostedTrees, RegressionObjectiveLearnsLinearTarget)
     double se = 0.0;
     for (int i = 0; i < train.n_rows; ++i) {
         const double pred = model.Predict(&train.x[i * 2]);
-        se += (pred - train.y[i]) * (pred - train.y[i]);
+        const double d = pred - static_cast<double>(train.y[i]);
+        se += d * d;
     }
     EXPECT_LT(std::sqrt(se / train.n_rows), 0.2);
 }

@@ -57,7 +57,8 @@ TEST(RunManaged, ProducesTimelineAndAggregates)
     double rps_acc = 0.0;
     for (const IntervalRecord& rec : r.timeline)
         rps_acc += rec.rps;
-    EXPECT_NEAR(rps_acc / r.timeline.size(), 100.0, 10.0);
+    EXPECT_NEAR(rps_acc / static_cast<double>(r.timeline.size()),
+                100.0, 10.0);
 }
 
 TEST(RunManaged, BaselinePredictionsAreUnavailable)

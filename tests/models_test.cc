@@ -197,15 +197,18 @@ TEST_P(ModelLearnsTest, BeatsMeanPredictor)
     size_t n = 0;
     for (const Sample& s : valid.samples) {
         for (float v : s.y_latency) {
-            mean += v;
+            mean += static_cast<double>(v);
             ++n;
         }
     }
     mean /= static_cast<double>(n);
     double se = 0.0;
-    for (const Sample& s : valid.samples)
-        for (float v : s.y_latency)
-            se += (v - mean) * (v - mean);
+    for (const Sample& s : valid.samples) {
+        for (float v : s.y_latency) {
+            const double d = static_cast<double>(v) - mean;
+            se += d * d;
+        }
+    }
     const double mean_rmse_ms =
         std::sqrt(se / static_cast<double>(n)) * f.qos_ms;
 

@@ -115,12 +115,14 @@ TEST(Dropout, TrainingPreservesExpectation)
     double mean = 0.0;
     int zeros = 0;
     for (size_t i = 0; i < y.Size(); ++i) {
-        mean += y[i];
+        mean += static_cast<double>(y[i]);
         zeros += y[i] == 0.0f;
     }
     mean /= static_cast<double>(y.Size());
     EXPECT_NEAR(mean, 1.0, 0.02); // inverted scaling keeps E[y]=x
-    EXPECT_NEAR(static_cast<double>(zeros) / y.Size(), 0.3, 0.02);
+    EXPECT_NEAR(static_cast<double>(zeros) /
+                    static_cast<double>(y.Size()),
+                0.3, 0.02);
 }
 
 TEST(Dropout, BackwardUsesSameMask)

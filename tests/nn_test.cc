@@ -31,8 +31,10 @@ CheckGradients(Layer& layer, const Tensor& x, double tol = 2e-2)
     auto loss_of = [&](const Tensor& in) {
         const Tensor y = layer.Forward(in);
         double acc = 0.0;
-        for (size_t i = 0; i < y.Size(); ++i)
-            acc += 0.5 * y[i] * y[i];
+        for (size_t i = 0; i < y.Size(); ++i) {
+            const double v = static_cast<double>(y[i]);
+            acc += 0.5 * v * v;
+        }
         return acc;
     };
 
@@ -54,7 +56,8 @@ CheckGradients(Layer& layer, const Tensor& x, double tol = 2e-2)
         xp[i] = orig - kH;
         const double down = loss_of(xp);
         xp[i] = orig;
-        const double num = (up - down) / (2.0 * kH);
+        const double num =
+            (up - down) / (2.0 * static_cast<double>(kH));
         EXPECT_NEAR(num, dx[i], tol * std::max(1.0, std::abs(num)))
             << "input grad mismatch at " << i;
     }
@@ -75,7 +78,8 @@ CheckGradients(Layer& layer, const Tensor& x, double tol = 2e-2)
             p->value[i] = orig - kH;
             const double down = loss_of(x);
             p->value[i] = orig;
-            const double num = (up - down) / (2.0 * kH);
+            const double num =
+                (up - down) / (2.0 * static_cast<double>(kH));
             EXPECT_NEAR(num, p->grad[i],
                         tol * std::max(1.0, std::abs(num)))
                 << "param grad mismatch at " << i;
@@ -306,7 +310,8 @@ TEST(ScaledMseLoss, GradientMatchesNumerics)
         const double up = ScaledMseLoss(p, target, 1.0, 5.0).value;
         p[i] -= 2 * kH;
         const double down = ScaledMseLoss(p, target, 1.0, 5.0).value;
-        EXPECT_NEAR((up - down) / (2 * kH), r.grad[i], 2e-3);
+        EXPECT_NEAR((up - down) / (2.0 * static_cast<double>(kH)),
+                    r.grad[i], 2e-3);
     }
 }
 
@@ -350,7 +355,8 @@ TEST(BceWithLogitsLoss, GradientMatchesNumerics)
         const double up = BceWithLogitsLoss(l, target).value;
         l[i] -= 2 * kH;
         const double down = BceWithLogitsLoss(l, target).value;
-        EXPECT_NEAR((up - down) / (2 * kH), r.grad[i], 1e-4);
+        EXPECT_NEAR((up - down) / (2.0 * static_cast<double>(kH)),
+                    r.grad[i], 1e-4);
     }
 }
 

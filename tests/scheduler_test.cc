@@ -280,8 +280,9 @@ TEST_F(SchedulerFixture, EscalatedFallbackScalesUpEveryTier)
                     app_->qos_ms + 200.0),
             alloc, *app_);
         for (size_t i = 0; i < alloc.size(); ++i) {
-            if (before[i] < app_->tiers[i].max_cpu - 1e-9)
+            if (before[i] < app_->tiers[i].max_cpu - 1e-9) {
                 EXPECT_GT(alloc[i], before[i]) << "tier " << i;
+            }
             EXPECT_LE(alloc[i], app_->tiers[i].max_cpu + 1e-9);
         }
     }

@@ -80,10 +80,12 @@ TEST(Tensor, RandnHasRequestedSpread)
     const Tensor t = Tensor::Randn({10000}, rng, 0.5f);
     double mean = 0.0, var = 0.0;
     for (size_t i = 0; i < t.Size(); ++i)
-        mean += t[i];
+        mean += static_cast<double>(t[i]);
     mean /= static_cast<double>(t.Size());
-    for (size_t i = 0; i < t.Size(); ++i)
-        var += (t[i] - mean) * (t[i] - mean);
+    for (size_t i = 0; i < t.Size(); ++i) {
+        const double d = static_cast<double>(t[i]) - mean;
+        var += d * d;
+    }
     var /= static_cast<double>(t.Size());
     EXPECT_NEAR(mean, 0.0, 0.02);
     EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);

@@ -172,8 +172,10 @@ TEST(WorkloadBursts, RaiseMeanArrivalRate)
         bursty.Tick(i * 0.01, 0.01);
     }
     // ~1/3 of the time in a x2 burst -> ~1.3x mean rate.
-    EXPECT_GT(bursty.Injected(), plain.Injected() * 1.15);
-    EXPECT_LT(bursty.Injected(), plain.Injected() * 1.6);
+    EXPECT_GT(static_cast<double>(bursty.Injected()),
+              static_cast<double>(plain.Injected()) * 1.15);
+    EXPECT_LT(static_cast<double>(bursty.Injected()),
+              static_cast<double>(plain.Injected()) * 1.6);
 }
 
 TEST(WorkloadBursts, ComposeBiasSkewsMixDuringBursts)

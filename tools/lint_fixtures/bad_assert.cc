@@ -1,0 +1,8 @@
+// lint-expect: no-raw-assert
+#include <cassert>
+
+void
+Check(int n)
+{
+    assert(n > 0);
+}

@@ -1,0 +1,11 @@
+// lint-expect: narrowing-cast-in-header
+#ifndef SINAN_TOOLS_LINT_FIXTURES_BAD_CAST_H
+#define SINAN_TOOLS_LINT_FIXTURES_BAD_CAST_H
+
+inline int
+Truncate(float v)
+{
+    return (int)v;
+}
+
+#endif

@@ -1,0 +1,7 @@
+// lint-expect: missing-include-guard
+
+inline int
+Answer()
+{
+    return 42;
+}

@@ -1,0 +1,8 @@
+// lint-expect: no-std-rand
+#include <cstdlib>
+
+int
+Roll()
+{
+    return std::rand() % 6;
+}

@@ -1,0 +1,9 @@
+// lint-expect: no-raw-thread
+#include <thread>
+
+void
+Spawn()
+{
+    std::thread t([] {});
+    t.join();
+}

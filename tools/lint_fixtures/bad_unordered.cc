@@ -1,0 +1,5 @@
+// lint-expect: no-unordered-container
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> counters;

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Project-rule linter, run as a ctest over src/, tools/, and tests/.
+ *
+ * The rules encode invariants that neither the compiler nor the
+ * sanitizers check, most of them in service of the repo's
+ * byte-determinism guarantee (identical telemetry at any thread
+ * count):
+ *
+ *  - no-std-rand          `rand()`/`std::rand` share hidden global
+ *                         state; all randomness flows through
+ *                         common/rng.h so runs are replayable.
+ *  - no-raw-assert        `assert(` vanishes under NDEBUG, and ctest
+ *                         runs Release; contracts use SINAN_CHECK /
+ *                         SINAN_DCHECK (common/check.h) instead.
+ *  - no-unordered-container
+ *                         unordered_{map,set} iteration order is
+ *                         implementation-defined, so anything that
+ *                         ever reaches a log/CSV/JSON path breaks
+ *                         byte-determinism; use std::map/std::set.
+ *  - no-raw-thread        every thread is owned by the shared pool in
+ *                         src/common/thread_pool; ad-hoc std::thread
+ *                         breaks the pool's determinism and TSan
+ *                         story.
+ *  - narrowing-cast-in-header
+ *                         C-style numeric casts in public headers hide
+ *                         float<->int narrowing from -Wconversion
+ *                         (the warning fires in the header's *users*);
+ *                         use static_cast, which the flag can see
+ *                         through.
+ *  - missing-include-guard
+ *                         every header needs `#ifndef`/`#define` or
+ *                         `#pragma once`.
+ *
+ * Deliberate exceptions live in tools/lint_allowlist.txt as
+ * `<rule> <repo-relative-path>` lines.
+ *
+ * Usage:
+ *   sinan_lint <repo_root>               lint the tree
+ *   sinan_lint --self-test <fixtures>    each fixture's first line is
+ *                                        `// lint-expect: <rule>`; the
+ *                                        linter asserts exactly that
+ *                                        rule fires on the file
+ */
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+    std::string rule;
+    std::string path; // repo-relative
+    int line = 0;
+    std::string text;
+};
+
+bool
+IsWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * True when @p token occurs in @p line at a position not preceded by
+ * an identifier character (so `static_assert(` does not match
+ * `assert(`).
+ */
+bool
+ContainsToken(const std::string& line, const std::string& token)
+{
+    size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        if (pos == 0 || !IsWordChar(line[pos - 1]))
+            return true;
+        ++pos;
+    }
+    return false;
+}
+
+/**
+ * Strips // and block comments and the contents of string/char
+ * literals, so rule patterns only match code. Preserves line
+ * structure (1 output line per input line).
+ */
+std::vector<std::string>
+StripCommentsAndStrings(const std::string& src)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    bool in_block = false, in_str = false, in_char = false;
+    for (size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+            in_str = in_char = false; // unterminated literals don't leak
+            continue;
+        }
+        if (in_block) {
+            if (c == '*' && next == '/') {
+                in_block = false;
+                ++i;
+            }
+            continue;
+        }
+        if (in_str) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (in_char) {
+            if (c == '\\')
+                ++i;
+            else if (c == '\'')
+                in_char = false;
+            continue;
+        }
+        if (c == '/' && next == '/') {
+            // Drop the rest of the line.
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            lines.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        if (c == '/' && next == '*') {
+            in_block = true;
+            ++i;
+            continue;
+        }
+        if (c == '"') {
+            in_str = true;
+            cur += '"';
+            continue;
+        }
+        if (c == '\'' && i > 0 && !IsWordChar(src[i - 1])) {
+            in_char = true;
+            cur += '\'';
+            continue;
+        }
+        cur += c;
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+bool
+IsHeader(const std::string& path)
+{
+    return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+bool
+PathContains(const std::string& path, const std::string& part)
+{
+    return path.find(part) != std::string::npos;
+}
+
+/** C-style numeric cast heuristic for the header-narrowing rule. */
+bool
+HasCStyleNumericCast(const std::string& line)
+{
+    static const std::vector<std::string> kTypes = {
+        "(int)",      "(float)",   "(double)",  "(long)",
+        "(short)",    "(char)",    "(unsigned)", "(size_t)",
+        "(int32_t)",  "(int64_t)", "(uint32_t)", "(uint64_t)",
+        "(uint8_t)",  "(int8_t)",  "(uint16_t)", "(int16_t)",
+    };
+    for (const std::string& t : kTypes) {
+        size_t pos = 0;
+        while ((pos = line.find(t, pos)) != std::string::npos) {
+            // `static_cast<...>(int)` can't occur; what we must NOT
+            // flag is a parameter list like `void F(int);` — require
+            // the cast to be applied to something: next non-space char
+            // is an identifier char or '('.
+            size_t after = pos + t.size();
+            while (after < line.size() && line[after] == ' ')
+                ++after;
+            const bool applied =
+                after < line.size() &&
+                (IsWordChar(line[after]) || line[after] == '(');
+            // ...and not itself preceded by an identifier (a call like
+            // `F(int)` has `F` right before the paren).
+            const bool preceded =
+                pos > 0 && (IsWordChar(line[pos - 1]) ||
+                            line[pos - 1] == '>' || line[pos - 1] == ')');
+            if (applied && !preceded)
+                return true;
+            ++pos;
+        }
+    }
+    return false;
+}
+
+/** Lints one file; @p rel is the repo-relative path used in reports. */
+std::vector<Finding>
+LintFile(const std::string& rel, const std::string& contents)
+{
+    std::vector<Finding> out;
+    const std::vector<std::string> code =
+        StripCommentsAndStrings(contents);
+    auto add = [&](const char* rule, int line_no,
+                   const std::string& text) {
+        Finding f;
+        f.rule = rule;
+        f.path = rel;
+        f.line = line_no;
+        f.text = text;
+        out.push_back(std::move(f));
+    };
+
+    // Tokens are spliced so this file does not flag itself.
+    const std::string kRand = std::string("rand") + "(";
+    const std::string kStdRand = std::string("std::") + "rand";
+    const std::string kAssert = std::string("assert") + "(";
+    const std::string kUMap = std::string("std::") + "unordered_map";
+    const std::string kUSet = std::string("std::") + "unordered_set";
+    const std::string kThread = std::string("std::") + "thread";
+
+    const bool in_thread_pool =
+        PathContains(rel, "common/thread_pool");
+    for (size_t i = 0; i < code.size(); ++i) {
+        const std::string& line = code[i];
+        const int no = static_cast<int>(i) + 1;
+        if (ContainsToken(line, kRand) || ContainsToken(line, kStdRand))
+            add("no-std-rand", no, line);
+        if (ContainsToken(line, kAssert))
+            add("no-raw-assert", no, line);
+        if (ContainsToken(line, kUMap) || ContainsToken(line, kUSet))
+            add("no-unordered-container", no, line);
+        if (!in_thread_pool && ContainsToken(line, kThread) &&
+            !PathContains(line, kThread + "::hardware_concurrency"))
+            add("no-raw-thread", no, line);
+        if (IsHeader(rel) && PathContains(rel, "src/") &&
+            HasCStyleNumericCast(line))
+            add("narrowing-cast-in-header", no, line);
+    }
+
+    if (IsHeader(rel)) {
+        const bool guarded =
+            contents.find("#pragma once") != std::string::npos ||
+            (contents.find("#ifndef") != std::string::npos &&
+             contents.find("#define") != std::string::npos);
+        if (!guarded)
+            add("missing-include-guard", 1, "");
+    }
+    return out;
+}
+
+std::string
+ReadFile(const fs::path& p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** `<rule> <path>` pairs from tools/lint_allowlist.txt. */
+std::set<std::pair<std::string, std::string>>
+LoadAllowlist(const fs::path& root)
+{
+    std::set<std::pair<std::string, std::string>> allow;
+    std::ifstream in(root / "tools" / "lint_allowlist.txt");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream row(line);
+        std::string rule, path;
+        if (row >> rule >> path)
+            allow.emplace(rule, path);
+    }
+    return allow;
+}
+
+bool
+LintableFile(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h";
+}
+
+int
+LintTree(const fs::path& root)
+{
+    const auto allow = LoadAllowlist(root);
+    std::set<std::pair<std::string, std::string>> used;
+    std::vector<Finding> findings;
+    int files = 0;
+    for (const char* dir : {"src", "tools", "tests"}) {
+        const fs::path base = root / dir;
+        if (!fs::exists(base))
+            continue;
+        for (const auto& ent : fs::recursive_directory_iterator(base)) {
+            if (!ent.is_regular_file() || !LintableFile(ent.path()))
+                continue;
+            const std::string rel =
+                fs::relative(ent.path(), root).generic_string();
+            if (PathContains(rel, "lint_fixtures"))
+                continue;
+            ++files;
+            for (Finding& f : LintFile(rel, ReadFile(ent.path()))) {
+                if (allow.count({f.rule, f.path})) {
+                    used.emplace(f.rule, f.path);
+                    continue;
+                }
+                findings.push_back(std::move(f));
+            }
+        }
+    }
+    for (const Finding& f : findings) {
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                     f.rule.c_str(), f.text.c_str());
+    }
+    // A stale allowlist entry is itself an error: exceptions must not
+    // outlive the code they excuse.
+    int stale = 0;
+    for (const auto& a : allow) {
+        if (!used.count(a)) {
+            std::fprintf(stderr,
+                         "stale allowlist entry: %s %s\n",
+                         a.first.c_str(), a.second.c_str());
+            ++stale;
+        }
+    }
+    std::fprintf(stderr, "sinan_lint: %d files, %zu findings, %d stale\n",
+                 files, findings.size(), stale);
+    return findings.empty() && stale == 0 ? 0 : 1;
+}
+
+/**
+ * Every fixture declares the one rule it violates in its first line:
+ * `// lint-expect: <rule>`. The self-test proves each rule fires (and
+ * fires as the right rule), so a silently-disabled rule fails CI.
+ */
+int
+SelfTest(const fs::path& fixtures)
+{
+    int checked = 0, failures = 0;
+    std::set<std::string> covered;
+    for (const auto& ent : fs::directory_iterator(fixtures)) {
+        if (!ent.is_regular_file() || !LintableFile(ent.path()))
+            continue;
+        const std::string contents = ReadFile(ent.path());
+        const std::string tag = "// lint-expect: ";
+        const size_t at = contents.find(tag);
+        const std::string name = ent.path().filename().string();
+        if (at == std::string::npos) {
+            std::fprintf(stderr, "%s: missing lint-expect header\n",
+                         name.c_str());
+            ++failures;
+            continue;
+        }
+        size_t end = contents.find('\n', at);
+        if (end == std::string::npos)
+            end = contents.size();
+        const std::string expected =
+            contents.substr(at + tag.size(), end - at - tag.size());
+        // Fixtures pose as src/ files so header-only rules apply.
+        const std::vector<Finding> fs_ =
+            LintFile("src/" + name, contents);
+        ++checked;
+        const bool hit =
+            std::any_of(fs_.begin(), fs_.end(), [&](const Finding& f) {
+                return f.rule == expected;
+            });
+        if (!hit) {
+            std::fprintf(stderr,
+                         "%s: expected rule '%s' did not fire "
+                         "(%zu findings)\n",
+                         name.c_str(), expected.c_str(), fs_.size());
+            for (const Finding& f : fs_)
+                std::fprintf(stderr, "  fired: %s\n", f.rule.c_str());
+            ++failures;
+        }
+        covered.insert(expected);
+    }
+    // The fixture set must exercise every rule.
+    for (const char* rule :
+         {"no-std-rand", "no-raw-assert", "no-unordered-container",
+          "no-raw-thread", "narrowing-cast-in-header",
+          "missing-include-guard"}) {
+        if (!covered.count(rule)) {
+            std::fprintf(stderr, "no fixture covers rule '%s'\n", rule);
+            ++failures;
+        }
+    }
+    std::fprintf(stderr, "sinan_lint self-test: %d fixtures, %d failures\n",
+                 checked, failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc == 3 && std::string(argv[1]) == "--self-test")
+        return SelfTest(argv[2]);
+    if (argc == 2)
+        return LintTree(argv[1]);
+    std::fprintf(stderr,
+                 "usage: sinan_lint <repo_root> | "
+                 "sinan_lint --self-test <fixtures_dir>\n");
+    return 2;
+}
