@@ -120,6 +120,49 @@ PrintTables(const Application& app, const std::vector<double>& loads,
     }
 }
 
+/**
+ * Fault-scenario columns: Sinan and AutoScaleCons (the two QoS-meeting
+ * managers) run once per named chaos scenario at a mid-range load.
+ * Reported per scenario: P(meet QoS), mean CPU, how many decisions ran
+ * degraded, watchdog upscales, and the recovery time (intervals past
+ * the last fault until p99 is back under QoS; 0 = immediate).
+ */
+void
+PrintChaosTable(const Application& app, TrainedSinan& trained,
+                double users)
+{
+    std::printf("\n%s — resilience under chaos scenarios "
+                "(users=%.0f)\n", app.name.c_str(), users);
+    const auto by_manager = bench::SweepManagersAcrossFaults(
+        app, trained, users, RunSeconds(60.0));
+    const std::vector<ChaosScenario>& scenarios = ChaosScenarios();
+
+    TextTable t({"scenario", "manager", "P(meetQoS)", "meanCPU",
+                 "degraded", "watchdog", "recovery"});
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+        const ChaosScenario& sc = scenarios[i];
+        const double fault_end_s =
+            static_cast<double>(ParseFaultSpec(sc.spec).EndInterval()) *
+            SimConfig{}.interval_s; // the sweep runs default intervals
+        for (const auto& [name, results] : by_manager) {
+            const RunResult& r = results[i];
+            const TelemetrySummary s = SummarizeTelemetry(r.metrics);
+            const int rec =
+                RecoveryIntervals(r, fault_end_s, app.qos_ms);
+            t.Row()
+                .Add(sc.name)
+                .Add(name)
+                .Add(r.qos_meet_prob, 3)
+                .Add(r.mean_cpu, 1)
+                .Add(static_cast<double>(s.degraded), 0)
+                .Add(static_cast<double>(s.watchdog_upscales), 0)
+                .Add(rec < 0 ? std::string("never")
+                             : std::to_string(rec) + " iv");
+        }
+    }
+    std::printf("%s", t.Render().c_str());
+}
+
 } // namespace
 } // namespace sinan
 
@@ -153,6 +196,7 @@ main()
         const auto loads = bench::SocialLoads();
         const auto sweep = SweepApp(app, trained, loads);
         PrintTables(app, loads, sweep);
+        PrintChaosTable(app, trained, 100.0);
     }
     return 0;
 }

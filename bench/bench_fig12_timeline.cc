@@ -8,6 +8,10 @@
  *
  * Expected shape: predicted latency tracks measured latency, violations
  * are avoided, and the allocation follows the diurnal load.
+ *
+ * A third timeline runs the constant load under a telemetry blackout
+ * followed by capacity loss, showing the degraded-mode ladder (hold →
+ * watchdog upscale → recovery) and reporting the recovery time.
  */
 #include <cstdio>
 
@@ -111,6 +115,44 @@ main()
         cfg.seed = 22;
         const RunResult r = RunManaged(app, sinan, load, cfg);
         PrintTimeline(app, r, 20);
+    }
+    {
+        std::printf("\n--- constant 250 users under faults: telemetry "
+                    "blackout, then capacity loss ---\n");
+        SinanScheduler sinan(*trained.model, SchedulerConfig{});
+        ConstantLoad load(250.0);
+        RunConfig cfg;
+        cfg.duration_s = bench::RunSeconds(120.0);
+        cfg.warmup_s = 10.0;
+        cfg.seed = 23;
+        // Ends at interval 32 so even the fast-mode run (48 s) leaves
+        // room to observe the recovery.
+        cfg.faults = ParseFaultSpec("drop@14+6;caploss@24+8:mag=0.5");
+        const RunResult r = RunManaged(app, sinan, load, cfg);
+        PrintTimeline(app, r, 5);
+
+        const TelemetrySummary tel = SummarizeTelemetry(r.metrics);
+        const double fault_end_s =
+            static_cast<double>(cfg.faults.EndInterval()) *
+            cfg.sim.interval_s;
+        const int rec = RecoveryIntervals(r, fault_end_s, app.qos_ms);
+        std::printf("Degraded decisions %llu (model %llu, heuristic "
+                    "%llu, hold %llu); watchdog upscales %llu\n",
+                    static_cast<unsigned long long>(tel.degraded),
+                    static_cast<unsigned long long>(tel.degraded_model),
+                    static_cast<unsigned long long>(
+                        tel.degraded_heuristic),
+                    static_cast<unsigned long long>(tel.degraded_hold),
+                    static_cast<unsigned long long>(
+                        tel.watchdog_upscales));
+        if (rec < 0) {
+            std::printf("Recovery after last fault: not within the "
+                        "run\n");
+        } else {
+            std::printf("Recovery after last fault: %d intervals to "
+                        "p99 <= QoS\n",
+                        rec);
+        }
     }
     return 0;
 }

@@ -235,6 +235,55 @@ SweepManagersAcrossLoads(const Application& app,
     return by_manager;
 }
 
+std::map<std::string, std::vector<RunResult>>
+SweepManagersAcrossFaults(const Application& app,
+                          const TrainedSinan& trained, double users,
+                          double duration_s, uint64_t seed)
+{
+    struct ManagerSpec {
+        std::string name;
+        std::function<std::unique_ptr<ResourceManager>()> make;
+    };
+    const std::vector<ManagerSpec> specs = {
+        {"Sinan",
+         [&] {
+             return std::make_unique<OwningSinan>(trained.model->Clone());
+         }},
+        {"AutoScaleCons",
+         [] { return std::make_unique<AutoScaler>(MakeAutoScaleCons()); }},
+    };
+    const std::vector<ChaosScenario>& scenarios = ChaosScenarios();
+
+    std::vector<SweepJob> jobs;
+    for (const ManagerSpec& spec : specs) {
+        for (const ChaosScenario& sc : scenarios) {
+            SweepJob job;
+            job.make_manager = spec.make;
+            job.make_load = [users] {
+                return std::make_unique<ConstantLoad>(users);
+            };
+            job.cfg.duration_s = duration_s;
+            job.cfg.warmup_s = 5.0;
+            job.cfg.seed = seed;
+            job.cfg.faults = ParseFaultSpec(sc.spec);
+            ValidateFaultSchedule(job.cfg.faults,
+                                  static_cast<int>(app.tiers.size()));
+            jobs.push_back(std::move(job));
+        }
+    }
+    const std::vector<RunResult> results = RunSweep(app, jobs);
+
+    std::map<std::string, std::vector<RunResult>> by_manager;
+    size_t idx = 0;
+    for (const ManagerSpec& spec : specs) {
+        for (const ChaosScenario& sc : scenarios) {
+            (void)sc;
+            by_manager[spec.name].push_back(results[idx++]);
+        }
+    }
+    return by_manager;
+}
+
 std::vector<double>
 HotelLoads()
 {

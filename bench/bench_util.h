@@ -60,6 +60,17 @@ SweepManagersAcrossLoads(const Application& app, const TrainedSinan& trained,
                          const std::vector<double>& loads,
                          double duration_s, uint64_t seed = 7);
 
+/**
+ * Runs Sinan and AutoScaleCons (the QoS-meeting managers of Fig. 11)
+ * under every named chaos scenario (see sim/fault_injector.h) at a
+ * fixed load. Results per manager are ordered like ChaosScenarios().
+ * Seeded and deterministic like the load sweep.
+ */
+std::map<std::string, std::vector<RunResult>>
+SweepManagersAcrossFaults(const Application& app,
+                          const TrainedSinan& trained, double users,
+                          double duration_s, uint64_t seed = 7);
+
 /** Prints a section header for bench output. */
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 

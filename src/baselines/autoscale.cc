@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cluster/metrics.h"
+
 namespace sinan {
 
 AutoScaler::AutoScaler(std::string name, std::vector<ScalingRule> rules)
@@ -13,6 +15,11 @@ std::vector<double>
 AutoScaler::Decide(const IntervalObservation& obs,
                    const std::vector<double>& alloc, const Application& app)
 {
+    // Degraded telemetry (dropped interval, NaN fields): hold. The
+    // rules below would otherwise index missing tiers or propagate NaN
+    // into the allocation.
+    if (!TelemetryUsable(obs, alloc.size()))
+        return alloc;
     std::vector<double> next(alloc);
     for (size_t i = 0; i < alloc.size(); ++i) {
         const double util = obs.tiers[i].Utilization();

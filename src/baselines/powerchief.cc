@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "cluster/metrics.h"
+
 namespace sinan {
 
 PowerChief::PowerChief(const PowerChiefConfig& cfg)
@@ -14,6 +16,10 @@ std::vector<double>
 PowerChief::Decide(const IntervalObservation& obs,
                    const std::vector<double>& alloc, const Application& app)
 {
+    // Degraded telemetry: hold rather than rank tiers on missing or
+    // NaN queueing signals.
+    if (!TelemetryUsable(obs, alloc.size()))
+        return alloc;
     const int n = static_cast<int>(alloc.size());
     std::vector<double> next(alloc);
 

@@ -314,7 +314,9 @@ Cluster::Tick(double now, double dt)
             now >= tier.next_sync_at) {
             const double stall = tier.spec.stall_base_s +
                                  tier.spec.stall_s_per_mb * tier.written_mb;
-            tier.stall_until = now + stall;
+            // max: an injected stall (InjectStall) may already reach
+            // further than this sync's own pause.
+            tier.stall_until = std::max(tier.stall_until, now + stall);
             tier.written_mb = 0.0;
             tier.next_sync_at += tier.spec.log_sync_period_s;
         }
@@ -326,7 +328,8 @@ Cluster::Tick(double now, double dt)
 
         AdmitFromQueue(tier, now);
 
-        double cap_s = tier.cpu_limit * cfg_.speed_factor * dt * avail;
+        double cap_s = tier.cpu_limit * cfg_.speed_factor *
+                       tier.capacity_factor * dt * avail;
         const double per_stage_cap = dt * avail; // one core per stage
 
         for (int round = 0; round < kMaxRounds && cap_s > kEpsWork;
@@ -446,6 +449,23 @@ Cluster::SetCpuLimit(int tier, double cores)
         throw std::out_of_range("Cluster::SetCpuLimit: bad tier");
     TierState& t = tiers_[tier];
     t.cpu_limit = std::clamp(cores, t.spec.min_cpu, t.spec.max_cpu);
+}
+
+void
+Cluster::SetCapacityFactor(int tier, double factor)
+{
+    if (tier < 0 || tier >= NumTiers())
+        throw std::out_of_range("Cluster::SetCapacityFactor: bad tier");
+    tiers_[tier].capacity_factor = std::clamp(factor, 0.0, 1.0);
+}
+
+void
+Cluster::InjectStall(int tier, double until_s)
+{
+    if (tier < 0 || tier >= NumTiers())
+        throw std::out_of_range("Cluster::InjectStall: bad tier");
+    TierState& t = tiers_[tier];
+    t.stall_until = std::max(t.stall_until, until_s);
 }
 
 void

@@ -58,6 +58,11 @@ struct TierState {
     /** Stages admitted and still owing local CPU work. */
     std::vector<int32_t> running;
 
+    /** Externally imposed capacity multiplier in [0, 1] (fault
+     *  injection: capacity loss / noisy neighbor). Invisible to the
+     *  telemetry, which keeps reporting the configured cpu_limit. */
+    double capacity_factor = 1.0;
+
     // Log-sync stall model.
     double stall_until = -1.0;
     double next_sync_at = 0.0;
@@ -108,6 +113,21 @@ class Cluster {
 
     /** Enables/disables the log-sync stall model at runtime. */
     void SetLogSyncEnabled(bool enabled) { cfg_.enable_log_sync = enabled; }
+
+    /**
+     * Fault hook: multiplies one tier's effective CPU capacity by
+     * @p factor (clamped to [0, 1]) until changed again. Telemetry
+     * still reports the configured limit — this models capacity the
+     * manager cannot see (failed replica, noisy neighbor).
+     */
+    void SetCapacityFactor(int tier, double factor);
+
+    /**
+     * Fault hook: the tier serves nothing until simulated time
+     * @p until_s (extends, never shortens, a stall in progress).
+     * Reuses the log-sync stall machinery.
+     */
+    void InjectStall(int tier, double until_s);
 
     int NumTiers() const { return static_cast<int>(tiers_.size()); }
     const Application& App() const { return app_; }

@@ -11,6 +11,8 @@
 #ifndef SINAN_CLUSTER_METRICS_H
 #define SINAN_CLUSTER_METRICS_H
 
+#include <cmath>
+#include <cstddef>
 #include <vector>
 
 namespace sinan {
@@ -73,6 +75,40 @@ struct IntervalObservation {
         return s;
     }
 };
+
+/** True when every numeric field of @p obs is finite. Fault injection
+ *  (sim/fault_injector.h) can deliver NaN-poisoned observations; this
+ *  is the check managers run before trusting one. */
+inline bool
+ObservationFinite(const IntervalObservation& obs)
+{
+    if (!std::isfinite(obs.time_s) || !std::isfinite(obs.rps) ||
+        !std::isfinite(obs.completed_rps))
+        return false;
+    for (double v : obs.latency_ms) {
+        if (!std::isfinite(v))
+            return false;
+    }
+    for (const TierMetrics& t : obs.tiers) {
+        if (!std::isfinite(t.cpu_limit) || !std::isfinite(t.cpu_used) ||
+            !std::isfinite(t.rss_mb) || !std::isfinite(t.cache_mb) ||
+            !std::isfinite(t.rx_pps) || !std::isfinite(t.tx_pps) ||
+            !std::isfinite(t.queue_len) || !std::isfinite(t.active) ||
+            !std::isfinite(t.queue_wait_s))
+            return false;
+    }
+    return true;
+}
+
+/** True when @p obs carries a complete, finite payload for an
+ *  application with @p n_tiers tiers — the precondition for feeding it
+ *  to a model or a scaling rule. */
+inline bool
+TelemetryUsable(const IntervalObservation& obs, size_t n_tiers)
+{
+    return obs.tiers.size() == n_tiers && !obs.latency_ms.empty() &&
+           ObservationFinite(obs);
+}
 
 /** Latency percentiles reported per interval (p95..p99). */
 inline const std::vector<double>&

@@ -36,6 +36,8 @@ ToString(CandidateOutcome outcome)
         return "latency_margin";
     case CandidateOutcome::kRejectedViolationProb:
         return "violation_prob";
+    case CandidateOutcome::kRejectedDegradedTelemetry:
+        return "degraded_telemetry";
     case CandidateOutcome::kNotCheapest:
         return "not_cheapest";
     }
@@ -56,6 +58,30 @@ ToString(DecisionKind kind)
         return "model";
     case DecisionKind::kNoFeasibleUpscale:
         return "no_feasible_upscale";
+    case DecisionKind::kDegradedModel:
+        return "degraded_model";
+    case DecisionKind::kDegradedHeuristic:
+        return "degraded_heuristic";
+    case DecisionKind::kDegradedHold:
+        return "degraded_hold";
+    case DecisionKind::kWatchdogUpscale:
+        return "watchdog_upscale";
+    }
+    return "unknown";
+}
+
+const char*
+ToString(TelemetryHealth health)
+{
+    switch (health) {
+    case TelemetryHealth::kFresh:
+        return "fresh";
+    case TelemetryHealth::kStale:
+        return "stale";
+    case TelemetryHealth::kNonFinite:
+        return "non_finite";
+    case TelemetryHealth::kAbsent:
+        return "absent";
     }
     return "unknown";
 }

@@ -34,6 +34,23 @@ enum class ActionKind {
     kScaleUpVictims,
 };
 
+/**
+ * The scheduler's classification of an interval's telemetry (see
+ * core/telemetry_guard.h). Anything but kFresh routes the decision
+ * through the graceful-degradation path instead of the model.
+ */
+enum class TelemetryHealth {
+    /** Complete, finite, and newer than the last good observation. */
+    kFresh,
+    /** Timestamp not newer than the last good observation (delayed or
+     *  repeated delivery). */
+    kStale,
+    /** Contains NaN/Inf fields (broken exporter). */
+    kNonFinite,
+    /** Missing or incomplete payload (dropped interval). */
+    kAbsent,
+};
+
 /** Why a candidate was (not) applied. */
 enum class CandidateOutcome {
     /** Passed every filter and had the least total CPU. */
@@ -46,6 +63,9 @@ enum class CandidateOutcome {
     kRejectedLatencyMargin,
     /** Predicted violation probability above p_d / p_u. */
     kRejectedViolationProb,
+    /** Down-action rejected: deciding on degraded (last-known-good)
+     *  telemetry, where reclaiming would be flying blind. */
+    kRejectedDegradedTelemetry,
     /** Passed every filter but a cheaper candidate won. */
     kNotCheapest,
 };
@@ -62,11 +82,23 @@ enum class DecisionKind {
     kModel,
     /** Normal path, but no candidate passed: scale-up-all. */
     kNoFeasibleUpscale,
+    /** Degraded telemetry: model consulted on the last-known-good
+     *  window, down-actions disabled. */
+    kDegradedModel,
+    /** Degraded telemetry before the window is ready: utilization
+     *  stepping on the last good observation. */
+    kDegradedHeuristic,
+    /** Degraded telemetry with no usable history at all: hold. */
+    kDegradedHold,
+    /** Watchdog: telemetry silent for too many consecutive intervals,
+     *  forced blanket scale-up. */
+    kWatchdogUpscale,
 };
 
 const char* ToString(ActionKind kind);
 const char* ToString(CandidateOutcome outcome);
 const char* ToString(DecisionKind kind);
+const char* ToString(TelemetryHealth health);
 
 /** One candidate considered by one decision. */
 struct CandidateTrace {
@@ -96,9 +128,17 @@ struct DecisionTraceEntry {
     DecisionKind kind = DecisionKind::kWarmup;
 
     /** Observed p99 of the finished interval, and whether it violated
-     *  QoS. */
+     *  QoS. -1 on degraded intervals, where the observation is
+     *  missing or untrusted. */
     double observed_p99_ms = 0.0;
     bool violated = false;
+
+    /** Telemetry classification that routed this decision. */
+    TelemetryHealth telemetry = TelemetryHealth::kFresh;
+    /** Consecutive degraded intervals including this one (0 when
+     *  fresh); the watchdog trips when it reaches the config's
+     *  watchdog_silent_after. */
+    int silent_intervals = 0;
 
     /** Trust state after this interval's bookkeeping. */
     bool trust_reduced = false;

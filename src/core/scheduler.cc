@@ -32,7 +32,8 @@ ProbabilityBounds()
 
 SinanScheduler::SinanScheduler(HybridModel& model,
                                const SchedulerConfig& cfg)
-    : model_(model), cfg_(cfg), window_(model.Features())
+    : model_(model), cfg_(cfg), window_(model.Features()),
+      guard_(model.Features().n_tiers)
 {
 }
 
@@ -40,6 +41,7 @@ void
 SinanScheduler::Reset()
 {
     window_.Clear();
+    guard_.Reset();
     recent_victims_.clear();
     last_pred_p99_ = -1.0;
     last_pred_pv_ = -1.0;
@@ -170,87 +172,119 @@ SinanScheduler::BuildCandidates(const IntervalObservation& obs,
 }
 
 std::vector<double>
+SinanScheduler::UtilStep(const IntervalObservation& ref,
+                         const std::vector<double>& alloc,
+                         const Application& app, bool aggressive) const
+{
+    const int n = static_cast<int>(alloc.size());
+    std::vector<double> a = alloc;
+    for (int i = 0; i < n; ++i) {
+        const double util = ref.tiers[i].Utilization();
+        if (util >= 0.5 || aggressive)
+            a[i] *= 1.3;
+        else if (util >= 0.3)
+            a[i] *= 1.1;
+        a[i] = std::clamp(a[i], app.tiers[i].min_cpu,
+                          app.tiers[i].max_cpu);
+    }
+    return a;
+}
+
+std::vector<double>
 SinanScheduler::Decide(const IntervalObservation& obs,
                        const std::vector<double>& alloc,
                        const Application& app)
 {
-    const double qos = model_.Features().qos_ms;
     const int n = static_cast<int>(alloc.size());
+    // The allocation is the caller's own bookkeeping: a malformed one
+    // is a programming error and throws. Malformed *telemetry* is an
+    // environment fault and is routed through the degradation path
+    // below instead — no ContractViolation may escape because a
+    // collection pipeline hiccuped.
     SINAN_CHECK_EQ(alloc.size(), app.tiers.size());
-    SINAN_CHECK_EQ(obs.tiers.size(), app.tiers.size());
     for (int i = 0; i < n; ++i) {
         SINAN_CHECK_BOUNDS(alloc[i], app.tiers[i].min_cpu - 1e-9,
                            app.tiers[i].max_cpu + 1e-9);
     }
-    window_.Push(obs);
+
+    const TelemetryHealth health = guard_.Classify(obs);
+    if (health != TelemetryHealth::kFresh)
+        return DecideDegraded(health, alloc, app);
+    return DecideFresh(obs, alloc, app);
+}
+
+std::vector<double>
+SinanScheduler::DecideFresh(const IntervalObservation& obs,
+                            const std::vector<double>& alloc,
+                            const Application& app)
+{
+    const double qos = model_.Features().qos_ms;
+    const int n = static_cast<int>(alloc.size());
+
+    // ---- analysis phase ----------------------------------------------
+    // Trust bookkeeping is computed into locals and only written back
+    // in commit() below, after every fallible step (most importantly
+    // the model evaluation) has succeeded — a throw out of Decide()
+    // leaves the scheduler exactly as it was (strong guarantee).
+    const bool violated = obs.P99() > qos;
+    const bool scored = pending_pred_p99_ >= 0.0;
+    const bool mispredicted =
+        scored && pending_pred_p99_ <= qos && violated;
+    int mispred = mispredictions_ + (mispredicted ? 1 : 0);
+    bool trust_reduced = trust_reduced_;
+    bool trust_lost = false;
+    bool trust_restored = false;
+    if (scored && !trust_reduced && mispred > cfg_.trust_threshold) {
+        trust_reduced = true;
+        trust_lost = true;
+    }
+    const int consecutive = violated ? consecutive_violations_ + 1 : 0;
+    int healthy =
+        obs.P99() <= cfg_.healthy_frac * qos ? healthy_streak_ + 1 : 0;
+
+    // Trust restoration (the paper's counterpart to losing it): a
+    // sustained healthy streak first decays the misprediction count,
+    // then lifts the reduced-trust conservatism once the count is back
+    // under the threshold.
+    if (healthy > 0) {
+        if (cfg_.trust_decay_every > 0 && mispred > 0 &&
+            healthy % cfg_.trust_decay_every == 0) {
+            --mispred;
+        }
+        if (trust_reduced && cfg_.trust_restore_healthy > 0 &&
+            healthy >= cfg_.trust_restore_healthy &&
+            mispred <= cfg_.trust_threshold) {
+            trust_reduced = false;
+            trust_restored = true;
+        }
+    }
 
     auto count = [&](const char* name) {
         if (metrics_)
             metrics_->Inc(name);
     };
 
-    DecisionTraceEntry* ent = nullptr;
-    if (trace_) {
-        trace_->intervals.emplace_back();
-        ent = &trace_->intervals.back();
-        ent->interval = interval_idx_;
-    }
-    ++interval_idx_;
-    count("sinan.scheduler.decisions");
-    if (metrics_) {
-        metrics_->Observe("sinan.scheduler.observed_p99_ms", obs.P99(),
-                          LatencyBounds());
-    }
+    // ---- commit ------------------------------------------------------
+    // Writes the interval's bookkeeping back and appends the trace
+    // entry; every return path calls it exactly once, after the
+    // fallible work is done.
+    auto commit = [&](DecisionKind kind) -> DecisionTraceEntry* {
+        mispredictions_ = mispred;
+        trust_reduced_ = trust_reduced;
+        consecutive_violations_ = consecutive;
+        healthy_streak_ = healthy;
+        guard_.CommitFresh(obs);
 
-    // Track prediction quality for the trust mechanism.
-    const bool violated = obs.P99() > qos;
-    bool trust_lost = false;
-    bool trust_restored = false;
-    if (pending_pred_p99_ >= 0.0) {
-        count("sinan.scheduler.predictions");
-        const bool predicted_ok = pending_pred_p99_ <= qos;
-        if (predicted_ok && violated) {
-            ++mispredictions_;
-            count("sinan.scheduler.mispredictions");
-        }
-        if (!trust_reduced_ && mispredictions_ > cfg_.trust_threshold) {
-            trust_reduced_ = true;
-            trust_lost = true;
-        }
-    }
-    consecutive_violations_ = violated ? consecutive_violations_ + 1 : 0;
-    healthy_streak_ = obs.P99() <= cfg_.healthy_frac * qos
-                          ? healthy_streak_ + 1
-                          : 0;
-
-    // Trust restoration (the paper's counterpart to losing it): a
-    // sustained healthy streak first decays the misprediction count,
-    // then lifts the reduced-trust conservatism once the count is back
-    // under the threshold.
-    if (healthy_streak_ > 0) {
-        if (cfg_.trust_decay_every > 0 && mispredictions_ > 0 &&
-            healthy_streak_ % cfg_.trust_decay_every == 0) {
-            --mispredictions_;
-        }
-        if (trust_reduced_ && cfg_.trust_restore_healthy > 0 &&
-            healthy_streak_ >= cfg_.trust_restore_healthy &&
-            mispredictions_ <= cfg_.trust_threshold) {
-            trust_reduced_ = false;
-            trust_restored = true;
-        }
-    }
-    if (trust_lost)
-        count("sinan.scheduler.trust_lost");
-    if (trust_restored)
-        count("sinan.scheduler.trust_restored");
-
-    // Stamps the interval's closing state into the trace entry and the
-    // state gauges; every return path funnels through here.
-    auto finish = [&](DecisionKind kind) {
-        if (ent) {
+        DecisionTraceEntry* ent = nullptr;
+        if (trace_) {
+            trace_->intervals.emplace_back();
+            ent = &trace_->intervals.back();
+            ent->interval = interval_idx_;
             ent->kind = kind;
             ent->observed_p99_ms = obs.P99();
             ent->violated = violated;
+            ent->telemetry = TelemetryHealth::kFresh;
+            ent->silent_intervals = 0;
             ent->trust_reduced = trust_reduced_;
             ent->mispredictions = mispredictions_;
             ent->healthy_streak = healthy_streak_;
@@ -258,36 +292,48 @@ SinanScheduler::Decide(const IntervalObservation& obs,
             ent->trust_lost = trust_lost;
             ent->trust_restored = trust_restored;
         }
+        ++interval_idx_;
+        count("sinan.scheduler.decisions");
+        if (scored)
+            count("sinan.scheduler.predictions");
+        if (mispredicted)
+            count("sinan.scheduler.mispredictions");
+        if (trust_lost)
+            count("sinan.scheduler.trust_lost");
+        if (trust_restored)
+            count("sinan.scheduler.trust_restored");
         if (metrics_) {
+            metrics_->Observe("sinan.scheduler.observed_p99_ms",
+                              obs.P99(), LatencyBounds());
             metrics_->Set("sinan.scheduler.trust_reduced",
                           trust_reduced_ ? 1.0 : 0.0);
             metrics_->Set("sinan.scheduler.mispredictions_current",
                           mispredictions_);
             metrics_->Set("sinan.scheduler.healthy_streak",
                           healthy_streak_);
+            metrics_->Set("sinan.scheduler.silent_intervals", 0.0);
         }
+        return ent;
     };
+
+    // The window including this observation is prepared as a copy so
+    // the decision (including the model evaluation, the only step that
+    // can throw past this point) runs before any member is touched.
+    MetricWindow next_window = window_;
+    next_window.Push(obs);
 
     // Warm-up: no full history window yet. Falling back to conservative
     // utilization stepping keeps the cluster alive if the run starts
     // underprovisioned (holding a starved allocation for T intervals
     // builds a queue that takes far longer to drain).
-    if (!window_.Ready()) {
+    if (!next_window.Ready()) {
+        const std::vector<double> a = UtilStep(obs, alloc, app, violated);
+        window_ = std::move(next_window);
         last_pred_p99_ = -1.0;
         last_pred_pv_ = -1.0;
         pending_pred_p99_ = -1.0;
-        std::vector<double> a = alloc;
-        for (int i = 0; i < n; ++i) {
-            const double util = obs.tiers[i].Utilization();
-            if (util >= 0.5 || violated)
-                a[i] *= 1.3;
-            else if (util >= 0.3)
-                a[i] *= 1.1;
-            a[i] = std::clamp(a[i], app.tiers[i].min_cpu,
-                              app.tiers[i].max_cpu);
-        }
+        commit(DecisionKind::kWarmup);
         count("sinan.scheduler.warmup");
-        finish(DecisionKind::kWarmup);
         return a;
     }
 
@@ -298,17 +344,16 @@ SinanScheduler::Decide(const IntervalObservation& obs,
     // accounting, so we escalate multiplicatively instead — it reaches
     // the maxima within a few intervals if the violation persists.)
     if (violated) {
-        std::vector<double> a = alloc;
         const bool escalate =
-            consecutive_violations_ >= cfg_.max_fallback_after;
+            consecutive >= cfg_.max_fallback_after;
         // A violation the model failed to avert for this many intervals
         // also costs it trust: future decisions use the doubled latency
         // margin until it is restored by a healthy streak (or Reset()).
-        if (escalate && !trust_reduced_) {
-            trust_reduced_ = true;
+        if (escalate && !trust_reduced) {
+            trust_reduced = true;
             trust_lost = true;
-            count("sinan.scheduler.trust_lost");
         }
+        std::vector<double> a = alloc;
         for (int i = 0; i < n; ++i) {
             // Saturated tiers get a stronger kick so the built-up queue
             // drains in as few intervals as possible.
@@ -322,18 +367,20 @@ SinanScheduler::Decide(const IntervalObservation& obs,
             a[i] =
                 std::min(app.tiers[i].max_cpu, a[i] * factor + add);
         }
+        window_ = std::move(next_window);
         recent_victims_.clear();
         last_pred_p99_ = -1.0;
         last_pred_pv_ = -1.0;
         pending_pred_p99_ = -1.0;
+        commit(escalate ? DecisionKind::kEscalatedFallback
+                        : DecisionKind::kFallback);
         count("sinan.scheduler.fallbacks");
         if (escalate)
             count("sinan.scheduler.escalations");
-        finish(escalate ? DecisionKind::kEscalatedFallback
-                        : DecisionKind::kFallback);
         return a;
     }
 
+    // Model path.
     const std::vector<Candidate> cands =
         BuildCandidates(obs, alloc, app);
     std::vector<std::vector<double>> allocs;
@@ -341,7 +388,7 @@ SinanScheduler::Decide(const IntervalObservation& obs,
     for (const Candidate& c : cands)
         allocs.push_back(c.alloc);
     const std::vector<Prediction> preds =
-        model_.Evaluate(window_, allocs);
+        model_.Evaluate(next_window, allocs);
     SINAN_CHECK_EQ(preds.size(), cands.size());
     for (const Prediction& p : preds) {
         // A NaN prediction would silently poison every margin
@@ -355,11 +402,10 @@ SinanScheduler::Decide(const IntervalObservation& obs,
     // Reduced trust makes the latency margin twice as conservative.
     const double margin =
         std::min(model_.ValRmseSubQosMs(), cfg_.margin_cap_frac * qos) *
-        (trust_reduced_ ? 2.0 : 1.0);
+        (trust_reduced ? 2.0 : 1.0);
 
     // Hysteresis: only reclaim after a streak of comfortable intervals.
-    const bool may_reclaim =
-        healthy_streak_ >= cfg_.reclaim_after_healthy;
+    const bool may_reclaim = healthy >= cfg_.reclaim_after_healthy;
 
     int best = -1;
     int hold_idx = -1;
@@ -404,6 +450,12 @@ SinanScheduler::Decide(const IntervalObservation& obs,
     if (best >= 0)
         outcomes[best] = CandidateOutcome::kChosen;
 
+    // ---- commit (model path) ----------------------------------------
+    window_ = std::move(next_window);
+    DecisionTraceEntry* ent = commit(
+        best >= 0 ? DecisionKind::kModel
+                  : DecisionKind::kNoFeasibleUpscale);
+
     if (metrics_) {
         metrics_->Inc("sinan.scheduler.candidates", cands.size());
         for (size_t i = 0; i < cands.size(); ++i) {
@@ -443,7 +495,6 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         last_pred_pv_ = preds[best].p_violation;
         pending_pred_p99_ = last_pred_p99_;
         count("sinan.scheduler.model_decisions");
-        finish(DecisionKind::kModel);
     } else {
         // No acceptable action: scale everything up.
         chosen.resize(n);
@@ -458,7 +509,6 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         }
         pending_pred_p99_ = -1.0;
         count("sinan.scheduler.no_feasible");
-        finish(DecisionKind::kNoFeasibleUpscale);
     }
 
 #ifndef SINAN_DISABLE_DCHECKS
@@ -479,6 +529,208 @@ SinanScheduler::Decide(const IntervalObservation& obs,
         recent_victims_.pop_front();
 
     return chosen;
+}
+
+std::vector<double>
+SinanScheduler::DecideDegraded(TelemetryHealth health,
+                               const std::vector<double>& alloc,
+                               const Application& app)
+{
+    const double qos = model_.Features().qos_ms;
+    const int n = static_cast<int>(alloc.size());
+    // Including this interval; the guard advances in commit().
+    const int silent = guard_.SilentIntervals() + 1;
+    const bool watchdog = cfg_.watchdog_silent_after > 0 &&
+                          silent >= cfg_.watchdog_silent_after;
+
+    auto count = [&](const char* name) {
+        if (metrics_)
+            metrics_->Inc(name);
+    };
+
+    // Shared commit tail. The trust machinery freezes while blind —
+    // there is no observation to score predictions against — except
+    // the healthy streak, which resets: silence is not evidence of
+    // comfort, and a pre-outage streak must not authorize a reclaim
+    // the moment telemetry returns.
+    auto commit = [&](DecisionKind kind) -> DecisionTraceEntry* {
+        guard_.CommitDegraded();
+        healthy_streak_ = 0;
+        pending_pred_p99_ = -1.0;
+
+        DecisionTraceEntry* ent = nullptr;
+        if (trace_) {
+            trace_->intervals.emplace_back();
+            ent = &trace_->intervals.back();
+            ent->interval = interval_idx_;
+            ent->kind = kind;
+            ent->observed_p99_ms = -1.0; // unknown or untrusted
+            ent->violated = false;
+            ent->telemetry = health;
+            ent->silent_intervals = silent;
+            ent->trust_reduced = trust_reduced_;
+            ent->mispredictions = mispredictions_;
+            ent->healthy_streak = healthy_streak_;
+            ent->consecutive_violations = consecutive_violations_;
+        }
+        ++interval_idx_;
+        count("sinan.scheduler.decisions");
+        count("sinan.scheduler.degraded");
+        if (metrics_) {
+            metrics_->Inc(std::string("sinan.scheduler.telemetry.") +
+                          ToString(health));
+            metrics_->Set("sinan.scheduler.silent_intervals", silent);
+            metrics_->Set("sinan.scheduler.healthy_streak", 0.0);
+        }
+        return ent;
+    };
+
+    // Ages the victim look-back like any other interval (degraded
+    // paths never scale down, so the entry is empty).
+    auto age_victims = [&] {
+        recent_victims_.emplace_back();
+        while (static_cast<int>(recent_victims_.size()) >
+               cfg_.victim_window)
+            recent_victims_.pop_front();
+    };
+
+    // Watchdog: after k consecutive silent intervals stop trusting the
+    // frozen picture entirely and grow everything until telemetry (or
+    // the per-tier maxima) returns.
+    if (watchdog) {
+        std::vector<double> a = alloc;
+        for (int i = 0; i < n; ++i) {
+            a[i] = std::min(app.tiers[i].max_cpu,
+                            a[i] * (1.0 + cfg_.up_all_ratio) + 0.2);
+        }
+        last_pred_p99_ = -1.0;
+        last_pred_pv_ = -1.0;
+        recent_victims_.clear();
+        commit(DecisionKind::kWatchdogUpscale);
+        count("sinan.scheduler.watchdog");
+        return a;
+    }
+
+    // Stale or non-finite telemetry with a full window: consult the
+    // model on the last-known-good features. Reclaims are disabled —
+    // shrinking a tier based on a picture that may no longer hold is
+    // how a blind manager causes its own violation.
+    if (window_.Ready()) {
+        const IntervalObservation& ref = window_.Newest();
+        const std::vector<Candidate> cands =
+            BuildCandidates(ref, alloc, app);
+        std::vector<std::vector<double>> allocs;
+        allocs.reserve(cands.size());
+        for (const Candidate& c : cands)
+            allocs.push_back(c.alloc);
+        const std::vector<Prediction> preds =
+            model_.Evaluate(window_, allocs);
+        SINAN_CHECK_EQ(preds.size(), cands.size());
+        for (const Prediction& p : preds) {
+            SINAN_CHECK_FINITE(p.P99());
+            SINAN_CHECK_BOUNDS(p.p_violation, 0.0, 1.0);
+        }
+        const double margin = std::min(model_.ValRmseSubQosMs(),
+                                       cfg_.margin_cap_frac * qos) *
+                              (trust_reduced_ ? 2.0 : 1.0);
+
+        int best = -1;
+        std::vector<CandidateOutcome> outcomes(
+            cands.size(), CandidateOutcome::kNotCheapest);
+        for (size_t i = 0; i < cands.size(); ++i) {
+            if (cands[i].IsDown()) {
+                outcomes[i] =
+                    CandidateOutcome::kRejectedDegradedTelemetry;
+                continue;
+            }
+            const bool latency_ok = preds[i].P99() <= qos - margin;
+            const bool prob_ok = preds[i].p_violation < cfg_.p_up;
+            if (!latency_ok) {
+                outcomes[i] = CandidateOutcome::kRejectedLatencyMargin;
+                continue;
+            }
+            if (!prob_ok) {
+                outcomes[i] = CandidateOutcome::kRejectedViolationProb;
+                continue;
+            }
+            if (best < 0 || cands[i].total_cpu < cands[best].total_cpu)
+                best = static_cast<int>(i);
+        }
+        if (best >= 0)
+            outcomes[best] = CandidateOutcome::kChosen;
+
+        DecisionTraceEntry* ent = commit(DecisionKind::kDegradedModel);
+        count("sinan.scheduler.degraded_model");
+        if (metrics_) {
+            metrics_->Inc("sinan.scheduler.candidates", cands.size());
+            for (const CandidateOutcome& o : outcomes) {
+                metrics_->Inc(
+                    std::string("sinan.scheduler.outcome.") +
+                    ToString(o));
+            }
+            if (best >= 0) {
+                metrics_->Inc(std::string("sinan.scheduler.chosen.") +
+                              ToString(cands[best].kind));
+            }
+        }
+        if (ent) {
+            ent->margin_ms = margin;
+            ent->may_reclaim = false;
+            ent->chosen = best;
+            ent->candidates.reserve(cands.size());
+            for (size_t i = 0; i < cands.size(); ++i) {
+                CandidateTrace ct;
+                ct.kind = cands[i].kind;
+                ct.total_cpu = cands[i].total_cpu;
+                ct.latency_ms = preds[i].latency_ms;
+                ct.p_violation = preds[i].p_violation;
+                ct.outcome = outcomes[i];
+                ent->candidates.push_back(std::move(ct));
+            }
+        }
+
+        std::vector<double> chosen;
+        if (best >= 0) {
+            chosen = cands[best].alloc;
+            last_pred_p99_ = preds[best].P99();
+            last_pred_pv_ = preds[best].p_violation;
+        } else {
+            chosen.resize(n);
+            for (int i = 0; i < n; ++i) {
+                chosen[i] =
+                    std::min(app.tiers[i].max_cpu,
+                             alloc[i] * (1.0 + cfg_.up_all_ratio) +
+                                 0.2);
+            }
+            last_pred_p99_ = -1.0;
+            last_pred_pv_ = -1.0;
+            count("sinan.scheduler.no_feasible");
+        }
+        age_victims();
+        return chosen;
+    }
+
+    // No full window yet, but at least one good observation: the
+    // AutoScaleCons-style utilization heuristic on the last good
+    // picture (never reclaims while blind).
+    if (guard_.HasLastGood()) {
+        const std::vector<double> a =
+            UtilStep(guard_.LastGood(), alloc, app, false);
+        last_pred_p99_ = -1.0;
+        last_pred_pv_ = -1.0;
+        commit(DecisionKind::kDegradedHeuristic);
+        count("sinan.scheduler.degraded_heuristic");
+        age_victims();
+        return a;
+    }
+
+    // Telemetry degraded before anything useful was ever seen: hold.
+    last_pred_p99_ = -1.0;
+    last_pred_pv_ = -1.0;
+    commit(DecisionKind::kDegradedHold);
+    count("sinan.scheduler.degraded_hold");
+    age_victims();
+    return alloc;
 }
 
 } // namespace sinan

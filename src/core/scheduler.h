@@ -19,6 +19,7 @@
 #include <deque>
 
 #include "core/manager.h"
+#include "core/telemetry_guard.h"
 #include "models/hybrid.h"
 
 namespace sinan {
@@ -66,6 +67,12 @@ struct SchedulerConfig {
      *  queueing spikes the raw RMSE can exceed QoS, which would filter
      *  out every action). */
     double margin_cap_frac = 0.3;
+    /** Consecutive degraded-telemetry intervals (absent, stale, or
+     *  non-finite observations) after which the watchdog forces a
+     *  blanket scale-up every further silent interval — the last
+     *  resort against load shifting under a frozen allocation while
+     *  the manager is blind. 0 disables the watchdog. */
+    int watchdog_silent_after = 3;
 };
 
 /** The Sinan resource manager. */
@@ -93,6 +100,10 @@ class SinanScheduler : public ResourceManager {
 
     /** True while reduced-trust conservatism is active. */
     bool TrustReduced() const { return trust_reduced_; }
+
+    /** Consecutive degraded-telemetry intervals handled so far (0 on
+     *  the fresh path; see TelemetryGuard). */
+    int SilentIntervals() const { return guard_.SilentIntervals(); }
 
     /**
      * Attaches per-decision telemetry sinks: every Decide() appends
@@ -129,9 +140,32 @@ class SinanScheduler : public ResourceManager {
                     const std::vector<double>& alloc,
                     const Application& app) const;
 
+    /** Normal path: fresh telemetry (warm-up / fallback / model). */
+    std::vector<double> DecideFresh(const IntervalObservation& obs,
+                                    const std::vector<double>& alloc,
+                                    const Application& app);
+
+    /**
+     * Graceful degradation on stale/non-finite/absent telemetry:
+     * model on the last-known-good window with reclaim disabled, then
+     * utilization stepping on the last good observation, then hold —
+     * and the blanket-upscale watchdog once the silence persists.
+     */
+    std::vector<double> DecideDegraded(TelemetryHealth health,
+                                       const std::vector<double>& alloc,
+                                       const Application& app);
+
+    /** AutoScaleCons-style utilization stepping (warm-up and the
+     *  degraded heuristic); @p aggressive grows every tier. */
+    std::vector<double> UtilStep(const IntervalObservation& ref,
+                                 const std::vector<double>& alloc,
+                                 const Application& app,
+                                 bool aggressive) const;
+
     HybridModel& model_;
     SchedulerConfig cfg_;
     MetricWindow window_;
+    TelemetryGuard guard_;
 
     /** Tiers scaled down in the last victim_window intervals. */
     std::deque<std::vector<int>> recent_victims_;

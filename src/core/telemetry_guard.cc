@@ -1,0 +1,52 @@
+#include "core/telemetry_guard.h"
+
+#include <stdexcept>
+
+namespace sinan {
+
+TelemetryGuard::TelemetryGuard(int expected_tiers)
+    : expected_tiers_(expected_tiers)
+{
+    if (expected_tiers <= 0)
+        throw std::invalid_argument(
+            "TelemetryGuard: expected_tiers must be > 0");
+}
+
+TelemetryHealth
+TelemetryGuard::Classify(const IntervalObservation& obs) const
+{
+    if (static_cast<int>(obs.tiers.size()) != expected_tiers_ ||
+        obs.latency_ms.empty())
+        return TelemetryHealth::kAbsent;
+    if (!ObservationFinite(obs))
+        return TelemetryHealth::kNonFinite;
+    // Staleness needs a reference point; the very first observation is
+    // trusted on the payload checks alone.
+    if (has_last_good_ && obs.time_s <= last_good_.time_s)
+        return TelemetryHealth::kStale;
+    return TelemetryHealth::kFresh;
+}
+
+void
+TelemetryGuard::CommitFresh(const IntervalObservation& obs)
+{
+    last_good_ = obs;
+    has_last_good_ = true;
+    silent_ = 0;
+}
+
+void
+TelemetryGuard::CommitDegraded()
+{
+    ++silent_;
+}
+
+void
+TelemetryGuard::Reset()
+{
+    last_good_ = IntervalObservation{};
+    has_last_good_ = false;
+    silent_ = 0;
+}
+
+} // namespace sinan

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Input validation between the telemetry pipeline and the scheduler.
+ *
+ * The paper's scheduler assumes a clean observation every decision
+ * interval; real collection pipelines drop intervals, redeliver stale
+ * ones, and occasionally emit NaN (and the fault injector reproduces
+ * all three). The guard classifies each observation before it reaches
+ * HybridModel::Evaluate, remembers the last known-good one as the
+ * degraded path's reference, and counts consecutive degraded intervals
+ * so the scheduler's watchdog can force a blanket scale-up instead of
+ * flying blind forever.
+ *
+ * Classify() is const and throws nothing; the scheduler only commits
+ * the result (CommitFresh/CommitDegraded) after the rest of the
+ * decision has succeeded, which is what preserves Decide()'s strong
+ * exception guarantee.
+ */
+#ifndef SINAN_CORE_TELEMETRY_GUARD_H
+#define SINAN_CORE_TELEMETRY_GUARD_H
+
+#include "cluster/metrics.h"
+#include "core/decision_trace.h"
+
+namespace sinan {
+
+/** See file comment. One instance per scheduler. */
+class TelemetryGuard {
+  public:
+    /** @param expected_tiers tier count a usable observation carries. */
+    explicit TelemetryGuard(int expected_tiers);
+
+    /** Classifies without mutating any state. */
+    TelemetryHealth Classify(const IntervalObservation& obs) const;
+
+    /** Records a fresh observation: new last-known-good, silent
+     *  counter cleared. */
+    void CommitFresh(const IntervalObservation& obs);
+
+    /** Records a degraded interval: silent counter advances. */
+    void CommitDegraded();
+
+    bool HasLastGood() const { return has_last_good_; }
+
+    /** Last known-good observation; only valid when HasLastGood(). */
+    const IntervalObservation& LastGood() const { return last_good_; }
+
+    /** Consecutive degraded intervals committed since the last fresh
+     *  one. */
+    int SilentIntervals() const { return silent_; }
+
+    void Reset();
+
+  private:
+    int expected_tiers_;
+    IntervalObservation last_good_;
+    bool has_last_good_ = false;
+    int silent_ = 0;
+};
+
+} // namespace sinan
+
+#endif // SINAN_CORE_TELEMETRY_GUARD_H

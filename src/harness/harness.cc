@@ -21,9 +21,25 @@ RunManaged(const Application& app, ResourceManager& manager,
     RunResult result;
     manager.AttachTelemetry(&result.decision_trace, &result.metrics);
 
+    // Deterministic fault injection (see sim/fault_injector.h). The
+    // injector perturbs the cluster before each interval starts and
+    // corrupts only the manager's copy of the harvested observation;
+    // IntervalRecord and the QoS accounting below always see the truth.
+    std::unique_ptr<FaultInjector> injector;
+    IntervalObservation last_delivered;
+    bool have_delivered = false;
+    if (!cfg.faults.Empty()) {
+        ValidateFaultSchedule(cfg.faults,
+                              static_cast<int>(app.tiers.size()));
+        injector = std::make_unique<FaultInjector>(cfg.faults,
+                                                   cfg.sim.interval_s);
+        injector->AttachMetrics(&result.metrics);
+        injector->ApplyClusterFaults(0, 0.0, cluster);
+    }
+
     sim.AddTickable([&](double now, double dt) { gen.Tick(now, dt); });
     sim.AddTickable([&](double now, double dt) { cluster.Tick(now, dt); });
-    sim.AddIntervalListener([&](int64_t, double now) {
+    sim.AddIntervalListener([&](int64_t interval, double now) {
         const std::vector<double> alloc = cluster.Allocation();
         const IntervalObservation obs =
             cluster.Harvest(now, cfg.sim.interval_s);
@@ -35,9 +51,39 @@ RunManaged(const Application& app, ResourceManager& manager,
         rec.total_cpu = obs.TotalCpuLimit();
         rec.alloc = alloc;
 
+        IntervalObservation managed = obs;
+        if (injector) {
+            switch (injector->FilterTelemetry(interval, managed)) {
+            case TelemetryFate::kDeliver:
+                last_delivered = managed;
+                have_delivered = true;
+                break;
+            case TelemetryFate::kDrop:
+                // Blank observation: no tiers, no percentiles — the
+                // scheduler's guard classifies it as absent.
+                managed = IntervalObservation{};
+                managed.time_s = now;
+                break;
+            case TelemetryFate::kDelay:
+                // The pipeline redelivers the newest already-delivered
+                // observation (stale), or nothing at all if the outage
+                // started before anything got through.
+                if (have_delivered) {
+                    managed = last_delivered;
+                } else {
+                    managed = IntervalObservation{};
+                    managed.time_s = now;
+                }
+                break;
+            }
+        }
+
         const size_t traced = result.decision_trace.intervals.size();
-        const std::vector<double> next = manager.Decide(obs, alloc, app);
+        const std::vector<double> next =
+            manager.Decide(managed, alloc, app);
         cluster.SetAllocation(next);
+        if (injector)
+            injector->ApplyClusterFaults(interval + 1, now, cluster);
         // Stamp the simulation time onto whatever the manager traced
         // for this decision (the scheduler has no notion of time).
         for (size_t i = traced;
@@ -73,6 +119,21 @@ RunManaged(const Application& app, ResourceManager& manager,
         result.mean_p99_ms = p99_acc / static_cast<double>(measured);
     }
     return result;
+}
+
+int
+RecoveryIntervals(const RunResult& result, double fault_end_s,
+                  double qos_ms)
+{
+    int waited = 0;
+    for (const IntervalRecord& rec : result.timeline) {
+        if (rec.time_s <= fault_end_s)
+            continue;
+        if (rec.p99_ms <= qos_ms)
+            return waited;
+        ++waited;
+    }
+    return -1;
 }
 
 std::vector<RunResult>

@@ -18,6 +18,7 @@
 #include "collect/collector.h"
 #include "core/manager.h"
 #include "models/hybrid.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
@@ -32,6 +33,11 @@ struct RunConfig {
     ClusterConfig cluster;
     /** Traffic micro-bursts (enabled: managers must keep headroom). */
     BurstOptions bursts = DefaultBursts();
+    /** Deterministic fault schedule (empty: no faults). Cluster faults
+     *  perturb the ground truth; telemetry faults corrupt only the
+     *  manager's copy of each observation — QoS accounting always uses
+     *  the true observation. See sim/fault_injector.h. */
+    FaultSchedule faults;
     uint64_t seed = 1;
 
     static BurstOptions
@@ -81,6 +87,15 @@ struct RunResult {
 /** Runs @p manager on @p app under @p load. */
 RunResult RunManaged(const Application& app, ResourceManager& manager,
                      const LoadShape& load, const RunConfig& cfg);
+
+/**
+ * Recovery time after a fault run: intervals past @p fault_end_s until
+ * the first measured interval with p99 <= @p qos_ms. 0 means the first
+ * post-fault interval already met QoS; -1 means the run never recovered
+ * (or ended before the faults did).
+ */
+int RecoveryIntervals(const RunResult& result, double fault_end_s,
+                      double qos_ms);
 
 /**
  * One run of a concurrent sweep. The factories are invoked inside the

@@ -70,10 +70,21 @@ ParseCell(const std::string& cell, int line_no, size_t col)
 std::vector<RunLogRow>
 ParseRunLog(const std::string& csv)
 {
+    // Logs written on (or round-tripped through) Windows tooling carry
+    // CRLF line endings; a run cut short mid-write ends without a
+    // trailing newline. Both used to surface as a confusing "bad
+    // numeric cell" / column-count mismatch on an otherwise-valid file.
+    const bool ends_mid_line = !csv.empty() && csv.back() != '\n';
+
     std::istringstream in(csv);
     std::string line;
+    auto strip_cr = [](std::string& s) {
+        if (!s.empty() && s.back() == '\r')
+            s.pop_back();
+    };
     if (!std::getline(in, line))
         throw std::invalid_argument("ParseRunLog: empty input");
+    strip_cr(line);
     if (line.rfind("time_s,", 0) != 0)
         throw std::invalid_argument("ParseRunLog: bad header");
     const size_t header_cols =
@@ -84,19 +95,30 @@ ParseRunLog(const std::string& csv)
     int line_no = 1;
     while (std::getline(in, line)) {
         ++line_no;
+        strip_cr(line);
         if (line.empty())
             continue;
+        const bool truncated = ends_mid_line && in.eof();
+        const std::string truncation_hint =
+            truncated ? " (the file ends without a newline — the final "
+                        "row appears truncated)"
+                      : "";
         std::istringstream ls(line);
         std::string cell;
         std::vector<double> values;
-        while (std::getline(ls, cell, ','))
-            values.push_back(
-                ParseCell(cell, line_no, values.size() + 1));
+        while (std::getline(ls, cell, ',')) {
+            try {
+                values.push_back(
+                    ParseCell(cell, line_no, values.size() + 1));
+            } catch (const std::invalid_argument& e) {
+                throw std::invalid_argument(e.what() + truncation_hint);
+            }
+        }
         if (values.size() < 6) {
             throw std::invalid_argument(
                 "ParseRunLog: line " + std::to_string(line_no) +
                 ": short row (" + std::to_string(values.size()) +
-                " columns, need at least 6)");
+                " columns, need at least 6)" + truncation_hint);
         }
         // The alloc columns must agree with the header's tier list; a
         // truncated or over-long row would otherwise silently shift
@@ -106,7 +128,7 @@ ParseRunLog(const std::string& csv)
                 "ParseRunLog: line " + std::to_string(line_no) + ": " +
                 std::to_string(values.size()) +
                 " columns but the header has " +
-                std::to_string(header_cols));
+                std::to_string(header_cols) + truncation_hint);
         }
         RunLogRow row;
         row.time_s = values[0];

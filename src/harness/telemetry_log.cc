@@ -19,7 +19,8 @@ AppendEntryPrefix(std::ostringstream& out, const DecisionTraceEntry& e)
         << ',' << (e.trust_reduced ? 1 : 0) << ',' << e.mispredictions
         << ',' << e.healthy_streak << ',' << e.consecutive_violations
         << ',' << (e.trust_lost ? 1 : 0) << ','
-        << (e.trust_restored ? 1 : 0) << ',' << e.margin_ms << ','
+        << (e.trust_restored ? 1 : 0) << ',' << ToString(e.telemetry)
+        << ',' << e.silent_intervals << ',' << e.margin_ms << ','
         << (e.may_reclaim ? 1 : 0);
 }
 
@@ -39,7 +40,8 @@ DecisionTraceToCsv(const DecisionTrace& trace)
     std::ostringstream out;
     out << "time_s,interval,decision,observed_p99_ms,violated,"
            "trust_reduced,mispredictions,healthy_streak,"
-           "consecutive_violations,trust_lost,trust_restored,margin_ms,"
+           "consecutive_violations,trust_lost,trust_restored,telemetry,"
+           "silent_intervals,margin_ms,"
            "may_reclaim,candidate,action,total_cpu";
     for (int p = 0; p < kPercentiles; ++p)
         out << ",pred_p" << (95 + p) << "_ms";
@@ -101,6 +103,8 @@ DecisionTraceToJson(const DecisionTrace& trace)
             << (e.trust_lost ? "true" : "false")
             << ", \"trust_restored\": "
             << (e.trust_restored ? "true" : "false")
+            << ", \"telemetry\": \"" << ToString(e.telemetry)
+            << "\", \"silent_intervals\": " << e.silent_intervals
             << ", \"margin_ms\": " << e.margin_ms
             << ", \"may_reclaim\": "
             << (e.may_reclaim ? "true" : "false")
@@ -171,6 +175,12 @@ SummarizeTelemetry(const MetricsRegistry& reg)
     s.mispredictions = reg.Counter("sinan.scheduler.mispredictions");
     s.trust_lost = reg.Counter("sinan.scheduler.trust_lost");
     s.trust_restored = reg.Counter("sinan.scheduler.trust_restored");
+    s.degraded = reg.Counter("sinan.scheduler.degraded");
+    s.degraded_model = reg.Counter("sinan.scheduler.degraded_model");
+    s.degraded_heuristic =
+        reg.Counter("sinan.scheduler.degraded_heuristic");
+    s.degraded_hold = reg.Counter("sinan.scheduler.degraded_hold");
+    s.watchdog_upscales = reg.Counter("sinan.scheduler.watchdog");
     return s;
 }
 

@@ -24,9 +24,9 @@ namespace sinan {
  * fallback) where no candidates were evaluated. Columns:
  *   time_s, interval, decision, observed_p99_ms, violated,
  *   trust_reduced, mispredictions, healthy_streak,
- *   consecutive_violations, trust_lost, trust_restored, margin_ms,
- *   may_reclaim, candidate, action, total_cpu, pred_p95_ms..pred_p99_ms,
- *   p_violation, outcome
+ *   consecutive_violations, trust_lost, trust_restored, telemetry,
+ *   silent_intervals, margin_ms, may_reclaim, candidate, action,
+ *   total_cpu, pred_p95_ms..pred_p99_ms, p_violation, outcome
  */
 std::string DecisionTraceToCsv(const DecisionTrace& trace);
 
@@ -56,6 +56,13 @@ struct TelemetrySummary {
     uint64_t mispredictions = 0;
     uint64_t trust_lost = 0;
     uint64_t trust_restored = 0;
+    /** Degraded-telemetry intervals (stale/non-finite/absent input),
+     *  split by path, plus watchdog-forced upscales. */
+    uint64_t degraded = 0;
+    uint64_t degraded_model = 0;
+    uint64_t degraded_heuristic = 0;
+    uint64_t degraded_hold = 0;
+    uint64_t watchdog_upscales = 0;
 
     /** Fraction of evaluated predictions that proved out (1 when the
      *  manager made no predictions). */

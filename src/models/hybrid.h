@@ -52,6 +52,8 @@ class HybridModel {
     HybridModel(const FeatureConfig& fcfg, const HybridConfig& cfg,
                 uint64_t seed);
 
+    virtual ~HybridModel() = default;
+
     /** Trains CNN then BT (on the CNN's latents), as in Sec. 3.2. */
     HybridReport Train(const Dataset& train, const Dataset& valid);
 
@@ -63,8 +65,12 @@ class HybridModel {
     HybridReport FineTune(const Dataset& train, const Dataset& valid,
                           const TrainOptions& opts);
 
-    /** Evaluates a set of candidate allocations against one window. */
-    std::vector<Prediction>
+    /**
+     * Evaluates a set of candidate allocations against one window.
+     * Virtual so tests can interpose fault-injecting stubs on the
+     * scheduler's only model call.
+     */
+    virtual std::vector<Prediction>
     Evaluate(const MetricWindow& window,
              const std::vector<std::vector<double>>& allocations);
 

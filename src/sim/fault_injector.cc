@@ -1,0 +1,395 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace sinan {
+
+namespace {
+
+std::string
+Trim(const std::string& s)
+{
+    size_t b = s.find_first_not_of(" \t");
+    size_t e = s.find_last_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void
+Bad(const std::string& what, const std::string& text)
+{
+    throw std::invalid_argument("ParseFaultSpec: " + what + " in '" +
+                                text + "'");
+}
+
+/** Full-consumption strtoll; rejects empty cells and trailing junk. */
+int64_t
+ParseInt(const std::string& s, const std::string& ctx)
+{
+    const std::string t = Trim(s);
+    if (t.empty())
+        Bad("empty number", ctx);
+    char* end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 10);
+    if (end != t.c_str() + t.size())
+        Bad("bad integer '" + t + "'", ctx);
+    return static_cast<int64_t>(v);
+}
+
+double
+ParseDouble(const std::string& s, const std::string& ctx)
+{
+    const std::string t = Trim(s);
+    if (t.empty())
+        Bad("empty number", ctx);
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end != t.c_str() + t.size())
+        Bad("bad number '" + t + "'", ctx);
+    return v;
+}
+
+FaultKind
+ParseKind(const std::string& word, const std::string& ctx)
+{
+    if (word == "stall")
+        return FaultKind::kTierStall;
+    if (word == "caploss")
+        return FaultKind::kCapacityLoss;
+    if (word == "spike")
+        return FaultKind::kLatencySpike;
+    if (word == "steal")
+        return FaultKind::kCpuSteal;
+    if (word == "drop")
+        return FaultKind::kTelemetryDrop;
+    if (word == "delay")
+        return FaultKind::kTelemetryDelay;
+    if (word == "nan")
+        return FaultKind::kTelemetryNan;
+    Bad("unknown fault kind '" + word + "'", ctx);
+}
+
+double
+DefaultMagnitude(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kCapacityLoss:
+    case FaultKind::kCpuSteal:
+        return 0.5;
+    case FaultKind::kLatencySpike:
+        return 500.0; // ms
+    default:
+        return 0.0;
+    }
+}
+
+FaultEvent
+ParseEvent(const std::string& text)
+{
+    FaultEvent ev;
+    const std::string t = Trim(text);
+    const size_t at = t.find('@');
+    if (at == std::string::npos)
+        Bad("missing '@start'", t);
+    ev.kind = ParseKind(Trim(t.substr(0, at)), t);
+    ev.magnitude = DefaultMagnitude(ev.kind);
+
+    std::string rest = t.substr(at + 1);
+    std::string params;
+    const size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+        params = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+    }
+    const size_t plus = rest.find('+');
+    if (plus != std::string::npos) {
+        ev.start = ParseInt(rest.substr(0, plus), t);
+        ev.duration = ParseInt(rest.substr(plus + 1), t);
+    } else {
+        ev.start = ParseInt(rest, t);
+    }
+    if (ev.start < 0)
+        Bad("start must be >= 0", t);
+    if (ev.duration < 1)
+        Bad("duration must be >= 1", t);
+
+    size_t pos = 0;
+    while (pos < params.size()) {
+        size_t comma = params.find(',', pos);
+        if (comma == std::string::npos)
+            comma = params.size();
+        const std::string p = Trim(params.substr(pos, comma - pos));
+        pos = comma + 1;
+        if (p.empty())
+            continue;
+        const size_t eq = p.find('=');
+        if (eq == std::string::npos)
+            Bad("parameter '" + p + "' needs key=value", t);
+        const std::string key = Trim(p.substr(0, eq));
+        const std::string val = p.substr(eq + 1);
+        if (key == "tier") {
+            const int64_t tier = ParseInt(val, t);
+            if (tier < -1 ||
+                tier > std::numeric_limits<int>::max())
+                Bad("tier out of range", t);
+            ev.tier = static_cast<int>(tier);
+        } else if (key == "mag") {
+            ev.magnitude = ParseDouble(val, t);
+        } else {
+            Bad("unknown parameter '" + key + "'", t);
+        }
+    }
+
+    switch (ev.kind) {
+    case FaultKind::kCapacityLoss:
+    case FaultKind::kCpuSteal:
+        if (!(ev.magnitude > 0.0) || ev.magnitude > 1.0)
+            Bad("mag must be in (0, 1]", t);
+        break;
+    case FaultKind::kLatencySpike:
+        if (!(ev.magnitude > 0.0))
+            Bad("mag must be > 0", t);
+        break;
+    default:
+        break;
+    }
+    return ev;
+}
+
+} // namespace
+
+const char*
+ToString(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kTierStall:
+        return "stall";
+    case FaultKind::kCapacityLoss:
+        return "caploss";
+    case FaultKind::kLatencySpike:
+        return "spike";
+    case FaultKind::kCpuSteal:
+        return "steal";
+    case FaultKind::kTelemetryDrop:
+        return "drop";
+    case FaultKind::kTelemetryDelay:
+        return "delay";
+    case FaultKind::kTelemetryNan:
+        return "nan";
+    }
+    return "unknown";
+}
+
+int64_t
+FaultSchedule::EndInterval() const
+{
+    int64_t end = 0;
+    for (const FaultEvent& e : events)
+        end = std::max(end, e.start + e.duration);
+    return end;
+}
+
+FaultSchedule
+ParseFaultSpec(const std::string& spec)
+{
+    FaultSchedule schedule;
+    const std::string t = Trim(spec);
+    if (t.empty())
+        throw std::invalid_argument("ParseFaultSpec: empty spec");
+    if (t.rfind("chaos:", 0) == 0) {
+        const std::string name = Trim(t.substr(6));
+        const ChaosScenario* sc = FindChaosScenario(name);
+        if (!sc) {
+            std::string names;
+            for (const ChaosScenario& s : ChaosScenarios())
+                names += (names.empty() ? "" : ", ") + s.name;
+            throw std::invalid_argument(
+                "ParseFaultSpec: unknown chaos scenario '" + name +
+                "' (known: " + names + ")");
+        }
+        return ParseFaultSpec(sc->spec);
+    }
+    size_t pos = 0;
+    while (pos <= t.size()) {
+        size_t semi = t.find(';', pos);
+        if (semi == std::string::npos)
+            semi = t.size();
+        const std::string ev = Trim(t.substr(pos, semi - pos));
+        // An empty segment (";;", trailing ";") is a typo, not an
+        // empty event — reject it rather than silently run fewer
+        // faults than the user wrote.
+        if (ev.empty())
+            Bad("empty event", t);
+        schedule.events.push_back(ParseEvent(ev));
+        pos = semi + 1;
+    }
+    return schedule;
+}
+
+void
+ValidateFaultSchedule(const FaultSchedule& schedule, int n_tiers)
+{
+    for (const FaultEvent& e : schedule.events) {
+        if (e.tier >= n_tiers) {
+            throw std::invalid_argument(
+                "FaultSchedule: event '" + std::string(ToString(e.kind)) +
+                "' targets tier " + std::to_string(e.tier) +
+                " but the application has " + std::to_string(n_tiers) +
+                " tiers");
+        }
+    }
+}
+
+const std::vector<ChaosScenario>&
+ChaosScenarios()
+{
+    static const std::vector<ChaosScenario> scenarios = {
+        {"tier-stall", "stall@10+5:tier=2",
+         "one tier serves nothing for 5 intervals (fork/GC pause)"},
+        {"capacity-loss", "caploss@10+6:tier=1,mag=0.6",
+         "a tier silently loses 60% of its effective CPU"},
+        {"cpu-steal", "steal@8+8:mag=0.4",
+         "noisy neighbor steals 40% of every tier and inflates "
+         "reported usage"},
+        {"latency-spike", "spike@12+3:mag=800",
+         "reported tail latency inflated by 800 ms for 3 intervals"},
+        {"telemetry-blackout", "drop@10+6",
+         "6 intervals of telemetry lost outright (watchdog must fire)"},
+        {"telemetry-nan", "nan@10+4",
+         "latency and usage fields arrive as NaN for 4 intervals"},
+        {"stale-telemetry", "delay@10+5",
+         "the pipeline redelivers the previous interval's observation"},
+        {"rolling-outage", "drop@8+4;stall@8+4:tier=0;caploss@14+4:"
+                           "tier=1,mag=0.5",
+         "a blackout overlapping a stalled tier, then capacity loss"},
+    };
+    return scenarios;
+}
+
+const ChaosScenario*
+FindChaosScenario(const std::string& name)
+{
+    for (const ChaosScenario& s : ChaosScenarios()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, double interval_s)
+    : schedule_(std::move(schedule)), interval_s_(interval_s)
+{
+    if (interval_s <= 0.0)
+        throw std::invalid_argument(
+            "FaultInjector: interval_s must be > 0");
+}
+
+void
+FaultInjector::Count(FaultKind kind)
+{
+    if (metrics_)
+        metrics_->Inc(std::string("sinan.faults.") + ToString(kind));
+}
+
+void
+FaultInjector::ApplyClusterFaults(int64_t interval, double now,
+                                  Cluster& cluster)
+{
+    const int n = cluster.NumTiers();
+    std::vector<double> factor(static_cast<size_t>(n), 1.0);
+    auto each_tier = [&](const FaultEvent& e, auto&& fn) {
+        if (e.tier < 0) {
+            for (int t = 0; t < n; ++t)
+                fn(t);
+        } else {
+            fn(e.tier);
+        }
+    };
+    for (const FaultEvent& e : schedule_.events) {
+        if (!e.ActiveAt(interval))
+            continue;
+        switch (e.kind) {
+        case FaultKind::kTierStall:
+            each_tier(e, [&](int t) {
+                cluster.InjectStall(t, now + interval_s_);
+            });
+            Count(e.kind);
+            break;
+        case FaultKind::kCapacityLoss:
+        case FaultKind::kCpuSteal:
+            each_tier(e, [&](int t) {
+                factor[static_cast<size_t>(t)] *= 1.0 - e.magnitude;
+            });
+            Count(e.kind);
+            break;
+        default:
+            break; // telemetry-side kinds handled in FilterTelemetry
+        }
+    }
+    // Recomputed from scratch each interval: expired events restore
+    // full capacity without any explicit cleanup bookkeeping.
+    for (int t = 0; t < n; ++t)
+        cluster.SetCapacityFactor(t, factor[static_cast<size_t>(t)]);
+}
+
+TelemetryFate
+FaultInjector::FilterTelemetry(int64_t interval,
+                               IntervalObservation& obs)
+{
+    TelemetryFate fate = TelemetryFate::kDeliver;
+    bool any = false;
+    for (const FaultEvent& e : schedule_.events) {
+        if (!e.ActiveAt(interval))
+            continue;
+        any = true;
+        switch (e.kind) {
+        case FaultKind::kLatencySpike:
+            for (double& v : obs.latency_ms)
+                v += e.magnitude;
+            Count(e.kind);
+            break;
+        case FaultKind::kCpuSteal:
+            // The thief's cycles show up in the cgroup accounting:
+            // usage is inflated toward the configured limit.
+            for (size_t t = 0; t < obs.tiers.size(); ++t) {
+                if (e.tier >= 0 && e.tier != static_cast<int>(t))
+                    continue;
+                TierMetrics& m = obs.tiers[t];
+                m.cpu_used = std::min(
+                    m.cpu_limit,
+                    m.cpu_used + e.magnitude * m.cpu_limit);
+            }
+            break; // counted in ApplyClusterFaults
+        case FaultKind::kTelemetryNan: {
+            const double nan =
+                std::numeric_limits<double>::quiet_NaN();
+            for (double& v : obs.latency_ms)
+                v = nan;
+            for (TierMetrics& m : obs.tiers)
+                m.cpu_used = nan;
+            Count(e.kind);
+            break;
+        }
+        case FaultKind::kTelemetryDrop:
+            fate = TelemetryFate::kDrop;
+            Count(e.kind);
+            break;
+        case FaultKind::kTelemetryDelay:
+            if (fate == TelemetryFate::kDeliver)
+                fate = TelemetryFate::kDelay;
+            Count(e.kind);
+            break;
+        default:
+            break; // cluster-side kinds handled in ApplyClusterFaults
+        }
+    }
+    if (any && metrics_)
+        metrics_->Inc("sinan.faults.active_intervals");
+    return fate;
+}
+
+} // namespace sinan

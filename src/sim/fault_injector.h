@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Deterministic fault injection at the cluster/telemetry boundary.
+ *
+ * A FaultSchedule is an explicit list of timed events — tier stalls,
+ * capacity loss, CPU steal by a noisy neighbor, latency spikes, and
+ * dropped / delayed / non-finite telemetry intervals — parsed from a
+ * compact spec string (`sinan_sim --faults=<spec>`). The injector
+ * carries no randomness of its own: every perturbation is a pure
+ * function of the schedule and the decision-interval index, so a run
+ * with the same seed and spec is byte-identical at any thread-pool
+ * size. The harness applies cluster-side events before each interval
+ * and filters the harvested observation before the manager sees it;
+ * every applied event is counted under `sinan.faults.*`.
+ *
+ * This is the substrate for the chaos scenario suite (ChaosScenarios())
+ * exercising the scheduler's graceful-degradation path: fallbacks,
+ * the telemetry guard, and the silent-interval watchdog.
+ */
+#ifndef SINAN_SIM_FAULT_INJECTOR_H
+#define SINAN_SIM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/metrics.h"
+#include "common/metrics.h"
+
+namespace sinan {
+
+/** What a fault event perturbs. */
+enum class FaultKind {
+    /** Tier serves nothing while active (fork/GC/preemption pause). */
+    kTierStall,
+    /** Tier loses a fraction of its effective CPU capacity; the
+     *  telemetry still reports the configured limit (failed replica,
+     *  throttled host). */
+    kCapacityLoss,
+    /** Reported end-to-end latency percentiles are inflated by a fixed
+     *  amount (probe interference; the cluster itself is unaffected). */
+    kLatencySpike,
+    /** Noisy neighbor: capacity shrinks like kCapacityLoss and the
+     *  reported cpu_used is inflated toward the limit (the cgroup
+     *  accounts the thief's cycles). */
+    kCpuSteal,
+    /** The interval's observation is lost entirely. */
+    kTelemetryDrop,
+    /** The manager receives the previous interval's observation again
+     *  (collection pipeline lag). */
+    kTelemetryDelay,
+    /** Latency and cpu_used fields arrive as NaN (broken exporter). */
+    kTelemetryNan,
+};
+
+/** Spec keyword of the kind (stall, caploss, spike, steal, drop,
+ *  delay, nan). */
+const char* ToString(FaultKind kind);
+
+/** One timed fault. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::kTierStall;
+    /** First affected decision interval (0-based). */
+    int64_t start = 0;
+    /** Number of consecutive affected intervals. */
+    int64_t duration = 1;
+    /** Affected tier index; -1 targets every tier. Ignored by the
+     *  whole-observation kinds (spike/drop/delay/nan). */
+    int tier = -1;
+    /** Kind-specific strength: capacity/steal fraction in (0, 1],
+     *  spike milliseconds. Unused by stall/drop/delay/nan. */
+    double magnitude = 0.0;
+
+    bool
+    ActiveAt(int64_t interval) const
+    {
+        return interval >= start && interval < start + duration;
+    }
+};
+
+/** A full run's fault plan. */
+struct FaultSchedule {
+    std::vector<FaultEvent> events;
+
+    bool Empty() const { return events.empty(); }
+
+    /** First interval index at (and after) which no event is active. */
+    int64_t EndInterval() const;
+};
+
+/**
+ * Parses a fault spec:
+ *
+ *   spec   := event (';' event)*  |  "chaos:" name
+ *   event  := kind '@' start ['+' duration] [':' param (',' param)*]
+ *   kind   := stall|caploss|spike|steal|drop|delay|nan
+ *   param  := "tier=" index | "mag=" value
+ *
+ * `start` and `duration` are decision-interval counts (duration
+ * defaults to 1). `chaos:<name>` expands to the named scenario from
+ * ChaosScenarios(). Throws std::invalid_argument with the offending
+ * event text on any malformed input.
+ */
+FaultSchedule ParseFaultSpec(const std::string& spec);
+
+/**
+ * Rejects events referencing tiers outside [0, n_tiers). Throws
+ * std::invalid_argument; called by the harness before a run starts so
+ * a bad spec fails loudly instead of silently perturbing nothing.
+ */
+void ValidateFaultSchedule(const FaultSchedule& schedule, int n_tiers);
+
+/** A named, documented fault plan of the chaos suite. */
+struct ChaosScenario {
+    std::string name;
+    std::string spec;
+    std::string description;
+};
+
+/** The chaos scenario suite (stable order; >= 6 scenarios). */
+const std::vector<ChaosScenario>& ChaosScenarios();
+
+/** Scenario by name, or nullptr. */
+const ChaosScenario* FindChaosScenario(const std::string& name);
+
+/** What FilterTelemetry decided about the interval's observation. */
+enum class TelemetryFate {
+    /** Deliver the (possibly perturbed) observation. */
+    kDeliver,
+    /** The observation is lost; the manager sees an empty one. */
+    kDrop,
+    /** Redeliver the previous delivered observation. */
+    kDelay,
+};
+
+/**
+ * Applies a FaultSchedule to one run. The harness owns the instance
+ * and drives both hooks once per decision interval; the injector keeps
+ * no per-interval state beyond the immutable schedule, so replays are
+ * trivially deterministic.
+ */
+class FaultInjector {
+  public:
+    /** @param interval_s decision-interval length (stall renewal). */
+    FaultInjector(FaultSchedule schedule, double interval_s);
+
+    /** Counts applied events under `sinan.faults.*` (may be null). */
+    void AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+    /**
+     * Applies cluster-side events (stall, caploss, steal) for the
+     * interval that starts at @p now. Capacity factors are recomputed
+     * from scratch every call, so expired events self-restore.
+     */
+    void ApplyClusterFaults(int64_t interval, double now,
+                            Cluster& cluster);
+
+    /**
+     * Perturbs the harvested observation of @p interval in place
+     * (spike, steal inflation, NaN poisoning) and rules on its fate.
+     * Drop wins over delay when both are active.
+     */
+    TelemetryFate FilterTelemetry(int64_t interval,
+                                  IntervalObservation& obs);
+
+    const FaultSchedule& Schedule() const { return schedule_; }
+
+  private:
+    void Count(FaultKind kind);
+
+    FaultSchedule schedule_;
+    double interval_s_;
+    MetricsRegistry* metrics_ = nullptr;
+};
+
+} // namespace sinan
+
+#endif // SINAN_SIM_FAULT_INJECTOR_H

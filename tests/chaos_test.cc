@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Chaos suite: the fault-injection subsystem end to end. Covers the
+ * `--faults` spec grammar, the named scenario catalog, byte-identical
+ * determinism of fault runs across thread counts, the scheduler's
+ * graceful-degradation guarantees under every scenario (no throw, no
+ * crash, watchdog engagement), the baselines' hold-on-degraded guard,
+ * and recovery-time accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "app/apps.h"
+#include "baselines/autoscale.h"
+#include "common/thread_pool.h"
+#include "core/scheduler.h"
+#include "harness/harness.h"
+#include "harness/telemetry_log.h"
+#include "sim/fault_injector.h"
+
+namespace sinan {
+namespace {
+
+// ---- spec grammar ----------------------------------------------------
+
+TEST(FaultSpecTest, ParsesSingleEventWithDefaults)
+{
+    const FaultSchedule s = ParseFaultSpec("drop@10");
+    ASSERT_EQ(s.events.size(), 1u);
+    EXPECT_EQ(s.events[0].kind, FaultKind::kTelemetryDrop);
+    EXPECT_EQ(s.events[0].start, 10);
+    EXPECT_EQ(s.events[0].duration, 1);
+    EXPECT_EQ(s.events[0].tier, -1);
+    EXPECT_EQ(s.EndInterval(), 11);
+}
+
+TEST(FaultSpecTest, ParsesFullEventList)
+{
+    const FaultSchedule s = ParseFaultSpec(
+        "stall@5+3:tier=2; caploss@8+2:tier=0,mag=0.5; spike@4:mag=250");
+    ASSERT_EQ(s.events.size(), 3u);
+    EXPECT_EQ(s.events[0].kind, FaultKind::kTierStall);
+    EXPECT_EQ(s.events[0].tier, 2);
+    EXPECT_EQ(s.events[0].duration, 3);
+    EXPECT_EQ(s.events[1].kind, FaultKind::kCapacityLoss);
+    EXPECT_DOUBLE_EQ(s.events[1].magnitude, 0.5);
+    EXPECT_EQ(s.events[2].kind, FaultKind::kLatencySpike);
+    EXPECT_DOUBLE_EQ(s.events[2].magnitude, 250.0);
+    EXPECT_EQ(s.EndInterval(), 10);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(ParseFaultSpec(""), std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("bogus@3"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("drop"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("drop@x"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("drop@-1"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("drop@3+0"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("drop@3:frobs=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("caploss@3:mag=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("caploss@3:mag=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("chaos:no-such-scenario"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParseFaultSpec("drop@3;;drop@4"),
+                 std::invalid_argument);
+}
+
+TEST(FaultSpecTest, ValidateRejectsOutOfRangeTier)
+{
+    const FaultSchedule s = ParseFaultSpec("stall@3:tier=6");
+    EXPECT_THROW(ValidateFaultSchedule(s, 4), std::invalid_argument);
+    EXPECT_NO_THROW(ValidateFaultSchedule(s, 7));
+    EXPECT_NO_THROW(
+        ValidateFaultSchedule(ParseFaultSpec("stall@3"), 1));
+}
+
+TEST(FaultSpecTest, CatalogHasAtLeastSixParseableScenarios)
+{
+    const std::vector<ChaosScenario>& catalog = ChaosScenarios();
+    EXPECT_GE(catalog.size(), 6u);
+    for (const ChaosScenario& sc : catalog) {
+        SCOPED_TRACE(sc.name);
+        EXPECT_FALSE(sc.description.empty());
+        const FaultSchedule direct = ParseFaultSpec(sc.spec);
+        EXPECT_FALSE(direct.Empty());
+        // chaos:NAME indirection resolves to the same schedule.
+        const FaultSchedule named =
+            ParseFaultSpec("chaos:" + sc.name);
+        ASSERT_EQ(named.events.size(), direct.events.size());
+        ASSERT_NE(FindChaosScenario(sc.name), nullptr);
+        EXPECT_EQ(FindChaosScenario(sc.name)->spec, sc.spec);
+    }
+    EXPECT_EQ(FindChaosScenario("no-such"), nullptr);
+}
+
+// ---- cluster fault hooks ---------------------------------------------
+
+TEST(ClusterFaultHookTest, RejectsBadTierIndices)
+{
+    const Application app = BuildSocialNetwork();
+    Cluster cluster(app, ClusterConfig{}, 1);
+    const int n = static_cast<int>(app.tiers.size());
+    EXPECT_THROW(cluster.SetCapacityFactor(-1, 0.5), std::out_of_range);
+    EXPECT_THROW(cluster.SetCapacityFactor(n, 0.5), std::out_of_range);
+    EXPECT_THROW(cluster.InjectStall(n, 1.0), std::out_of_range);
+    EXPECT_NO_THROW(cluster.SetCapacityFactor(0, 0.5));
+    EXPECT_NO_THROW(cluster.InjectStall(0, 1.0));
+}
+
+// ---- recovery accounting ---------------------------------------------
+
+TEST(RecoveryTest, CountsIntervalsUntilQosIsMetAgain)
+{
+    RunResult r;
+    auto add = [&](double t, double p99) {
+        IntervalRecord rec;
+        rec.time_s = t;
+        rec.p99_ms = p99;
+        r.timeline.push_back(rec);
+    };
+    add(1, 100), add(2, 900), add(3, 800), add(4, 700), add(5, 100);
+    EXPECT_EQ(RecoveryIntervals(r, 2.0, 500.0), 2);  // 3,4 bad; 5 ok
+    EXPECT_EQ(RecoveryIntervals(r, 4.0, 500.0), 0);  // 5 immediately ok
+    EXPECT_EQ(RecoveryIntervals(r, 0.0, 500.0), 0);  // 1 already ok
+    EXPECT_EQ(RecoveryIntervals(r, 2.0, 50.0), -1);  // never recovers
+    EXPECT_EQ(RecoveryIntervals(r, 9.0, 500.0), -1); // nothing after
+}
+
+// ---- end-to-end chaos runs -------------------------------------------
+
+/** Fixture with one small Sinan model trained on the real app — shared
+ *  across every chaos scenario run. */
+class ChaosFixture : public ::testing::Test {
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        app_ = new Application(BuildSocialNetwork());
+        PipelineConfig pcfg;
+        pcfg.collect_s = 120.0;
+        pcfg.hybrid = DefaultHybridConfig();
+        pcfg.hybrid.train.epochs = 2;
+        pcfg.hybrid.bt.n_trees = 20;
+        trained_ = new TrainedSinan(TrainSinanForApp(*app_, pcfg));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete trained_;
+        delete app_;
+        trained_ = nullptr;
+        app_ = nullptr;
+    }
+
+    static RunConfig
+    FaultRunConfig(const FaultSchedule& faults)
+    {
+        RunConfig cfg;
+        cfg.duration_s = 26.0;
+        cfg.warmup_s = 4.0;
+        cfg.faults = faults;
+        return cfg;
+    }
+
+    /** One managed Sinan run under @p faults at @p threads. */
+    static RunResult
+    RunScenario(const FaultSchedule& faults, int threads)
+    {
+        SetNumThreads(threads);
+        SinanScheduler sched(*trained_->model, SchedulerConfig{});
+        ConstantLoad load(100.0);
+        const RunResult r =
+            RunManaged(*app_, sched, load, FaultRunConfig(faults));
+        SetNumThreads(0);
+        return r;
+    }
+
+    static Application* app_;
+    static TrainedSinan* trained_;
+};
+
+Application* ChaosFixture::app_ = nullptr;
+TrainedSinan* ChaosFixture::trained_ = nullptr;
+
+TEST_F(ChaosFixture, EveryScenarioRunsByteIdenticalAcrossThreadCounts)
+{
+    // The acceptance bar: same seed + same spec must serialize to
+    // byte-identical decision traces and metrics whether the model
+    // evaluates on 1 thread or 8.
+    for (const ChaosScenario& sc : ChaosScenarios()) {
+        SCOPED_TRACE(sc.name);
+        const FaultSchedule faults = ParseFaultSpec(sc.spec);
+        RunResult serial, parallel;
+        ASSERT_NO_THROW(serial = RunScenario(faults, 1));
+        ASSERT_NO_THROW(parallel = RunScenario(faults, 8));
+        EXPECT_EQ(DecisionTraceToCsv(serial.decision_trace),
+                  DecisionTraceToCsv(parallel.decision_trace));
+        EXPECT_EQ(serial.metrics.ToCsv(), parallel.metrics.ToCsv());
+
+        // The manager decided every interval and stayed in bounds.
+        ASSERT_EQ(serial.decision_trace.intervals.size(),
+                  serial.timeline.size());
+        for (const IntervalRecord& rec : serial.timeline) {
+            ASSERT_EQ(rec.alloc.size(), app_->tiers.size());
+            for (size_t i = 0; i < rec.alloc.size(); ++i) {
+                EXPECT_GE(rec.alloc[i], app_->tiers[i].min_cpu - 1e-9);
+                EXPECT_LE(rec.alloc[i], app_->tiers[i].max_cpu + 1e-9);
+            }
+        }
+        EXPECT_GT(serial.metrics.Counter("sinan.faults.active_intervals"),
+                  0u);
+    }
+}
+
+TEST_F(ChaosFixture, TelemetryBlackoutEngagesWatchdogAndRecovers)
+{
+    const FaultSchedule faults =
+        ParseFaultSpec("chaos:telemetry-blackout");
+    const RunResult r = RunScenario(faults, 1);
+    const TelemetrySummary tel = SummarizeTelemetry(r.metrics);
+    // 6 dropped intervals: the degraded path engages and, after the
+    // silence outlasts the threshold, the watchdog fires.
+    EXPECT_GE(tel.degraded, 6u);
+    EXPECT_GE(tel.watchdog_upscales, 1u);
+    EXPECT_GE(r.metrics.Counter("sinan.scheduler.telemetry.absent"),
+              6u);
+    // Recovery is measurable and happened within the run.
+    const double fault_end_s =
+        static_cast<double>(faults.EndInterval());
+    EXPECT_GE(RecoveryIntervals(r, fault_end_s, app_->qos_ms), 0);
+}
+
+TEST_F(ChaosFixture, NanTelemetryIsClassifiedNotPropagated)
+{
+    const RunResult r =
+        RunScenario(ParseFaultSpec("chaos:telemetry-nan"), 1);
+    EXPECT_GE(r.metrics.Counter("sinan.scheduler.telemetry.non_finite"),
+              4u);
+    // The poisoned observations never reach the QoS accounting or the
+    // run log: every recorded p99 is the true (finite) one.
+    for (const IntervalRecord& rec : r.timeline)
+        EXPECT_TRUE(std::isfinite(rec.p99_ms));
+}
+
+TEST_F(ChaosFixture, StaleTelemetryIsDetected)
+{
+    const RunResult r =
+        RunScenario(ParseFaultSpec("chaos:stale-telemetry"), 1);
+    EXPECT_GE(r.metrics.Counter("sinan.scheduler.telemetry.stale"), 5u);
+}
+
+TEST_F(ChaosFixture, BaselineHoldsThroughTelemetryFaults)
+{
+    // The rule-based baselines must survive the same telemetry chaos:
+    // degraded intervals hold the previous allocation.
+    AutoScaler cons = MakeAutoScaleCons();
+    ConstantLoad load(100.0);
+    RunResult r;
+    ASSERT_NO_THROW(
+        r = RunManaged(*app_, cons, load,
+                       FaultRunConfig(ParseFaultSpec(
+                           "drop@6+3;nan@12+2;delay@16+2"))));
+    ASSERT_EQ(r.timeline.size(), 26u);
+    // Dropped intervals 6..8: allocation frozen at the pre-fault value
+    // (the decision for interval k lands in interval k+1's record).
+    for (int k = 7; k <= 9; ++k)
+        EXPECT_EQ(r.timeline[k].alloc, r.timeline[6].alloc)
+            << "interval " << k;
+}
+
+TEST_F(ChaosFixture, CapacityLossDrivesSafetyUpscale)
+{
+    // An invisible cluster-wide 80% capacity loss must surface as real
+    // latency violations and drive the manager to add CPU while the
+    // fault is active — the models never see the loss, only its
+    // latency consequences.
+    const FaultSchedule faults = ParseFaultSpec("caploss@10+6:mag=0.8");
+    const RunResult r = RunScenario(faults, 1);
+    double before = 0.0, during = 0.0;
+    for (const IntervalRecord& rec : r.timeline) {
+        if (rec.time_s == 10.0)
+            before = rec.total_cpu;
+        if (rec.time_s > 10.0 && rec.time_s <= 18.0)
+            during = std::max(during, rec.total_cpu);
+    }
+    ASSERT_GT(before, 0.0);
+    EXPECT_GT(during, before);
+    const TelemetrySummary tel = SummarizeTelemetry(r.metrics);
+    EXPECT_GE(tel.fallbacks, 1u);
+}
+
+} // namespace
+} // namespace sinan

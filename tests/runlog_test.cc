@@ -144,6 +144,65 @@ TEST(RunLog, RejectsAllocColumnCountMismatch)
                  std::invalid_argument);
 }
 
+TEST(RunLog, AcceptsCrlfLineEndings)
+{
+    // Logs round-tripped through Windows tooling arrive with CRLF;
+    // the '\r' used to stick to the last cell and fail numeric
+    // parsing.
+    const std::string csv =
+        "time_s,rps,p99_ms,predicted_p99_ms,predicted_violation,"
+        "total_cpu,cpu:a\r\n"
+        "1,100,50,45,0.1,6,2\r\n"
+        "2,100,60,55,0.1,6,2\r\n";
+    const std::vector<RunLogRow> rows = ParseRunLog(csv);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_NEAR(rows[1].p99_ms, 60.0, 1e-9);
+    ASSERT_EQ(rows[1].alloc.size(), 1u);
+    EXPECT_NEAR(rows[1].alloc[0], 2.0, 1e-9);
+}
+
+TEST(RunLog, TruncatedFinalLineGetsAClearError)
+{
+    // A run cut short mid-write ends without a newline; the error must
+    // say so instead of reporting a bare cell/column mismatch.
+    const std::string header =
+        "time_s,rps,p99_ms,predicted_p99_ms,predicted_violation,"
+        "total_cpu,cpu:a\n";
+    // Row cut mid-cell: the partial "0." still parses, so the column
+    // count check fires — with the truncation hint.
+    try {
+        ParseRunLog(header + "1,100,50,45,0.1,6,2\n2,100,60,55,0.");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    }
+    // Row cut mid-number leaving garbage: the cell error carries the
+    // hint too.
+    try {
+        ParseRunLog(header + "1,100,50,45,0.1,6,2\n2,100,6e");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    }
+    // A complete final row without a trailing newline still parses:
+    // truncation is only reported when the row is actually malformed.
+    const std::vector<RunLogRow> rows =
+        ParseRunLog(header + "1,100,50,45,0.1,6,2\n2,100,60,55,0.1,6,3");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_NEAR(rows[1].alloc[0], 3.0, 1e-9);
+    // An intact file never mentions truncation.
+    try {
+        ParseRunLog(header + "1,100,oops,45,0.1,6,2\n");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_EQ(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
+}
+
 TEST(RunLog, SummaryMatchesDirectComputation)
 {
     const RunResult r = ToyResult(10); // p99: 100..190, QoS 150

@@ -1,13 +1,18 @@
 /**
  * @file
  * Tests for Sinan's online scheduler: warm-up behaviour, the safety
- * fallbacks, candidate filtering, victim tracking, and bounds.
+ * fallbacks, candidate filtering, victim tracking, bounds, the
+ * degraded-telemetry paths, and exception safety.
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <sstream>
 
 #include "app/apps.h"
+#include "common/check.h"
 #include "core/scheduler.h"
 #include "test_util.h"
 
@@ -376,6 +381,301 @@ TEST_F(SchedulerFixture, ResetClearsState)
     EXPECT_EQ(sched.Decide(obs, fresh, *app_), fresh);
     EXPECT_EQ(sched.Mispredictions(), 0);
     EXPECT_FALSE(sched.TrustReduced());
+}
+
+// ---- graceful degradation --------------------------------------------
+
+/** Blank observation: what the harness hands the manager when the
+ *  telemetry pipeline dropped the interval outright. */
+IntervalObservation
+BlankObs(double time_s)
+{
+    IntervalObservation obs;
+    obs.time_s = time_s;
+    return obs;
+}
+
+TEST_F(SchedulerFixture, DegradedTelemetryNeverThrowsOrShrinks)
+{
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    int t = 0;
+    for (; t < features_->history + 2; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100), alloc, *app_);
+    }
+
+    // Absent (dropped interval), non-finite, and stale observations
+    // must all route through the degraded path without a throw and
+    // without reclaiming CPU from any tier.
+    IntervalObservation nan_obs =
+        MakeObs(*features_, t++, 100, 2.0, 0.5, 100);
+    nan_obs.latency_ms.back() =
+        std::numeric_limits<double>::quiet_NaN();
+    IntervalObservation stale_obs =
+        MakeObs(*features_, 0, 100, 2.0, 0.5, 100); // time goes back
+    const std::vector<IntervalObservation> degraded = {
+        BlankObs(static_cast<double>(t)), nan_obs, stale_obs};
+
+    const size_t traced_before = trace.intervals.size();
+    for (const IntervalObservation& obs : degraded) {
+        const std::vector<double> before = alloc;
+        ASSERT_NO_THROW(alloc = sched.Decide(obs, before, *app_));
+        for (size_t i = 0; i < alloc.size(); ++i)
+            EXPECT_GE(alloc[i], before[i] - 1e-9) << "tier " << i;
+    }
+    ASSERT_EQ(trace.intervals.size(), traced_before + degraded.size());
+    EXPECT_EQ(trace.intervals[traced_before].telemetry,
+              TelemetryHealth::kAbsent);
+    EXPECT_EQ(trace.intervals[traced_before + 1].telemetry,
+              TelemetryHealth::kNonFinite);
+    EXPECT_EQ(trace.intervals[traced_before + 2].telemetry,
+              TelemetryHealth::kStale);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.degraded"), 3u);
+    EXPECT_EQ(sched.SilentIntervals(), 3);
+
+    // A fresh observation clears the silent counter.
+    alloc = sched.Decide(MakeObs(*features_, t + 10, 100, 2.0, 0.5, 100),
+                         alloc, *app_);
+    EXPECT_EQ(sched.SilentIntervals(), 0);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+TEST_F(SchedulerFixture, WatchdogUpscalesAfterPersistentSilence)
+{
+    SchedulerConfig cfg;
+    cfg.watchdog_silent_after = 3;
+    SinanScheduler sched(*model_, cfg);
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(nullptr, &metrics);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    int t = 0;
+    for (; t < features_->history + 2; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100), alloc, *app_);
+    }
+
+    // A blackout: every further interval is a blank observation. Once
+    // the silence reaches the watchdog threshold, every tier must grow
+    // each interval (until clamped).
+    for (int k = 0; k < 5; ++k) {
+        const std::vector<double> before = alloc;
+        alloc = sched.Decide(BlankObs(static_cast<double>(t++)), before,
+                             *app_);
+        if (k + 1 >= cfg.watchdog_silent_after) {
+            for (size_t i = 0; i < alloc.size(); ++i) {
+                if (before[i] < app_->tiers[i].max_cpu - 1e-9)
+                    EXPECT_GT(alloc[i], before[i]) << "tier " << i;
+            }
+        }
+    }
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.watchdog"), 3u);
+    EXPECT_EQ(sched.SilentIntervals(), 5);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+TEST_F(SchedulerFixture, DegradedWindowDecisionNeverReclaims)
+{
+    // With a full window the degraded path consults the model on the
+    // last-known-good features — but must reject every down candidate.
+    SinanScheduler sched(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    sched.AttachTelemetry(&trace, nullptr);
+    // Generous allocation and comfortable latency: the fresh path
+    // would be tempted to reclaim here.
+    std::vector<double> alloc(app_->tiers.size(), 6.0);
+    int t = 0;
+    for (; t < features_->history + 6; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 6.0, 0.15, 80), alloc, *app_);
+    }
+    const std::vector<double> before = alloc;
+    alloc = sched.Decide(BlankObs(static_cast<double>(t)), before, *app_);
+    ASSERT_FALSE(trace.intervals.empty());
+    const DecisionTraceEntry& e = trace.intervals.back();
+    EXPECT_EQ(e.kind, DecisionKind::kDegradedModel);
+    EXPECT_FALSE(e.may_reclaim);
+    for (const CandidateTrace& ct : e.candidates) {
+        if (ct.kind == ActionKind::kScaleDown ||
+            ct.kind == ActionKind::kScaleDownBatch) {
+            EXPECT_EQ(ct.outcome,
+                      CandidateOutcome::kRejectedDegradedTelemetry);
+        }
+    }
+    for (size_t i = 0; i < alloc.size(); ++i)
+        EXPECT_GE(alloc[i], before[i] - 1e-9);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+TEST_F(SchedulerFixture, DegradedBeforeAnyGoodTelemetryHolds)
+{
+    // Telemetry broken from the very first interval: nothing to fall
+    // back on, so the scheduler holds (and the watchdog eventually
+    // takes over).
+    SchedulerConfig cfg;
+    cfg.watchdog_silent_after = 4;
+    SinanScheduler sched(*model_, cfg);
+    DecisionTrace trace;
+    sched.AttachTelemetry(&trace, nullptr);
+    const std::vector<double> alloc(app_->tiers.size(), 2.0);
+    std::vector<double> a = alloc;
+    for (int k = 0; k < 3; ++k) {
+        a = sched.Decide(BlankObs(static_cast<double>(k)), a, *app_);
+        EXPECT_EQ(a, alloc);
+        EXPECT_EQ(trace.intervals.back().kind,
+                  DecisionKind::kDegradedHold);
+    }
+    a = sched.Decide(BlankObs(3.0), a, *app_);
+    EXPECT_EQ(trace.intervals.back().kind,
+              DecisionKind::kWatchdogUpscale);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_GT(a[i], alloc[i]);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+// ---- trust lifecycle under alternating phases ------------------------
+
+TEST_F(SchedulerFixture, TrustLifecycleSurvivesDegradedPhases)
+{
+    SchedulerConfig cfg;
+    cfg.max_fallback_after = 2;
+    cfg.trust_restore_healthy = 4;
+    cfg.watchdog_silent_after = 2;
+    SinanScheduler sched(*model_, cfg);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    int t = 0;
+    for (; t < features_->history; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100), alloc, *app_);
+    }
+
+    // Phase 1: persistent violations lose trust via escalation.
+    for (int v = 0; v < 2; ++v) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, 2.0, 0.95,
+                    app_->qos_ms + 200.0),
+            alloc, *app_);
+    }
+    ASSERT_TRUE(sched.TrustReduced());
+
+    // Phase 2: telemetry blackout. The trust machinery freezes — the
+    // silence is neither healthy evidence nor a new misprediction —
+    // and the watchdog runs the allocation.
+    const int mispred_before = sched.Mispredictions();
+    for (int k = 0; k < 4; ++k) {
+        alloc = sched.Decide(BlankObs(static_cast<double>(t++)), alloc,
+                             *app_);
+        EXPECT_TRUE(sched.TrustReduced());
+        EXPECT_EQ(sched.Mispredictions(), mispred_before);
+    }
+    EXPECT_EQ(sched.SilentIntervals(), 4);
+
+    // Phase 3: telemetry returns healthy. The healthy streak restarts
+    // from zero (the outage reset it), so restoration takes the full
+    // trust_restore_healthy stretch — not less.
+    for (int k = 0; k < cfg.trust_restore_healthy - 1; ++k) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, 2.0, 0.4, 90), alloc, *app_);
+        EXPECT_TRUE(sched.TrustReduced()) << "healthy interval " << k;
+    }
+    alloc = sched.Decide(MakeObs(*features_, t++, 100, 2.0, 0.4, 90),
+                         alloc, *app_);
+    EXPECT_FALSE(sched.TrustReduced());
+    EXPECT_EQ(sched.SilentIntervals(), 0);
+
+    // Phase 4: a second violation phase reduces trust again — the
+    // lifecycle is repeatable, not one-shot.
+    for (int v = 0; v < 2; ++v) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t++, 100, 2.0, 0.95,
+                    app_->qos_ms + 200.0),
+            alloc, *app_);
+    }
+    EXPECT_TRUE(sched.TrustReduced());
+}
+
+// ---- exception safety ------------------------------------------------
+
+/** A trained model whose Evaluate can be armed to throw once — the
+ *  only throwing operation on the scheduler's model path. */
+class ThrowingModel : public HybridModel {
+  public:
+    ThrowingModel(const FeatureConfig& f, const HybridModel& trained)
+        : HybridModel(f, HybridConfig{}, 1)
+    {
+        std::stringstream buf;
+        trained.Save(buf);
+        Load(buf);
+    }
+
+    std::vector<Prediction>
+    Evaluate(const MetricWindow& window,
+             const std::vector<std::vector<double>>& allocations) override
+    {
+        if (armed_) {
+            armed_ = false;
+            throw ContractViolation("injected model fault");
+        }
+        return HybridModel::Evaluate(window, allocations);
+    }
+
+    void Arm() { armed_ = true; }
+
+  private:
+    bool armed_ = false;
+};
+
+TEST_F(SchedulerFixture, ContractViolationMidDecideLeavesStateUnchanged)
+{
+    ThrowingModel faulty(*features_, *model_);
+    SinanScheduler sched(faulty, SchedulerConfig{});
+    SinanScheduler ref(*model_, SchedulerConfig{});
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+
+    std::vector<double> alloc(app_->tiers.size(), 4.0);
+    std::vector<double> ref_alloc = alloc;
+    int t = 0;
+    for (; t < features_->history + 2; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, 100, 4.0, 0.4, 90);
+        alloc = sched.Decide(obs, alloc, *app_);
+        ref_alloc = ref.Decide(obs, ref_alloc, *app_);
+        ASSERT_EQ(alloc, ref_alloc);
+    }
+
+    // Arm the fault: Decide must throw and leave every observable
+    // piece of scheduler state untouched (strong guarantee).
+    const size_t traced = trace.intervals.size();
+    const uint64_t decisions =
+        metrics.Counter("sinan.scheduler.decisions");
+    const int mispred = sched.Mispredictions();
+    const IntervalObservation obs =
+        MakeObs(*features_, t, 100, 4.0, 0.4, 90);
+    faulty.Arm();
+    EXPECT_THROW(sched.Decide(obs, alloc, *app_), ContractViolation);
+    EXPECT_EQ(trace.intervals.size(), traced);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.decisions"), decisions);
+    EXPECT_EQ(sched.Mispredictions(), mispred);
+
+    // Retrying the same interval (fault cleared) must produce exactly
+    // what the never-faulted reference produces — i.e. the throw did
+    // not advance the window, the victim list, or the trust state.
+    alloc = sched.Decide(obs, alloc, *app_);
+    ref_alloc = ref.Decide(obs, ref_alloc, *app_);
+    EXPECT_EQ(alloc, ref_alloc);
+    for (int k = 0; k < 4; ++k) {
+        const IntervalObservation next =
+            MakeObs(*features_, ++t, 100, 4.0, 0.4, 90);
+        alloc = sched.Decide(next, alloc, *app_);
+        ref_alloc = ref.Decide(next, ref_alloc, *app_);
+        EXPECT_EQ(alloc, ref_alloc) << "diverged at step " << k;
+    }
+    sched.AttachTelemetry(nullptr, nullptr);
 }
 
 } // namespace

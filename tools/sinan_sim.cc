@@ -10,19 +10,24 @@
  *             [--users N | --diurnal LO:HI:PERIOD] [--duration S]
  *             [--warmup S] [--seed N] [--collect S] [--epochs N]
  *             [--mix W0,W1,...] [--log FILE] [--threads N]
- *             [--decision-log FILE] [--metrics FILE]
+ *             [--decision-log FILE] [--metrics FILE] [--faults SPEC]
  *
  * Examples:
  *   sinan_sim --app social --manager cons --users 250 --duration 120
  *   sinan_sim --app hotel --manager sinan --users 2500 --collect 800 \
  *             --epochs 8 --log hotel_sinan.csv \
  *             --decision-log decisions.csv --metrics metrics.json
+ *   sinan_sim --manager sinan --faults chaos:telemetry-blackout
+ *   sinan_sim --faults 'stall@10+5:tier=2;drop@12+3'
+ *   sinan_sim --faults list
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "app/apps.h"
 #include "baselines/autoscale.h"
@@ -32,6 +37,7 @@
 #include "harness/harness.h"
 #include "harness/runlog.h"
 #include "harness/telemetry_log.h"
+#include "sim/fault_injector.h"
 
 namespace {
 
@@ -41,6 +47,7 @@ struct CliOptions {
     std::string app = "social";
     std::string manager = "cons";
     double users = 200.0;
+    bool users_set = false;
     bool diurnal = false;
     double diurnal_low = 100.0;
     double diurnal_high = 300.0;
@@ -57,6 +64,9 @@ struct CliOptions {
     std::string metrics_path;
     /** 0 = keep the default (SINAN_THREADS or hardware concurrency). */
     int threads = 0;
+    /** Fault-injection schedule (see sim/fault_injector.h). */
+    FaultSchedule faults;
+    double fault_end_s = 0.0;
 };
 
 [[noreturn]] void
@@ -72,45 +82,119 @@ Usage(const char* msg)
         "                 [--duration S] [--warmup S] [--seed N]\n"
         "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
         "                 [--log FILE] [--threads N]\n"
-        "                 [--decision-log FILE] [--metrics FILE]\n");
+        "                 [--decision-log FILE] [--metrics FILE]\n"
+        "                 [--faults SPEC]\n"
+        "\n"
+        "  --faults accepts 'kind@start[+dur][:tier=N][:mag=X]' events\n"
+        "  joined with ';' (kinds: stall caploss spike steal drop delay\n"
+        "  nan), a named scenario 'chaos:NAME', or 'list' to print the\n"
+        "  scenario catalog and exit.\n");
     std::exit(2);
+}
+
+/** Strict numeric parsers: the whole argument must be consumed.
+ *  (std::atof-style parsing turned typos like `--users 2oo` into 2 —
+ *  or 0 — and silently ran the wrong experiment.) */
+double
+ParseDoubleArg(const char* flag, const std::string& v)
+{
+    char* end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (v.empty() || end != v.c_str() + v.size())
+        Usage((std::string(flag) + " expects a number, got '" + v + "'")
+                  .c_str());
+    return out;
+}
+
+int
+ParseIntArg(const char* flag, const std::string& v)
+{
+    char* end = nullptr;
+    const long out = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || end != v.c_str() + v.size())
+        Usage((std::string(flag) + " expects an integer, got '" + v +
+               "'")
+                  .c_str());
+    return static_cast<int>(out);
+}
+
+uint64_t
+ParseU64Arg(const char* flag, const std::string& v)
+{
+    char* end = nullptr;
+    const unsigned long long out = std::strtoull(v.c_str(), &end, 10);
+    if (v.empty() || end != v.c_str() + v.size())
+        Usage((std::string(flag) + " expects an unsigned integer, got '" +
+               v + "'")
+                  .c_str());
+    return out;
+}
+
+[[noreturn]] void
+ListChaosScenarios()
+{
+    std::printf("named chaos scenarios (--faults chaos:NAME):\n");
+    for (const ChaosScenario& s : ChaosScenarios()) {
+        std::printf("  %-18s %-40s %s\n", s.name.c_str(),
+                    s.spec.c_str(), s.description.c_str());
+    }
+    std::exit(0);
 }
 
 CliOptions
 Parse(int argc, char** argv)
 {
     CliOptions opt;
-    auto need = [&](int i) {
-        if (i + 1 >= argc)
-            Usage("missing argument value");
-        return argv[i + 1];
-    };
+    // Accept both `--flag value` and `--flag=value`.
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
+        const size_t eq = a.find('=');
+        if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    const size_t n = args.size();
+    auto need = [&](size_t i) -> const std::string& {
+        if (i + 1 >= n)
+            Usage(("missing value for " + args[i]).c_str());
+        return args[i + 1];
+    };
+    for (size_t i = 0; i < n; ++i) {
+        const std::string& a = args[i];
         if (a == "--app") {
             opt.app = need(i++);
         } else if (a == "--manager") {
             opt.manager = need(i++);
         } else if (a == "--users") {
-            opt.users = std::atof(need(i++));
+            opt.users = ParseDoubleArg("--users", need(i++));
+            opt.users_set = true;
         } else if (a == "--diurnal") {
             opt.diurnal = true;
             const std::string v = need(i++);
-            if (std::sscanf(v.c_str(), "%lf:%lf:%lf", &opt.diurnal_low,
-                            &opt.diurnal_high,
-                            &opt.diurnal_period) != 3) {
+            char lo[64], hi[64], period[64];
+            if (std::sscanf(v.c_str(), "%63[^:]:%63[^:]:%63s", lo, hi,
+                            period) != 3) {
                 Usage("--diurnal expects LO:HI:PERIOD");
             }
+            opt.diurnal_low = ParseDoubleArg("--diurnal LO", lo);
+            opt.diurnal_high = ParseDoubleArg("--diurnal HI", hi);
+            opt.diurnal_period =
+                ParseDoubleArg("--diurnal PERIOD", period);
         } else if (a == "--duration") {
-            opt.duration_s = std::atof(need(i++));
+            opt.duration_s = ParseDoubleArg("--duration", need(i++));
         } else if (a == "--warmup") {
-            opt.warmup_s = std::atof(need(i++));
+            opt.warmup_s = ParseDoubleArg("--warmup", need(i++));
         } else if (a == "--seed") {
-            opt.seed = std::strtoull(need(i++), nullptr, 10);
+            opt.seed = ParseU64Arg("--seed", need(i++));
         } else if (a == "--collect") {
-            opt.collect_s = std::atof(need(i++));
+            opt.collect_s = ParseDoubleArg("--collect", need(i++));
         } else if (a == "--epochs") {
-            opt.epochs = std::atoi(need(i++));
+            opt.epochs = ParseIntArg("--epochs", need(i++));
         } else if (a == "--mix") {
             opt.mix = need(i++);
         } else if (a == "--log") {
@@ -120,9 +204,18 @@ Parse(int argc, char** argv)
         } else if (a == "--metrics") {
             opt.metrics_path = need(i++);
         } else if (a == "--threads") {
-            opt.threads = std::atoi(need(i++));
+            opt.threads = ParseIntArg("--threads", need(i++));
             if (opt.threads < 0)
                 Usage("--threads must be >= 0");
+        } else if (a == "--faults") {
+            const std::string spec = need(i++);
+            if (spec == "list")
+                ListChaosScenarios();
+            try {
+                opt.faults = ParseFaultSpec(spec);
+            } catch (const std::exception& e) {
+                Usage(e.what());
+            }
         } else if (a == "--help" || a == "-h") {
             Usage(nullptr);
         } else {
@@ -131,8 +224,20 @@ Parse(int argc, char** argv)
     }
     if (opt.app != "hotel" && opt.app != "social")
         Usage("--app must be hotel or social");
+    if (opt.users_set && opt.diurnal)
+        Usage("--users and --diurnal are mutually exclusive");
     if (opt.duration_s <= 0 || opt.users <= 0)
         Usage("durations and users must be positive");
+    if (opt.diurnal &&
+        (opt.diurnal_low <= 0 || opt.diurnal_high < opt.diurnal_low ||
+         opt.diurnal_period <= 0))
+        Usage("--diurnal expects 0 < LO <= HI and PERIOD > 0");
+    if (opt.warmup_s < 0)
+        Usage("--warmup must be >= 0");
+    if (opt.epochs <= 0)
+        Usage("--epochs must be > 0");
+    if (opt.collect_s <= 0)
+        Usage("--collect must be > 0");
     return opt;
 }
 
@@ -164,10 +269,28 @@ main(int argc, char** argv)
         const char* p = opt.mix.c_str();
         char* end = nullptr;
         while (*p) {
-            weights.push_back(std::strtod(p, &end));
+            const double w = std::strtod(p, &end);
+            if (end == p)
+                Usage(("--mix expects numbers, got '" + opt.mix + "'")
+                          .c_str());
+            weights.push_back(w);
             p = *end == ',' ? end + 1 : end;
         }
         SetRequestMix(app, weights);
+    }
+
+    RunConfig cfg;
+    cfg.duration_s = opt.duration_s;
+    cfg.warmup_s = opt.warmup_s;
+    cfg.seed = opt.seed;
+    cfg.faults = opt.faults;
+    if (!opt.faults.Empty()) {
+        try {
+            ValidateFaultSchedule(
+                opt.faults, static_cast<int>(app.tiers.size()));
+        } catch (const std::exception& e) {
+            Usage(e.what());
+        }
     }
 
     std::unique_ptr<ResourceManager> manager;
@@ -209,10 +332,6 @@ main(int argc, char** argv)
         load = std::make_unique<ConstantLoad>(opt.users);
     }
 
-    RunConfig cfg;
-    cfg.duration_s = opt.duration_s;
-    cfg.warmup_s = opt.warmup_s;
-    cfg.seed = opt.seed;
     const RunResult r = RunManaged(app, *manager, *load, cfg);
 
     std::printf("\n%s on %s for %.0f s:\n", manager->Name(),
@@ -244,6 +363,35 @@ main(int argc, char** argv)
         std::printf("  trust events      : %llu lost, %llu restored\n",
                     static_cast<unsigned long long>(tel.trust_lost),
                     static_cast<unsigned long long>(tel.trust_restored));
+    }
+    if (!opt.faults.Empty()) {
+        std::printf("  fault intervals   : %llu injected\n",
+                    static_cast<unsigned long long>(r.metrics.Counter(
+                        "sinan.faults.active_intervals")));
+        if (tel.degraded > 0) {
+            std::printf("  degraded decisions: %llu (%llu model, %llu "
+                        "heuristic, %llu hold), %llu watchdog "
+                        "upscales\n",
+                        static_cast<unsigned long long>(tel.degraded),
+                        static_cast<unsigned long long>(
+                            tel.degraded_model),
+                        static_cast<unsigned long long>(
+                            tel.degraded_heuristic),
+                        static_cast<unsigned long long>(
+                            tel.degraded_hold),
+                        static_cast<unsigned long long>(
+                            tel.watchdog_upscales));
+        }
+        const double fault_end_s =
+            static_cast<double>(opt.faults.EndInterval()) *
+            cfg.sim.interval_s;
+        const int rec = RecoveryIntervals(r, fault_end_s, app.qos_ms);
+        if (rec < 0)
+            std::printf("  recovery          : not within the run\n");
+        else
+            std::printf("  recovery          : %d interval%s after the "
+                        "last fault\n",
+                        rec, rec == 1 ? "" : "s");
     }
 
     if (!opt.log_path.empty()) {
