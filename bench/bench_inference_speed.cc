@@ -16,7 +16,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "app/apps.h"
+#include "bench_util.h"
 #include "cluster/cluster.h"
 #include "common/thread_pool.h"
 #include "models/baseline_nets.h"
@@ -34,6 +43,72 @@ SocialFeatures()
     f.n_tiers = 28;
     f.qos_ms = 500.0;
     return f;
+}
+
+/** A full synthetic metric window matching @p f (deterministic). */
+MetricWindow
+MakeWindow(const FeatureConfig& f)
+{
+    MetricWindow window(f);
+    for (int t = 0; t < f.history; ++t) {
+        IntervalObservation obs;
+        obs.time_s = t;
+        obs.rps = 200;
+        obs.tiers.assign(static_cast<size_t>(f.n_tiers), TierMetrics{});
+        for (TierMetrics& m : obs.tiers) {
+            m.cpu_limit = 2.0;
+            m.cpu_used = 1.0;
+            m.rss_mb = 100;
+            m.cache_mb = 50;
+            m.rx_pps = 800;
+            m.tx_pps = 800;
+        }
+        obs.latency_ms = {80, 90, 100, 110, 120};
+        window.Push(obs);
+    }
+    return window;
+}
+
+/** A deterministic candidate allocation list of size @p n with some
+ *  per-candidate variation (so rows are not all identical). */
+std::vector<std::vector<double>>
+MakeCandidates(const FeatureConfig& f, int n)
+{
+    std::vector<std::vector<double>> cands(
+        static_cast<size_t>(n),
+        std::vector<double>(static_cast<size_t>(f.n_tiers), 2.0));
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < f.n_tiers; ++j)
+            cands[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+                1.0 + 0.1 * ((i + j) % 12);
+    return cands;
+}
+
+/**
+ * The model behind the legacy-vs-cached sweep and the JSON dump: the
+ * cached trained Social Network model when the bundled weights are
+ * present (run from the repo root), otherwise a freshly-initialized
+ * model of the same architecture. Lives for the whole process.
+ */
+HybridModel&
+SweepModel(std::string* name_out = nullptr)
+{
+    static std::string name;
+    static std::unique_ptr<HybridModel> owned = [] {
+        if (std::filesystem::exists("bench_cache/social.model")) {
+            TrainedSinan trained = bench::GetTrainedSinan(
+                BuildSocialNetwork(), bench::SocialPipeline(), "social");
+            name = "social-trained";
+            return std::move(trained.model);
+        }
+        name = "social-untrained";
+        HybridConfig cfg;
+        cfg.train.epochs = 1;
+        return std::make_unique<HybridModel>(SocialFeatures(), cfg, 3);
+    }();
+    if (name_out != nullptr)
+        *name_out = name;
+    return *owned;
 }
 
 /** A random but deterministic batch of model inputs. */
@@ -154,23 +229,7 @@ BM_HybridEvaluateCandidates(benchmark::State& state)
     cfg.train.epochs = 1;
     HybridModel model(f, cfg, 3);
 
-    MetricWindow window(f);
-    for (int t = 0; t < f.history; ++t) {
-        IntervalObservation obs;
-        obs.time_s = t;
-        obs.rps = 200;
-        obs.tiers.assign(f.n_tiers, TierMetrics{});
-        for (TierMetrics& m : obs.tiers) {
-            m.cpu_limit = 2.0;
-            m.cpu_used = 1.0;
-            m.rss_mb = 100;
-            m.cache_mb = 50;
-            m.rx_pps = 800;
-            m.tx_pps = 800;
-        }
-        obs.latency_ms = {80, 90, 100, 110, 120};
-        window.Push(obs);
-    }
+    MetricWindow window = MakeWindow(f);
     std::vector<std::vector<double>> cands(
         static_cast<size_t>(state.range(0)),
         std::vector<double>(f.n_tiers, 2.0));
@@ -178,6 +237,67 @@ BM_HybridEvaluateCandidates(benchmark::State& state)
         benchmark::DoNotOptimize(model.Evaluate(window, cands));
 }
 BENCHMARK(BM_HybridEvaluateCandidates)->Arg(120);
+
+void
+BM_HybridEvaluateLegacy(benchmark::State& state)
+{
+    // Reference full-batch path (pre-optimization behaviour): the trunk
+    // is recomputed once per candidate inside a batched Forward.
+    HybridModel& model = SweepModel();
+    const FeatureConfig& f = model.Features();
+    const MetricWindow window = MakeWindow(f);
+    const auto cands = MakeCandidates(f, static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.EvaluateFullBatch(window, cands));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HybridEvaluateLegacy)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_HybridEvaluateCached(benchmark::State& state)
+{
+    // Cached-trunk fast path: one trunk pass per window, broadcast to
+    // every candidate head, reusing the model-owned workspace.
+    HybridModel& model = SweepModel();
+    const FeatureConfig& f = model.Features();
+    const MetricWindow window = MakeWindow(f);
+    const auto cands = MakeCandidates(f, static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.Evaluate(window, cands));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HybridEvaluateCached)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_HybridEvaluateStages(benchmark::State& state)
+{
+    // Per-stage wall-clock breakdown of the fast path (feature build /
+    // trunk / head / boosted trees), reported as per-call counters.
+    HybridModel& model = SweepModel();
+    const FeatureConfig& f = model.Features();
+    const MetricWindow window = MakeWindow(f);
+    const auto cands = MakeCandidates(f, static_cast<int>(state.range(0)));
+    EvalStageTimes acc{};
+    int64_t calls = 0;
+    for (auto _ : state) {
+        EvalStageTimes stages{};
+        benchmark::DoNotOptimize(
+            model.EvaluateTimed(window, cands, &stages));
+        acc.feature_build_s += stages.feature_build_s;
+        acc.trunk_s += stages.trunk_s;
+        acc.head_s += stages.head_s;
+        acc.bt_s += stages.bt_s;
+        ++calls;
+    }
+    const double per_call = calls > 0 ? 1.0 / static_cast<double>(calls)
+                                      : 0.0;
+    state.counters["feature_build_us"] =
+        acc.feature_build_s * 1e6 * per_call;
+    state.counters["trunk_us"] = acc.trunk_s * 1e6 * per_call;
+    state.counters["head_us"] = acc.head_s * 1e6 * per_call;
+    state.counters["bt_us"] = acc.bt_s * 1e6 * per_call;
+}
+BENCHMARK(BM_HybridEvaluateStages)->Arg(8)->Arg(128);
 
 /** Restores the entry thread count when a thread-sweep benchmark ends. */
 class ThreadGuard {
@@ -238,23 +358,7 @@ BM_HybridEvaluateThreads(benchmark::State& state)
     cfg.train.epochs = 1;
     HybridModel model(f, cfg, 3);
 
-    MetricWindow window(f);
-    for (int t = 0; t < f.history; ++t) {
-        IntervalObservation obs;
-        obs.time_s = t;
-        obs.rps = 200;
-        obs.tiers.assign(f.n_tiers, TierMetrics{});
-        for (TierMetrics& m : obs.tiers) {
-            m.cpu_limit = 2.0;
-            m.cpu_used = 1.0;
-            m.rss_mb = 100;
-            m.cache_mb = 50;
-            m.rx_pps = 800;
-            m.tx_pps = 800;
-        }
-        obs.latency_ms = {80, 90, 100, 110, 120};
-        window.Push(obs);
-    }
+    MetricWindow window = MakeWindow(f);
     std::vector<std::vector<double>> cands(
         120, std::vector<double>(f.n_tiers, 2.0));
     for (auto _ : state)
@@ -269,7 +373,133 @@ BENCHMARK(BM_HybridEvaluateThreads)
     ->Arg(8)
     ->UseRealTime();
 
+/**
+ * Explicit legacy-vs-cached timing sweep across candidate counts,
+ * written to BENCH_inference.json. Each point is the best-of-@p reps
+ * mean over a small inner loop (minimum is robust against scheduler
+ * noise on shared CI runners). Returns the measured rows.
+ */
+std::vector<bench::InferenceBenchRow>
+RunInferenceSweep(const std::string& json_path)
+{
+    std::string model_name;
+    HybridModel& model = SweepModel(&model_name);
+    const FeatureConfig& f = model.Features();
+    const MetricWindow window = MakeWindow(f);
+
+    using Clock = std::chrono::steady_clock;
+    const int kInner = 5;
+    const int kReps = 12;
+    std::vector<bench::InferenceBenchRow> rows;
+    std::printf("\nLegacy vs cached-trunk Evaluate (%s, %d tiers)\n",
+                model_name.c_str(), f.n_tiers);
+    std::printf("%10s %12s %12s %9s\n", "cands", "legacy_ms", "cached_ms",
+                "speedup");
+    for (const int n : {1, 8, 32, 128}) {
+        const auto cands = MakeCandidates(f, n);
+        bench::InferenceBenchRow row;
+        row.candidates = n;
+
+        // Warm up both paths (first calls grow workspace buffers).
+        (void)model.EvaluateFullBatch(window, cands);
+        (void)model.Evaluate(window, cands);
+
+        double best_legacy = 0.0;
+        double best_cached = 0.0;
+        EvalStageTimes best_stages{};
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto t0 = Clock::now();
+            for (int k = 0; k < kInner; ++k)
+                benchmark::DoNotOptimize(
+                    model.EvaluateFullBatch(window, cands));
+            const auto t1 = Clock::now();
+            EvalStageTimes acc{};
+            for (int k = 0; k < kInner; ++k) {
+                EvalStageTimes stages{};
+                benchmark::DoNotOptimize(
+                    model.EvaluateTimed(window, cands, &stages));
+                acc.feature_build_s += stages.feature_build_s;
+                acc.trunk_s += stages.trunk_s;
+                acc.head_s += stages.head_s;
+                acc.bt_s += stages.bt_s;
+            }
+            const auto t2 = Clock::now();
+            const double legacy_ms =
+                std::chrono::duration<double, std::milli>(t1 - t0).count() /
+                kInner;
+            const double cached_ms =
+                std::chrono::duration<double, std::milli>(t2 - t1).count() /
+                kInner;
+            if (rep == 0 || legacy_ms < best_legacy)
+                best_legacy = legacy_ms;
+            if (rep == 0 || cached_ms < best_cached) {
+                best_cached = cached_ms;
+                best_stages = acc;
+            }
+        }
+        row.legacy_ms = best_legacy;
+        row.cached_ms = best_cached;
+        row.feature_ms = best_stages.feature_build_s * 1e3 / kInner;
+        row.trunk_ms = best_stages.trunk_s * 1e3 / kInner;
+        row.head_ms = best_stages.head_s * 1e3 / kInner;
+        row.bt_ms = best_stages.bt_s * 1e3 / kInner;
+        std::printf("%10d %12.4f %12.4f %8.2fx\n", n, row.legacy_ms,
+                    row.cached_ms,
+                    row.cached_ms > 0.0 ? row.legacy_ms / row.cached_ms
+                                        : 0.0);
+        rows.push_back(row);
+    }
+    bench::WriteInferenceJson(json_path, model_name, 1000.0, rows);
+    std::printf("\nWrote %s\n", json_path.c_str());
+    return rows;
+}
+
+/**
+ * CI gate (SINAN_BENCH_CHECK=1): the cached-trunk path must be
+ * measurably faster than the legacy full-batch path at every candidate
+ * count >= 8. The local acceptance bar is >= 3x; CI uses a conservative
+ * 1.5x so shared-runner noise cannot flake the job.
+ */
+bool
+CheckSweep(const std::vector<bench::InferenceBenchRow>& rows)
+{
+    constexpr double kMinSpeedup = 1.5;
+    bool ok = true;
+    for (const bench::InferenceBenchRow& row : rows) {
+        if (row.candidates < 8)
+            continue;
+        const double speedup =
+            row.cached_ms > 0.0 ? row.legacy_ms / row.cached_ms : 0.0;
+        if (speedup < kMinSpeedup) {
+            std::printf("FAIL: %d candidates: cached path %.2fx vs legacy "
+                        "(need >= %.1fx)\n",
+                        row.candidates, speedup, kMinSpeedup);
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("PASS: cached path >= %.1fx at every count >= 8\n",
+                    kMinSpeedup);
+    return ok;
+}
+
 } // namespace
 } // namespace sinan
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const auto rows = sinan::RunInferenceSweep("BENCH_inference.json");
+    const char* check = std::getenv("SINAN_BENCH_CHECK");
+    if (check != nullptr && std::string(check) == "1" &&
+        !sinan::CheckSweep(rows)) {
+        return 1;
+    }
+    return 0;
+}

@@ -74,6 +74,30 @@ SweepManagersAcrossFaults(const Application& app,
 /** Prints a section header for bench output. */
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 
+/** One candidate-count point of the inference-speed sweep. */
+struct InferenceBenchRow {
+    int candidates = 0;
+    /** Legacy full-batch Evaluate, per call. */
+    double legacy_ms = 0.0;
+    /** Cached-trunk fast-path Evaluate, per call. */
+    double cached_ms = 0.0;
+    /** Fast-path stage breakdown, per call. */
+    double feature_ms = 0.0;
+    double trunk_ms = 0.0;
+    double head_ms = 0.0;
+    double bt_ms = 0.0;
+};
+
+/**
+ * Writes the machine-readable inference-speed dump (consumed by the
+ * CI perf-smoke job and the README perf table). Deterministic
+ * formatting; one object with a "sweep" array ordered like @p rows.
+ */
+void WriteInferenceJson(const std::string& path,
+                        const std::string& model_name,
+                        double interval_budget_ms,
+                        const std::vector<InferenceBenchRow>& rows);
+
 /**
  * True when SINAN_BENCH_FAST=1: benches shrink collection time, training
  * epochs, and run durations for quick iteration. The shipped numbers in

@@ -383,12 +383,11 @@ SinanScheduler::DecideFresh(const IntervalObservation& obs,
     // Model path.
     const std::vector<Candidate> cands =
         BuildCandidates(obs, alloc, app);
-    std::vector<std::vector<double>> allocs;
-    allocs.reserve(cands.size());
-    for (const Candidate& c : cands)
-        allocs.push_back(c.alloc);
+    eval_allocs_.resize(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i)
+        eval_allocs_[i] = cands[i].alloc;
     const std::vector<Prediction> preds =
-        model_.Evaluate(next_window, allocs);
+        model_.Evaluate(next_window, eval_allocs_);
     SINAN_CHECK_EQ(preds.size(), cands.size());
     for (const Prediction& p : preds) {
         // A NaN prediction would silently poison every margin
@@ -619,12 +618,11 @@ SinanScheduler::DecideDegraded(TelemetryHealth health,
         const IntervalObservation& ref = window_.Newest();
         const std::vector<Candidate> cands =
             BuildCandidates(ref, alloc, app);
-        std::vector<std::vector<double>> allocs;
-        allocs.reserve(cands.size());
-        for (const Candidate& c : cands)
-            allocs.push_back(c.alloc);
+        eval_allocs_.resize(cands.size());
+        for (size_t i = 0; i < cands.size(); ++i)
+            eval_allocs_[i] = cands[i].alloc;
         const std::vector<Prediction> preds =
-            model_.Evaluate(window_, allocs);
+            model_.Evaluate(window_, eval_allocs_);
         SINAN_CHECK_EQ(preds.size(), cands.size());
         for (const Prediction& p : preds) {
             SINAN_CHECK_FINITE(p.P99());

@@ -167,6 +167,12 @@ class SinanScheduler : public ResourceManager {
     MetricWindow window_;
     TelemetryGuard guard_;
 
+    /** Scratch for the per-interval Evaluate call: reused across
+     *  intervals so the candidate allocation list does not rebuild
+     *  its inner vectors every decision (the model side is
+     *  allocation-free in steady state; see CnnEvalWorkspace). */
+    std::vector<std::vector<double>> eval_allocs_;
+
     /** Tiers scaled down in the last victim_window intervals. */
     std::deque<std::vector<int>> recent_victims_;
 

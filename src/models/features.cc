@@ -22,6 +22,51 @@ Clip(double v)
 
 } // namespace
 
+void
+BuildHistoryRow(const MetricWindow& window, Tensor& xrh, Tensor& xlh,
+                int row)
+{
+    const FeatureConfig& cfg = window.Config();
+    if (!window.Ready())
+        throw std::logic_error("BuildInput: window not full yet");
+
+    const int n = cfg.n_tiers;
+    const int t_len = cfg.history;
+    const int m = cfg.n_percentiles;
+
+    for (int t = 0; t < t_len; ++t) {
+        const IntervalObservation& obs = window.At(static_cast<size_t>(t));
+        if (static_cast<int>(obs.tiers.size()) != n)
+            throw std::invalid_argument("BuildInput: tier count mismatch");
+        for (int i = 0; i < n; ++i) {
+            const TierMetrics& tm = obs.tiers[i];
+            xrh.At(row, 0, i, t) = Clip(tm.cpu_limit / cfg.cpu_scale);
+            xrh.At(row, 1, i, t) = Clip(tm.cpu_used / cfg.cpu_scale);
+            xrh.At(row, 2, i, t) = Clip(tm.rss_mb / cfg.rss_scale);
+            xrh.At(row, 3, i, t) = Clip(tm.cache_mb / cfg.cache_scale);
+            xrh.At(row, 4, i, t) = Clip(tm.rx_pps / cfg.pps_scale);
+            xrh.At(row, 5, i, t) = Clip(tm.tx_pps / cfg.pps_scale);
+        }
+        for (int p = 0; p < m; ++p) {
+            const double lat =
+                p < static_cast<int>(obs.latency_ms.size())
+                    ? obs.latency_ms[p]
+                    : 0.0;
+            xlh.At(row, t * m + p) = Clip(lat / cfg.qos_ms);
+        }
+    }
+}
+
+void
+BuildAllocRow(const FeatureConfig& cfg,
+              const std::vector<double>& next_alloc, Tensor& xrc, int row)
+{
+    if (static_cast<int>(next_alloc.size()) != cfg.n_tiers)
+        throw std::invalid_argument("BuildInput: allocation size mismatch");
+    for (int i = 0; i < cfg.n_tiers; ++i)
+        xrc.At(row, i) = Clip(next_alloc[i] / cfg.cpu_scale);
+}
+
 Sample
 BuildInput(const MetricWindow& window, const std::vector<double>& next_alloc)
 {
@@ -36,34 +81,16 @@ BuildInput(const MetricWindow& window, const std::vector<double>& next_alloc)
     const int t_len = cfg.history;
     const int m = cfg.n_percentiles;
 
-    s.xrh = Tensor({FeatureConfig::kChannels, n, t_len});
-    s.xlh = Tensor({t_len * m});
-    s.xrc = Tensor({n});
-
-    for (int t = 0; t < t_len; ++t) {
-        const IntervalObservation& obs = window.At(t);
-        if (static_cast<int>(obs.tiers.size()) != n)
-            throw std::invalid_argument("BuildInput: tier count mismatch");
-        for (int i = 0; i < n; ++i) {
-            const TierMetrics& tm = obs.tiers[i];
-            s.xrh.At(0, i, t) = Clip(tm.cpu_limit / cfg.cpu_scale);
-            s.xrh.At(1, i, t) = Clip(tm.cpu_used / cfg.cpu_scale);
-            s.xrh.At(2, i, t) = Clip(tm.rss_mb / cfg.rss_scale);
-            s.xrh.At(3, i, t) = Clip(tm.cache_mb / cfg.cache_scale);
-            s.xrh.At(4, i, t) = Clip(tm.rx_pps / cfg.pps_scale);
-            s.xrh.At(5, i, t) = Clip(tm.tx_pps / cfg.pps_scale);
-        }
-        for (int p = 0; p < m; ++p) {
-            const double lat =
-                p < static_cast<int>(obs.latency_ms.size())
-                    ? obs.latency_ms[p]
-                    : 0.0;
-            s.xlh[static_cast<size_t>(t) * m + p] =
-                Clip(lat / cfg.qos_ms);
-        }
-    }
-    for (int i = 0; i < n; ++i)
-        s.xrc[i] = Clip(next_alloc[i] / cfg.cpu_scale);
+    // Build through the row writers on a batch of 1, then drop the
+    // batch dimension in place (no data copy).
+    s.xrh = Tensor({1, FeatureConfig::kChannels, n, t_len});
+    s.xlh = Tensor({1, t_len * m});
+    s.xrc = Tensor({1, n});
+    BuildHistoryRow(window, s.xrh, s.xlh, 0);
+    BuildAllocRow(cfg, next_alloc, s.xrc, 0);
+    s.xrh.ReshapeInPlace({FeatureConfig::kChannels, n, t_len});
+    s.xlh.ReshapeInPlace({t_len * m});
+    s.xrc.ReshapeInPlace({n});
     return s;
 }
 

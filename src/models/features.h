@@ -132,6 +132,22 @@ struct Dataset {
 Sample BuildInput(const MetricWindow& window,
                   const std::vector<double>& next_alloc);
 
+/**
+ * Writes the window's history features directly into row @p row of
+ * pre-sized batch tensors @p xrh [B, F, N, T] and @p xlh [B, T*M] —
+ * the allocation-free building block of HybridModel::Evaluate, which
+ * stacks candidates without the intermediate Sample copies.
+ * @p window must be Ready().
+ */
+void BuildHistoryRow(const MetricWindow& window, Tensor& xrh, Tensor& xlh,
+                     int row);
+
+/** Writes one normalized candidate allocation into row @p row of the
+ *  pre-sized @p xrc [B, N]. */
+void BuildAllocRow(const FeatureConfig& cfg,
+                   const std::vector<double>& next_alloc, Tensor& xrc,
+                   int row);
+
 /** Stacks single samples into a batched input. */
 Batch StackSamples(const std::vector<const Sample*>& samples);
 

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <numeric>
-#include <sstream>
 #include <stdexcept>
 
 #include "common/check.h"
@@ -13,6 +12,12 @@ namespace sinan {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+double
+Seconds(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
 
 } // namespace
 
@@ -29,7 +34,7 @@ HybridModel::BtRow(const Tensor& latent, int row, const Batch& batch) const
     const int latent_dim = latent.Dim(1);
     const int n = xrc.Dim(1);
     std::vector<float> out;
-    out.reserve(latent_dim + n + 4);
+    out.reserve(static_cast<size_t>(latent_dim + n + 4));
     for (int j = 0; j < latent_dim; ++j)
         out.push_back(latent.At(row, j));
     float total_alloc = 0.0f;
@@ -37,23 +42,77 @@ HybridModel::BtRow(const Tensor& latent, int row, const Batch& batch) const
         out.push_back(xrc.At(row, j));
         total_alloc += xrc.At(row, j);
     }
-    // Aggregates from the newest history step.
-    const int t_last = fcfg_.history - 1;
-    const int m = fcfg_.n_percentiles;
-    const float cur_p99 =
-        batch.xlh.At(row, fcfg_.history * m - 1);
-    float util = 0.0f, traffic = 0.0f;
-    for (int i = 0; i < n; ++i) {
-        const float limit = batch.xrh.At(row, 0, i, t_last);
-        const float used = batch.xrh.At(row, 1, i, t_last);
-        util += limit > 1e-6f ? used / limit : 0.0f;
-        traffic += batch.xrh.At(row, 4, i, t_last);
-    }
+    float cur_p99 = 0.0f, util = 0.0f, traffic = 0.0f;
+    SharedAggregates(batch.xrh, batch.xlh, row, &cur_p99, &util, &traffic);
     out.push_back(total_alloc);
     out.push_back(cur_p99);
-    out.push_back(util / static_cast<float>(n));
+    out.push_back(util);
     out.push_back(traffic);
     return out;
+}
+
+void
+HybridModel::SharedAggregates(const Tensor& xrh, const Tensor& xlh, int row,
+                              float* cur_p99, float* util,
+                              float* traffic) const
+{
+    // Aggregates from the newest history step.
+    const int n = fcfg_.n_tiers;
+    const int t_last = fcfg_.history - 1;
+    const int m = fcfg_.n_percentiles;
+    *cur_p99 = xlh.At(row, fcfg_.history * m - 1);
+    float u = 0.0f, tr = 0.0f;
+    for (int i = 0; i < n; ++i) {
+        const float limit = xrh.At(row, 0, i, t_last);
+        const float used = xrh.At(row, 1, i, t_last);
+        u += limit > 1e-6f ? used / limit : 0.0f;
+        tr += xrh.At(row, 4, i, t_last);
+    }
+    *util = u / static_cast<float>(n);
+    *traffic = tr;
+}
+
+void
+HybridModel::ScoreCandidates(const Tensor& latent, const Tensor& xrc,
+                             const Tensor& pred, float cur_p99, float util,
+                             float traffic, std::vector<Prediction>& out)
+{
+    const int n_cands = pred.Dim(0);
+    const int m = pred.Dim(1);
+    const int latent_dim = latent.Dim(1);
+    const int n = xrc.Dim(1);
+    const int nf = latent_dim + n + 4;
+    bt_rows_.EnsureShape({n_cands, nf});
+    out.resize(static_cast<size_t>(n_cands));
+
+    // Per-candidate BT scoring is the scheduler's per-interval hot
+    // loop (one Predict per Table-1 action); candidates are
+    // independent, so score them in parallel. The feature row layout
+    // matches BtRow exactly: latent, xrc, then the aggregates.
+    ParallelFor(0, n_cands, 8, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const int row = static_cast<int>(i);
+            Prediction& p = out[static_cast<size_t>(i)];
+            p.latency_ms.resize(static_cast<size_t>(m));
+            for (int j = 0; j < m; ++j) {
+                p.latency_ms[static_cast<size_t>(j)] =
+                    static_cast<double>(pred.At(row, j)) * fcfg_.qos_ms;
+            }
+            float* fr = bt_rows_.Data() + static_cast<size_t>(i) * nf;
+            for (int j = 0; j < latent_dim; ++j)
+                fr[j] = latent.At(row, j);
+            float total_alloc = 0.0f;
+            for (int j = 0; j < n; ++j) {
+                fr[latent_dim + j] = xrc.At(row, j);
+                total_alloc += xrc.At(row, j);
+            }
+            fr[latent_dim + n] = total_alloc;
+            fr[latent_dim + n + 1] = cur_p99;
+            fr[latent_dim + n + 2] = util;
+            fr[latent_dim + n + 3] = traffic;
+            p.p_violation = bt_.Predict(fr);
+        }
+    });
 }
 
 void
@@ -85,8 +144,7 @@ HybridModel::TrainBt(const Dataset& train, const Dataset& valid,
     const auto t0 = Clock::now();
     bt_ = BoostedTrees(cfg_.bt);
     bt_.Train(bt_train, bt_valid.n_rows ? &bt_valid : nullptr);
-    report.bt_train_time_s =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    report.bt_train_time_s = Seconds(t0, Clock::now());
     report.bt_trees = bt_.NumTrees();
 
     auto eval = [&](const GbtDataset& data, double* false_pos,
@@ -150,55 +208,97 @@ std::vector<Prediction>
 HybridModel::Evaluate(const MetricWindow& window,
                       const std::vector<std::vector<double>>& allocations)
 {
+    return EvaluateTimed(window, allocations, nullptr);
+}
+
+std::vector<Prediction>
+HybridModel::EvaluateTimed(const MetricWindow& window,
+                           const std::vector<std::vector<double>>& allocations,
+                           EvalStageTimes* stages)
+{
     if (allocations.empty())
         return {};
-    const size_t n_tiers = static_cast<size_t>(window.Config().n_tiers);
-    std::vector<Sample> samples;
-    samples.reserve(allocations.size());
-    for (const auto& alloc : allocations) {
-        SINAN_CHECK_EQ(alloc.size(), n_tiers);
-        samples.push_back(BuildInput(window, alloc));
+    const int n = window.Config().n_tiers;
+    const int n_cands = static_cast<int>(allocations.size());
+
+    // Feature build: the shared window row once, one allocation row
+    // per candidate — no Sample materialization, no stacking copy.
+    auto t0 = Clock::now();
+    ws_.xrh.EnsureShape(
+        {1, FeatureConfig::kChannels, n, fcfg_.history});
+    ws_.xlh.EnsureShape({1, fcfg_.LatFeatures()});
+    BuildHistoryRow(window, ws_.xrh, ws_.xlh, 0);
+    ws_.xrc.EnsureShape({n_cands, n});
+    for (int i = 0; i < n_cands; ++i) {
+        SINAN_CHECK_EQ(allocations[static_cast<size_t>(i)].size(),
+                       static_cast<size_t>(n));
+        BuildAllocRow(window.Config(), allocations[static_cast<size_t>(i)],
+                      ws_.xrc, i);
     }
-    std::vector<const Sample*> ptrs;
-    ptrs.reserve(samples.size());
-    for (const Sample& s : samples)
-        ptrs.push_back(&s);
-    const Batch batch = StackSamples(ptrs);
+    auto t1 = Clock::now();
+
+    // Trunk once per interval, head once per candidate batch.
+    cnn_.ForwardTrunk(ws_);
+    auto t2 = Clock::now();
+    cnn_.ForwardHead(ws_);
+    auto t3 = Clock::now();
+    SINAN_CHECK_EQ(ws_.pred.Dim(0), n_cands);
+
+    float cur_p99 = 0.0f, util = 0.0f, traffic = 0.0f;
+    SharedAggregates(ws_.xrh, ws_.xlh, 0, &cur_p99, &util, &traffic);
+    std::vector<Prediction> out;
+    ScoreCandidates(ws_.latent, ws_.xrc, ws_.pred, cur_p99, util, traffic,
+                    out);
+    auto t4 = Clock::now();
+
+    if (stages) {
+        stages->feature_build_s = Seconds(t0, t1);
+        stages->trunk_s = Seconds(t1, t2);
+        stages->head_s = Seconds(t2, t3);
+        stages->bt_s = Seconds(t3, t4);
+    }
+    return out;
+}
+
+std::vector<Prediction>
+HybridModel::EvaluateFullBatch(
+    const MetricWindow& window,
+    const std::vector<std::vector<double>>& allocations)
+{
+    if (allocations.empty())
+        return {};
+    const int n = window.Config().n_tiers;
+    const int n_cands = static_cast<int>(allocations.size());
+
+    // Row-direct stacking: every candidate repeats the window history.
+    Batch batch;
+    batch.xrh =
+        Tensor({n_cands, FeatureConfig::kChannels, n, fcfg_.history});
+    batch.xlh = Tensor({n_cands, fcfg_.LatFeatures()});
+    batch.xrc = Tensor({n_cands, n});
+    for (int i = 0; i < n_cands; ++i) {
+        SINAN_CHECK_EQ(allocations[static_cast<size_t>(i)].size(),
+                       static_cast<size_t>(n));
+        BuildHistoryRow(window, batch.xrh, batch.xlh, i);
+        BuildAllocRow(window.Config(), allocations[static_cast<size_t>(i)],
+                      batch.xrc, i);
+    }
 
     const Tensor pred = cnn_.Forward(batch);
     const Tensor& latent = cnn_.Latent();
-    SINAN_CHECK_EQ(pred.Dim(0), static_cast<int>(allocations.size()));
+    SINAN_CHECK_EQ(pred.Dim(0), n_cands);
 
-    // Per-candidate BT scoring is the scheduler's per-interval hot
-    // loop (one Predict per Table-1 action); candidates are
-    // independent, so score them in parallel.
-    std::vector<Prediction> out(allocations.size());
-    const int m = pred.Dim(1);
-    const int64_t n_cands = static_cast<int64_t>(allocations.size());
-    ParallelFor(0, n_cands, 8, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-            Prediction& p = out[i];
-            p.latency_ms.resize(m);
-            for (int j = 0; j < m; ++j) {
-                p.latency_ms[j] =
-                    static_cast<double>(pred.At(static_cast<int>(i), j)) *
-                    fcfg_.qos_ms;
-            }
-            p.p_violation =
-                bt_.Predict(BtRow(latent, static_cast<int>(i), batch));
-        }
-    });
+    float cur_p99 = 0.0f, util = 0.0f, traffic = 0.0f;
+    SharedAggregates(batch.xrh, batch.xlh, 0, &cur_p99, &util, &traffic);
+    std::vector<Prediction> out;
+    ScoreCandidates(latent, batch.xrc, pred, cur_p99, util, traffic, out);
     return out;
 }
 
 std::unique_ptr<HybridModel>
 HybridModel::Clone() const
 {
-    std::stringstream buf;
-    Save(buf);
-    auto copy = std::make_unique<HybridModel>(fcfg_, cfg_, /*seed=*/0);
-    copy->Load(buf);
-    return copy;
+    return std::unique_ptr<HybridModel>(new HybridModel(*this));
 }
 
 void

@@ -46,6 +46,15 @@ struct HybridReport {
     double bt_train_time_s = 0.0;
 };
 
+/** Wall-clock breakdown of one Evaluate call (bench instrumentation;
+ *  filled only when a non-null pointer is passed to EvaluateTimed). */
+struct EvalStageTimes {
+    double feature_build_s = 0.0;
+    double trunk_s = 0.0;
+    double head_s = 0.0;
+    double bt_s = 0.0;
+};
+
 /** The CNN + Boosted-Trees hybrid model. */
 class HybridModel {
   public:
@@ -53,6 +62,8 @@ class HybridModel {
                 uint64_t seed);
 
     virtual ~HybridModel() = default;
+
+    HybridModel& operator=(const HybridModel&) = delete;
 
     /** Trains CNN then BT (on the CNN's latents), as in Sec. 3.2. */
     HybridReport Train(const Dataset& train, const Dataset& valid);
@@ -66,13 +77,37 @@ class HybridModel {
                           const TrainOptions& opts);
 
     /**
-     * Evaluates a set of candidate allocations against one window.
-     * Virtual so tests can interpose fault-injecting stubs on the
-     * scheduler's only model call.
+     * Evaluates a set of candidate allocations against one window via
+     * the single-pass fast path: the CNN trunk (rh + lh branches) runs
+     * once on the shared window features, and only the per-candidate
+     * head is computed per allocation, with every buffer drawn from
+     * the model-owned workspace (zero tensor allocations in steady
+     * state). Bit-identical to EvaluateFullBatch. Virtual so tests can
+     * interpose fault-injecting stubs on the scheduler's only model
+     * call.
      */
     virtual std::vector<Prediction>
     Evaluate(const MetricWindow& window,
              const std::vector<std::vector<double>>& allocations);
+
+    /**
+     * Evaluate with an optional per-stage wall-clock breakdown (used
+     * by bench_inference_speed; pass nullptr to skip timing).
+     */
+    std::vector<Prediction>
+    EvaluateTimed(const MetricWindow& window,
+                  const std::vector<std::vector<double>>& allocations,
+                  EvalStageTimes* stages);
+
+    /**
+     * Legacy full-batch evaluation path: stacks every candidate into
+     * one batch and runs the complete CNN per row. Retained as the
+     * reference for the fast-path parity tests and the before/after
+     * benchmark; the scheduler uses Evaluate().
+     */
+    std::vector<Prediction>
+    EvaluateFullBatch(const MetricWindow& window,
+                      const std::vector<std::vector<double>>& allocations);
 
     /** Validation RMSE (ms) of the CNN from the last (re)training. */
     double ValRmseMs() const { return val_rmse_ms_; }
@@ -90,11 +125,16 @@ class HybridModel {
     void Load(std::istream& in);
 
     /**
-     * Deep copy via serialization. Evaluate() mutates internal forward
-     * caches, so concurrent users (e.g. the parallel benchmark sweeps)
-     * must each own a clone instead of sharing one instance.
+     * Direct member-wise deep copy (no serialization round-trip).
+     * Evaluate() mutates the internal workspace, so concurrent users
+     * (e.g. the parallel benchmark sweeps) must each own a clone
+     * instead of sharing one instance.
      */
     std::unique_ptr<HybridModel> Clone() const;
+
+  protected:
+    /** Used by Clone(); copies weights, trees, and workspace. */
+    HybridModel(const HybridModel&) = default;
 
   private:
     /** BT feature row: latent L_f, the normalized X_RC, and digested
@@ -103,6 +143,20 @@ class HybridModel {
      *  boundary without relying on latent extrapolation. */
     std::vector<float> BtRow(const Tensor& latent, int row,
                              const Batch& batch) const;
+
+    /** Aggregates shared by every candidate of one window: current
+     *  p99, mean utilization, and traffic from the newest history
+     *  step of the given (single- or multi-row) inputs. */
+    void SharedAggregates(const Tensor& xrh, const Tensor& xlh, int row,
+                          float* cur_p99, float* util,
+                          float* traffic) const;
+
+    /** Scores candidates from per-row latent/xrc tensors into @p out,
+     *  writing BT feature rows into the workspace (shared by both
+     *  evaluation paths; bit-identical to the legacy BtRow loop). */
+    void ScoreCandidates(const Tensor& latent, const Tensor& xrc,
+                         const Tensor& pred, float cur_p99, float util,
+                         float traffic, std::vector<Prediction>& out);
 
     /** Fits the BT on the CNN's latents; fills the BT report fields. */
     void TrainBt(const Dataset& train, const Dataset& valid,
@@ -114,6 +168,10 @@ class HybridModel {
     BoostedTrees bt_;
     double val_rmse_ms_ = 0.0;
     double val_rmse_subqos_ms_ = 0.0;
+
+    /** Reusable buffers of the fast path (cloned with the model). */
+    CnnEvalWorkspace ws_;
+    Tensor bt_rows_; // [B, latent + n_tiers + 4]
 };
 
 } // namespace sinan

@@ -1,6 +1,9 @@
 #include "models/sinan_cnn.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace sinan {
 
@@ -57,22 +60,18 @@ SinanCnn::SinanCnn(const FeatureConfig& fcfg, const SinanCnnConfig& cfg,
     const int n = fcfg.n_tiers;
     const int t_len = fcfg.history;
 
-    rh_branch_.Emplace<Conv2D>(FeatureConfig::kChannels,
-                               cfg.conv_channels1, cfg.kernel, rng);
-    rh_branch_.Emplace<ReLU>();
-    rh_branch_.Emplace<Conv2D>(cfg.conv_channels1, cfg.conv_channels2,
-                               cfg.kernel, rng);
-    rh_branch_.Emplace<ReLU>();
-    rh_branch_.Emplace<Flatten>();
-    rh_branch_.Emplace<Dense>(cfg.conv_channels2 * n * t_len, cfg.rh_embed,
-                              rng);
-    rh_branch_.Emplace<ReLU>();
+    // Construction order matches the serialization order (and the
+    // pre-refactor Sequential layout), so existing saved models load
+    // unchanged.
+    conv1_ = Conv2D(FeatureConfig::kChannels, cfg.conv_channels1,
+                    cfg.kernel, rng);
+    conv2_ = Conv2D(cfg.conv_channels1, cfg.conv_channels2, cfg.kernel,
+                    rng);
+    rh_fc_ = Dense(cfg.conv_channels2 * n * t_len, cfg.rh_embed, rng);
 
-    lh_branch_.Emplace<Dense>(fcfg.LatFeatures(), cfg.lh_embed, rng);
-    lh_branch_.Emplace<ReLU>();
+    lh_fc_ = Dense(fcfg.LatFeatures(), cfg.lh_embed, rng);
 
-    rc_branch_.Emplace<Dense>(n, cfg.rc_embed, rng);
-    rc_branch_.Emplace<ReLU>();
+    rc_fc_ = Dense(n, cfg.rc_embed, rng);
 
     fc_latent_ = Dense(cfg.rh_embed + cfg.lh_embed + cfg.rc_embed,
                        cfg.latent, rng);
@@ -86,14 +85,83 @@ SinanCnn::SinanCnn(const FeatureConfig& fcfg, const SinanCnnConfig& cfg,
 Tensor
 SinanCnn::Forward(const Batch& batch)
 {
-    const Tensor ha = rh_branch_.Forward(batch.xrh);
-    const Tensor hb = lh_branch_.Forward(batch.xlh);
-    const Tensor hc = rc_branch_.Forward(batch.xrc);
+    Tensor h = conv1_relu_.Forward(conv1_.Forward(batch.xrh));
+    h = conv2_relu_.Forward(conv2_.Forward(h));
+    h = flatten_.Forward(h);
+    const Tensor ha = rh_relu_.Forward(rh_fc_.Forward(h));
+    const Tensor hb = lh_relu_.Forward(lh_fc_.Forward(batch.xlh));
+    const Tensor hc = rc_relu_.Forward(rc_fc_.Forward(batch.xrc));
     const Tensor concat = ConcatCols(ha, hb, hc);
     latent_ = relu_latent_.Forward(fc_latent_.Forward(concat));
     Tensor y = fc_out_.Forward(latent_);
     AddPersistenceResidual(batch, fcfg_, y);
     return y;
+}
+
+void
+SinanCnn::ForwardTrunk(CnnEvalWorkspace& ws) const
+{
+    SINAN_CHECK_EQ(ws.xrh.Rank(), 4);
+    SINAN_CHECK_EQ(ws.xrh.Dim(0), 1);
+    SINAN_CHECK_EQ(ws.xlh.Rank(), 2);
+    SINAN_CHECK_EQ(ws.xlh.Dim(0), 1);
+    conv1_.ForwardInto(ws.xrh, ws.conv1_out, ws.col);
+    ReluInPlace(ws.conv1_out);
+    conv2_.ForwardInto(ws.conv1_out, ws.conv2_out, ws.col);
+    ReluInPlace(ws.conv2_out);
+    // Flatten is a pure view change on a batch of 1.
+    ws.conv2_out.ReshapeInPlace(
+        {1, static_cast<int>(ws.conv2_out.Size())});
+    rh_fc_.ForwardInto(ws.conv2_out, ws.rh_embed);
+    ReluInPlace(ws.rh_embed);
+    lh_fc_.ForwardInto(ws.xlh, ws.lh_embed);
+    ReluInPlace(ws.lh_embed);
+}
+
+void
+SinanCnn::ForwardHead(CnnEvalWorkspace& ws) const
+{
+    SINAN_CHECK_EQ(ws.xrc.Rank(), 2);
+    SINAN_CHECK_MSG(ws.rh_embed.Size() ==
+                            static_cast<size_t>(rh_out_) &&
+                        ws.lh_embed.Size() == static_cast<size_t>(lh_out_),
+                    "ForwardHead: trunk embeddings missing — call "
+                    "ForwardTrunk first");
+    const int batch = ws.xrc.Dim(0);
+
+    rc_fc_.ForwardInto(ws.xrc, ws.rc_embed);
+    ReluInPlace(ws.rc_embed);
+
+    // Broadcast-concat: every candidate row is [ha | hb | hc_i] with
+    // the shared trunk embeddings ha/hb — exactly the rows the
+    // full-batch ConcatCols would build from B identical trunk inputs.
+    const int na = rh_out_, nb = lh_out_, nc = rc_out_;
+    const int width = na + nb + nc;
+    ws.concat.EnsureShape({batch, width});
+    const float* ha = ws.rh_embed.Data();
+    const float* hb = ws.lh_embed.Data();
+    for (int i = 0; i < batch; ++i) {
+        float* row = ws.concat.Data() + static_cast<size_t>(i) * width;
+        std::copy(ha, ha + na, row);
+        std::copy(hb, hb + nb, row + na);
+        const float* hc =
+            ws.rc_embed.Data() + static_cast<size_t>(i) * nc;
+        std::copy(hc, hc + nc, row + na + nb);
+    }
+
+    fc_latent_.ForwardInto(ws.concat, ws.latent);
+    ReluInPlace(ws.latent);
+    fc_out_.ForwardInto(ws.latent, ws.pred);
+
+    // Persistence residual, broadcast from the shared window row: the
+    // full-batch path adds batch.xlh.At(i, base + p), and every row i
+    // carries the same latency history here.
+    const int m = fcfg_.n_percentiles;
+    const int base = (fcfg_.history - 1) * m;
+    for (int i = 0; i < batch; ++i) {
+        for (int p = 0; p < m; ++p)
+            ws.pred.At(i, p) += ws.xlh.At(0, base + p);
+    }
 }
 
 void
@@ -103,34 +171,39 @@ SinanCnn::Backward(const Tensor& dy)
     g = fc_latent_.Backward(relu_latent_.Backward(g));
     Tensor ga, gb, gc;
     SplitCols(g, rh_out_, lh_out_, rc_out_, ga, gb, gc);
-    rh_branch_.Backward(ga);
-    lh_branch_.Backward(gb);
-    rc_branch_.Backward(gc);
+    ga = rh_fc_.Backward(rh_relu_.Backward(ga));
+    ga = flatten_.Backward(ga);
+    ga = conv2_.Backward(conv2_relu_.Backward(ga));
+    (void)conv1_.Backward(conv1_relu_.Backward(ga));
+    (void)lh_fc_.Backward(lh_relu_.Backward(gb));
+    (void)rc_fc_.Backward(rc_relu_.Backward(gc));
 }
 
 std::vector<Param*>
 SinanCnn::Params()
 {
     std::vector<Param*> all;
-    for (Param* p : rh_branch_.Params())
-        all.push_back(p);
-    for (Param* p : lh_branch_.Params())
-        all.push_back(p);
-    for (Param* p : rc_branch_.Params())
-        all.push_back(p);
-    for (Param* p : fc_latent_.Params())
-        all.push_back(p);
-    for (Param* p : fc_out_.Params())
-        all.push_back(p);
+    for (Layer* l : {static_cast<Layer*>(&conv1_),
+                     static_cast<Layer*>(&conv2_),
+                     static_cast<Layer*>(&rh_fc_),
+                     static_cast<Layer*>(&lh_fc_),
+                     static_cast<Layer*>(&rc_fc_),
+                     static_cast<Layer*>(&fc_latent_),
+                     static_cast<Layer*>(&fc_out_)}) {
+        for (Param* p : l->Params())
+            all.push_back(p);
+    }
     return all;
 }
 
 void
 SinanCnn::Save(std::ostream& out) const
 {
-    rh_branch_.Save(out);
-    lh_branch_.Save(out);
-    rc_branch_.Save(out);
+    conv1_.Save(out);
+    conv2_.Save(out);
+    rh_fc_.Save(out);
+    lh_fc_.Save(out);
+    rc_fc_.Save(out);
     fc_latent_.Save(out);
     fc_out_.Save(out);
 }
@@ -138,9 +211,11 @@ SinanCnn::Save(std::ostream& out) const
 void
 SinanCnn::Load(std::istream& in)
 {
-    rh_branch_.Load(in);
-    lh_branch_.Load(in);
-    rc_branch_.Load(in);
+    conv1_.Load(in);
+    conv2_.Load(in);
+    rh_fc_.Load(in);
+    lh_fc_.Load(in);
+    rc_fc_.Load(in);
     fc_latent_.Load(in);
     fc_out_.Load(in);
 }

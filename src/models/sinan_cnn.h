@@ -8,13 +8,23 @@
  * from which a final dense layer predicts next-interval tail latencies
  * (p95..p99). L_f is exposed because the Boosted-Trees violation
  * predictor consumes it (Sec. 3.2).
+ *
+ * Two forward paths exist:
+ *  - Forward(): the legacy full-batch pass used for training/backward
+ *    (and as the reference in the fast-path parity tests);
+ *  - ForwardTrunk()/ForwardHead(): the online scheduler's single-pass
+ *    candidate inference. Within one decision interval every candidate
+ *    shares identical X_RH/X_LH, so the rh/lh branches (the trunk, and
+ *    by far the dominant cost) run once on a batch of 1 and their
+ *    embeddings are broadcast across the candidate batch in the head
+ *    (rc branch + latent + output layers). Both paths accumulate every
+ *    output element in the same order, so they are bit-identical.
  */
 #ifndef SINAN_MODELS_SINAN_CNN_H
 #define SINAN_MODELS_SINAN_CNN_H
 
 #include "models/latency_model.h"
 #include "nn/layers.h"
-#include "nn/sequential.h"
 
 namespace sinan {
 
@@ -27,6 +37,38 @@ struct SinanCnnConfig {
     int lh_embed = 24;
     int rc_embed = 24;
     int latent = 32;
+};
+
+/**
+ * Preallocated buffers of the single-pass candidate inference path.
+ * Owned by HybridModel and cloned with it; every tensor is resized via
+ * EnsureShape on first use (or when the window/candidate shapes
+ * change) and reused afterwards, so the steady-state Evaluate loop
+ * performs no tensor allocations.
+ *
+ * Lifetime rules: the trunk buffers (conv outputs and rh/lh
+ * embeddings) are valid from ForwardTrunk until the next ForwardTrunk
+ * on the same workspace; ForwardHead may be called any number of times
+ * in between with different candidate batches. A workspace must not be
+ * shared between threads — concurrent users clone the owning model.
+ */
+struct CnnEvalWorkspace {
+    // Window inputs on a batch of 1 (shared by every candidate).
+    Tensor xrh; // [1, F, N, T]
+    Tensor xlh; // [1, T*M]
+    // Per-candidate allocations.
+    Tensor xrc; // [B, N]
+    // Trunk intermediates and cached embeddings.
+    Tensor conv1_out; // [1, C1, N, T]
+    Tensor conv2_out; // [1, C2, N, T] (viewed as [1, C2*N*T])
+    Tensor col;       // conv im2col scratch
+    Tensor rh_embed;  // [1, rh_embed]
+    Tensor lh_embed;  // [1, lh_embed]
+    // Head intermediates.
+    Tensor rc_embed; // [B, rc_embed]
+    Tensor concat;   // [B, rh_embed + lh_embed + rc_embed]
+    Tensor latent;   // [B, latent]
+    Tensor pred;     // [B, M]
 };
 
 /** The hybrid model's CNN component. */
@@ -47,6 +89,23 @@ class SinanCnn : public LatencyModel {
     void Save(std::ostream& out) const override;
     void Load(std::istream& in) override;
 
+    /**
+     * Trunk pass of the cached inference path: runs the rh branch
+     * (conv stack + dense) and lh branch on ws.xrh/ws.xlh — a batch of
+     * 1 — caching the embeddings in the workspace. Const: never
+     * touches the training caches.
+     */
+    void ForwardTrunk(CnnEvalWorkspace& ws) const;
+
+    /**
+     * Head pass: encodes ws.xrc (one row per candidate), broadcasts
+     * the cached trunk embeddings across the candidate batch, and
+     * fills ws.latent ([B, latent], the L_f rows the Boosted Trees
+     * consume) and ws.pred ([B, M], with the persistence residual
+     * applied). Requires a preceding ForwardTrunk on @p ws.
+     */
+    void ForwardHead(CnnEvalWorkspace& ws) const;
+
     /** Latent representation L_f [B, latent] of the last Forward. */
     const Tensor& Latent() const { return latent_; }
 
@@ -57,9 +116,20 @@ class SinanCnn : public LatencyModel {
     FeatureConfig fcfg_;
     SinanCnnConfig cfg_;
 
-    Sequential rh_branch_;
-    Sequential lh_branch_;
-    Sequential rc_branch_;
+    // rh branch: conv -> relu -> conv -> relu -> flatten -> dense -> relu.
+    Conv2D conv1_;
+    ReLU conv1_relu_;
+    Conv2D conv2_;
+    ReLU conv2_relu_;
+    Flatten flatten_;
+    Dense rh_fc_;
+    ReLU rh_relu_;
+    // lh / rc branches: dense -> relu.
+    Dense lh_fc_;
+    ReLU lh_relu_;
+    Dense rc_fc_;
+    ReLU rc_relu_;
+
     Dense fc_latent_;
     ReLU relu_latent_;
     Dense fc_out_;

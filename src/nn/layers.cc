@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -32,10 +33,18 @@ Dense::Dense(int in_features, int out_features, Rng& rng)
 Tensor
 Dense::Forward(const Tensor& x)
 {
+    x_cache_ = x;
+    Tensor y;
+    ForwardInto(x, y);
+    return y;
+}
+
+void
+Dense::ForwardInto(const Tensor& x, Tensor& y) const
+{
     SINAN_CHECK_EQ(x.Rank(), 2);
     SINAN_CHECK_SHAPE(x, x.Dim(0), w_.value.Dim(0));
-    x_cache_ = x;
-    Tensor y({x.Dim(0), w_.value.Dim(1)});
+    y.EnsureShape({x.Dim(0), w_.value.Dim(1)});
     MatMul(x, w_.value, y);
     const int out = b_.value.Dim(0);
     ParallelFor(0, x.Dim(0), 256, [&](int64_t lo, int64_t hi) {
@@ -45,7 +54,6 @@ Dense::Forward(const Tensor& x)
                 row[j] += b_.value[j];
         }
     });
-    return y;
 }
 
 Tensor
@@ -83,6 +91,15 @@ Dense::Load(std::istream& in)
 {
     w_ = Param(Tensor::Load(in));
     b_ = Param(Tensor::Load(in));
+}
+
+void
+ReluInPlace(Tensor& t)
+{
+    float* p = t.Data();
+    const size_t n = t.Size();
+    for (size_t i = 0; i < n; ++i)
+        p[i] = p[i] > 0.0f ? p[i] : 0.0f;
 }
 
 Tensor
@@ -124,45 +141,105 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel, Rng& rng)
 Tensor
 Conv2D::Forward(const Tensor& x)
 {
+    x_cache_ = x;
+    Tensor y;
+    ForwardInto(x, y, col_);
+    return y;
+}
+
+void
+Conv2D::ForwardInto(const Tensor& x, Tensor& y, Tensor& col) const
+{
     SINAN_CHECK_EQ(x.Rank(), 4);
     SINAN_CHECK_SHAPE(x, x.Dim(0), w_.value.Dim(1), x.Dim(2), x.Dim(3));
-    x_cache_ = x;
     const int batch = x.Dim(0), in_c = x.Dim(1), h = x.Dim(2),
               w = x.Dim(3);
     const int out_c = w_.value.Dim(0);
     const int pad = kernel_ / 2;
-    Tensor y({batch, out_c, h, w});
-    // Flattened (sample, out-channel) pairs; every pair writes its own
-    // [h, w] output plane, so blocks never overlap.
-    ParallelFor(0, static_cast<int64_t>(batch) * out_c, 1,
-                [&](int64_t lo, int64_t hi) {
-        for (int64_t idx = lo; idx < hi; ++idx) {
-            const int b = static_cast<int>(idx / out_c);
-            const int oc = static_cast<int>(idx % out_c);
-            const float bias = b_.value[oc];
-            for (int i = 0; i < h; ++i) {
-                for (int j = 0; j < w; ++j) {
-                    float acc = bias;
-                    for (int c = 0; c < in_c; ++c) {
-                        for (int ki = 0; ki < kernel_; ++ki) {
+    const int hw = h * w;
+    const int ckk = in_c * kernel_ * kernel_;
+    y.EnsureShape({batch, out_c, h, w});
+    col.EnsureShape({batch, ckk, hw});
+
+    // Phase 1 — im2col, laid out patch-major so the matmul's innermost
+    // loop runs over contiguous output positions:
+    //   col[b, (c, ki, kj), i*w + j] = x[b, c, i + ki - pad, j + kj - pad]
+    // with zeros outside the image. A padding zero contributes exactly
+    // 0.0f to the accumulation, so including it (instead of the old
+    // bounds-check skip) leaves every sum bit-identical.
+    ParallelFor(0, batch, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t bi = lo; bi < hi; ++bi) {
+            const float* xb =
+                x.Data() + static_cast<size_t>(bi) * in_c * hw;
+            float* cb = col.Data() + static_cast<size_t>(bi) * ckk * hw;
+            for (int c = 0; c < in_c; ++c) {
+                const float* xc = xb + static_cast<size_t>(c) * hw;
+                for (int ki = 0; ki < kernel_; ++ki) {
+                    for (int kj = 0; kj < kernel_; ++kj) {
+                        float* crow =
+                            cb + (static_cast<size_t>(c) * kernel_ *
+                                      kernel_ +
+                                  static_cast<size_t>(ki) * kernel_ +
+                                  static_cast<size_t>(kj)) *
+                                     hw;
+                        // Columns j with an in-bounds source sj = j +
+                        // kj - pad form one contiguous run per row.
+                        const int j0 = std::max(0, pad - kj);
+                        const int j1 = std::min(w, w + pad - kj);
+                        for (int i = 0; i < h; ++i) {
                             const int si = i + ki - pad;
-                            if (si < 0 || si >= h)
+                            float* dst = crow + static_cast<size_t>(i) * w;
+                            if (si < 0 || si >= h) {
+                                std::fill(dst, dst + w, 0.0f);
                                 continue;
-                            for (int kj = 0; kj < kernel_; ++kj) {
-                                const int sj = j + kj - pad;
-                                if (sj < 0 || sj >= w)
-                                    continue;
-                                acc += x.At(b, c, si, sj) *
-                                       w_.value.At(oc, c, ki, kj);
                             }
+                            const float* srow =
+                                xc + static_cast<size_t>(si) * w;
+                            for (int j = 0; j < j0; ++j)
+                                dst[j] = 0.0f;
+                            for (int j = j0; j < j1; ++j)
+                                dst[j] = srow[j + kj - pad];
+                            for (int j = j1; j < w; ++j)
+                                dst[j] = 0.0f;
                         }
                     }
-                    y.At(b, oc, i, j) = acc;
                 }
             }
         }
     });
-    return y;
+
+    // Phase 2 — blocked matmul: y[b, oc, :] = bias[oc] +
+    // sum_p w[oc, p] * col[b, p, :]. Each (sample, out-channel) plane
+    // is written by exactly one block, and per output element the
+    // terms accumulate in ascending p = (c, ki, kj) — the naive
+    // kernel's order — so results are bit-identical at any thread
+    // count. Output positions are tiled so the accumulator tile stays
+    // cache-resident when h*w grows with the tier count.
+    constexpr int kPosTile = 256;
+    const float* wp = w_.value.Data();
+    ParallelFor(0, static_cast<int64_t>(batch) * out_c, 1,
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t idx = lo; idx < hi; ++idx) {
+            const int bi = static_cast<int>(idx / out_c);
+            const int oc = static_cast<int>(idx % out_c);
+            const float* cb =
+                col.Data() + static_cast<size_t>(bi) * ckk * hw;
+            const float* wrow = wp + static_cast<size_t>(oc) * ckk;
+            float* yp = y.Data() + static_cast<size_t>(idx) * hw;
+            const float bias = b_.value[oc];
+            for (int t0 = 0; t0 < hw; t0 += kPosTile) {
+                const int t1 = std::min(hw, t0 + kPosTile);
+                for (int t = t0; t < t1; ++t)
+                    yp[t] = bias;
+                for (int p = 0; p < ckk; ++p) {
+                    const float wv = wrow[p];
+                    const float* crow = cb + static_cast<size_t>(p) * hw;
+                    for (int t = t0; t < t1; ++t)
+                        yp[t] += wv * crow[t];
+                }
+            }
+        }
+    });
 }
 
 Tensor

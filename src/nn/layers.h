@@ -24,6 +24,13 @@ class Dense : public Layer {
     void Save(std::ostream& out) const override;
     void Load(std::istream& in) override;
 
+    /**
+     * Inference-only forward into a caller-owned output (resized via
+     * EnsureShape, so steady-state reuse allocates nothing). Does not
+     * touch the backward cache; bit-identical to Forward.
+     */
+    void ForwardInto(const Tensor& x, Tensor& y) const;
+
     int InFeatures() const { return w_.value.Dim(0); }
     int OutFeatures() const { return w_.value.Dim(1); }
 
@@ -53,6 +60,9 @@ class ReLU : public Layer {
  */
 class Conv2D : public Layer {
   public:
+    /** Uninitialized layer; assign a constructed one before use. */
+    Conv2D() = default;
+
     Conv2D(int in_channels, int out_channels, int kernel, Rng& rng);
 
     Tensor Forward(const Tensor& x) override;
@@ -61,12 +71,27 @@ class Conv2D : public Layer {
     void Save(std::ostream& out) const override;
     void Load(std::istream& in) override;
 
+    /**
+     * Inference-only forward into a caller-owned output, with @p col
+     * as the caller-owned im2col scratch; both are resized via
+     * EnsureShape and reused across calls. Does not touch the backward
+     * cache. The per-output-element accumulation order is bias first,
+     * then (c, ki, kj) ascending — the same order as the pre-im2col
+     * naive kernel, so results are bit-identical to it and independent
+     * of the thread count.
+     */
+    void ForwardInto(const Tensor& x, Tensor& y, Tensor& col) const;
+
   private:
     Param w_; // [OC, C, K, K]
     Param b_; // [OC]
-    int kernel_;
+    int kernel_ = 0;
     Tensor x_cache_;
+    Tensor col_; // im2col scratch reused by the training-path Forward
 };
+
+/** In-place ReLU used by the allocation-free inference fast path. */
+void ReluInPlace(Tensor& t);
 
 /** Reshapes [B, ...] to [B, prod(...)]; inverse on backward. */
 class Flatten : public Layer {

@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
 #include <numeric>
@@ -24,11 +25,49 @@ ShapeSize(const std::vector<int>& shape)
     return shape.empty() ? 0 : n;
 }
 
+/** Buffer-acquisition counter behind Tensor::AllocationEvents().
+ *  Relaxed: the tests that read it only need a per-thread-quiescent
+ *  total, never ordering against other memory. */
+std::atomic<uint64_t> g_alloc_events{0};
+
+void
+BumpAllocEvents()
+{
+    g_alloc_events.fetch_add(1, std::memory_order_relaxed);
+}
+
 } // namespace
 
 Tensor::Tensor(std::vector<int> shape)
     : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f)
 {
+    if (!data_.empty())
+        BumpAllocEvents();
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_)
+{
+    if (!data_.empty())
+        BumpAllocEvents();
+}
+
+Tensor&
+Tensor::operator=(const Tensor& other)
+{
+    if (this != &other) {
+        if (other.data_.size() > data_.capacity())
+            BumpAllocEvents();
+        shape_ = other.shape_;
+        data_ = other.data_;
+    }
+    return *this;
+}
+
+uint64_t
+Tensor::AllocationEvents()
+{
+    return g_alloc_events.load(std::memory_order_relaxed);
 }
 
 Tensor
@@ -84,7 +123,28 @@ Tensor::Reshaped(std::vector<int> shape) const
     Tensor t;
     t.shape_ = std::move(shape);
     t.data_ = data_;
+    if (!t.data_.empty())
+        BumpAllocEvents();
     return t;
+}
+
+void
+Tensor::ReshapeInPlace(const std::vector<int>& shape)
+{
+    SINAN_CHECK_EQ(ShapeSize(shape), Size());
+    shape_ = shape;
+}
+
+void
+Tensor::EnsureShape(const std::vector<int>& shape)
+{
+    if (shape_ == shape)
+        return;
+    const size_t n = ShapeSize(shape);
+    if (n > data_.capacity())
+        BumpAllocEvents();
+    shape_ = shape;
+    data_.resize(n);
 }
 
 void

@@ -11,6 +11,7 @@
 #define SINAN_TENSOR_TENSOR_H
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -26,6 +27,13 @@ class Tensor {
 
     /** Zero-initialized tensor of the given shape. */
     explicit Tensor(std::vector<int> shape);
+
+    /** Copies count toward AllocationEvents() when they acquire a new
+     *  buffer; moves never do. */
+    Tensor(const Tensor& other);
+    Tensor& operator=(const Tensor& other);
+    Tensor(Tensor&&) noexcept = default;
+    Tensor& operator=(Tensor&&) noexcept = default;
 
     /** Builds a 1-D tensor from values. */
     static Tensor FromVector(const std::vector<float>& values);
@@ -73,6 +81,30 @@ class Tensor {
 
     /** Reinterprets the shape; total size must match. */
     Tensor Reshaped(std::vector<int> shape) const;
+
+    /**
+     * Reinterprets the shape in place without touching the buffer;
+     * total size must match. Unlike Reshaped, never copies data — the
+     * workspace fast path uses this to view a [1, C, H, W] conv output
+     * as the [1, C*H*W] input of the following dense layer.
+     */
+    void ReshapeInPlace(const std::vector<int>& shape);
+
+    /**
+     * Resizes to @p shape, reusing the existing buffer whenever its
+     * capacity suffices (no allocation in that case). Element contents
+     * are unspecified afterwards — intended for workspace buffers that
+     * are fully overwritten by the caller.
+     */
+    void EnsureShape(const std::vector<int>& shape);
+
+    /**
+     * Process-wide count of tensor buffer acquisitions (constructions,
+     * growing EnsureShape calls, and copies that could not reuse
+     * capacity). The workspace-reuse tests assert this stays flat
+     * across steady-state Evaluate calls.
+     */
+    static uint64_t AllocationEvents();
 
     /** Sets every element to @p v. */
     void Fill(float v);

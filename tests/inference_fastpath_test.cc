@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Parity and allocation tests for the single-pass candidate-inference
+ * fast path: the cached-trunk Evaluate must be bit-identical to the
+ * legacy full-batch reference on trained models (synthetic and the
+ * bundled bench_cache models) at every thread count, the im2col conv
+ * kernel must match a naive reference convolution bitwise, Clone()'s
+ * direct deep copy must agree with a serialization round trip, and the
+ * model-owned workspace must make steady-state Evaluate calls
+ * tensor-allocation-free.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/apps.h"
+#include "common/thread_pool.h"
+#include "harness/harness.h"
+#include "models/hybrid.h"
+#include "nn/layers.h"
+#include "test_util.h"
+
+namespace sinan {
+namespace {
+
+using testutil::MakeObs;
+using testutil::SmallFeatures;
+using testutil::SyntheticDataset;
+
+/** Trains a small hybrid model quickly (enough for parity checks). */
+std::unique_ptr<HybridModel>
+TrainSmallHybrid(const FeatureConfig& f, uint64_t seed)
+{
+    const Dataset all = SyntheticDataset(f, 200, seed);
+    Rng rng(seed + 1);
+    const auto [train, valid] = all.Split(0.9, rng);
+    HybridConfig cfg;
+    cfg.train.epochs = 3;
+    cfg.bt.n_trees = 25;
+    auto model = std::make_unique<HybridModel>(f, cfg, seed + 2);
+    model->Train(train, valid);
+    return model;
+}
+
+MetricWindow
+MakeWindow(const FeatureConfig& f, double rps, double p99)
+{
+    MetricWindow w(f);
+    for (int t = 0; t < f.history; ++t)
+        w.Push(MakeObs(f, t, rps, 2.0, 0.6, p99));
+    return w;
+}
+
+/** Candidate allocations with per-candidate and per-tier variation. */
+std::vector<std::vector<double>>
+MakeCandidates(const FeatureConfig& f, int n)
+{
+    std::vector<std::vector<double>> cands;
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> a(static_cast<size_t>(f.n_tiers));
+        for (int j = 0; j < f.n_tiers; ++j)
+            a[static_cast<size_t>(j)] = 0.4 + 0.13 * ((i + j) % 17);
+        cands.push_back(std::move(a));
+    }
+    return cands;
+}
+
+void
+ExpectPredictionsBitIdentical(const std::vector<Prediction>& a,
+                              const std::vector<Prediction>& b,
+                              const std::string& what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].latency_ms, b[i].latency_ms)
+            << what << " candidate " << i;
+        ASSERT_EQ(a[i].p_violation, b[i].p_violation)
+            << what << " candidate " << i;
+    }
+}
+
+/** Restores the entry thread count on scope exit. */
+class ThreadGuard {
+  public:
+    ThreadGuard() : saved_(NumThreads()) {}
+    ~ThreadGuard() { SetNumThreads(saved_); }
+
+  private:
+    int saved_;
+};
+
+TEST(InferenceFastPath, CachedMatchesFullBatchAcrossThreadCounts)
+{
+    const FeatureConfig f = SmallFeatures();
+    const std::unique_ptr<HybridModel> pm = TrainSmallHybrid(f, 101);
+    HybridModel& model = *pm;
+    const MetricWindow w = MakeWindow(f, 150, 120);
+    const auto cands = MakeCandidates(f, 40);
+
+    ThreadGuard guard;
+    SetNumThreads(1);
+    const std::vector<Prediction> ref = model.EvaluateFullBatch(w, cands);
+    for (int threads : {1, 8}) {
+        SetNumThreads(threads);
+        ExpectPredictionsBitIdentical(
+            model.Evaluate(w, cands), ref,
+            "cached vs full-batch, threads=" + std::to_string(threads));
+        ExpectPredictionsBitIdentical(
+            model.EvaluateFullBatch(w, cands), ref,
+            "full-batch vs serial, threads=" + std::to_string(threads));
+    }
+}
+
+/** Loads a bundled bench_cache model exactly like the bench cache-hit
+ *  path (same FeatureConfig recipe and hybrid hyper-parameters). */
+std::unique_ptr<HybridModel>
+LoadBundledModel(const Application& app, const std::string& name)
+{
+    const std::string path =
+        std::string(SINAN_REPO_ROOT) + "/bench_cache/" + name + ".model";
+    if (!std::filesystem::exists(path))
+        return nullptr;
+    const PipelineConfig pcfg; // history / lookahead defaults
+    FeatureConfig f;
+    f.n_tiers = static_cast<int>(app.tiers.size());
+    f.history = pcfg.history;
+    f.violation_lookahead = pcfg.violation_lookahead;
+    f.qos_ms = app.qos_ms;
+    auto model =
+        std::make_unique<HybridModel>(f, DefaultHybridConfig(), 1);
+    std::ifstream in(path, std::ios::binary);
+    model->Load(in);
+    return model;
+}
+
+void
+CheckBundledModelParity(const Application& app, const std::string& name)
+{
+    std::unique_ptr<HybridModel> model = LoadBundledModel(app, name);
+    if (!model)
+        GTEST_SKIP() << "bundled model " << name << " not present";
+    const FeatureConfig& f = model->Features();
+    const MetricWindow w = MakeWindow(f, 200, 0.3 * f.qos_ms);
+    const auto cands = MakeCandidates(f, 33);
+
+    ThreadGuard guard;
+    SetNumThreads(1);
+    const std::vector<Prediction> ref =
+        model->EvaluateFullBatch(w, cands);
+    for (int threads : {1, 8}) {
+        SetNumThreads(threads);
+        ExpectPredictionsBitIdentical(
+            model->Evaluate(w, cands), ref,
+            name + " threads=" + std::to_string(threads));
+    }
+}
+
+TEST(InferenceFastPath, BundledHotelModelParity)
+{
+    CheckBundledModelParity(BuildHotelReservation(), "hotel");
+}
+
+TEST(InferenceFastPath, BundledSocialModelParity)
+{
+    CheckBundledModelParity(BuildSocialNetwork(), "social");
+}
+
+TEST(InferenceFastPath, WorkspaceReuseAcrossShapeChanges)
+{
+    // The workspace is grown/shrunk in place across interleaved
+    // candidate counts and windows; results must match a fresh clone
+    // (whose workspace has never been used) at every step.
+    const FeatureConfig f = SmallFeatures();
+    const std::unique_ptr<HybridModel> pm = TrainSmallHybrid(f, 211);
+    HybridModel& model = *pm;
+    const MetricWindow wa = MakeWindow(f, 150, 120);
+    const MetricWindow wb = MakeWindow(f, 350, 420);
+
+    const struct {
+        const MetricWindow* w;
+        int n_cands;
+    } steps[] = {{&wa, 8}, {&wa, 3}, {&wb, 20}, {&wa, 8}, {&wb, 1}};
+    for (const auto& step : steps) {
+        const auto cands = MakeCandidates(f, step.n_cands);
+        const std::unique_ptr<HybridModel> fresh = model.Clone();
+        ExpectPredictionsBitIdentical(
+            model.Evaluate(*step.w, cands),
+            fresh->Evaluate(*step.w, cands),
+            "reused vs fresh workspace, n=" +
+                std::to_string(step.n_cands));
+    }
+}
+
+TEST(InferenceFastPath, SteadyStateEvaluateAllocatesNoTensors)
+{
+    const FeatureConfig f = SmallFeatures();
+    const std::unique_ptr<HybridModel> pm = TrainSmallHybrid(f, 307);
+    HybridModel& model = *pm;
+    const MetricWindow w = MakeWindow(f, 150, 120);
+    const auto cands = MakeCandidates(f, 16);
+
+    // Warm up: first calls grow the workspace buffers.
+    for (int i = 0; i < 3; ++i)
+        (void)model.Evaluate(w, cands);
+
+    const uint64_t before = Tensor::AllocationEvents();
+    for (int i = 0; i < 10; ++i)
+        (void)model.Evaluate(w, cands);
+    EXPECT_EQ(Tensor::AllocationEvents() - before, 0u)
+        << "steady-state Evaluate acquired a tensor buffer";
+}
+
+TEST(InferenceFastPath, CloneDirectCopyMatchesSerializedRoundTrip)
+{
+    // Clone() is a direct member-wise deep copy; it must agree exactly
+    // with the old stringstream Save/Load round trip.
+    const FeatureConfig f = SmallFeatures();
+    const std::unique_ptr<HybridModel> pm = TrainSmallHybrid(f, 401);
+    HybridModel& model = *pm;
+
+    const std::unique_ptr<HybridModel> direct = model.Clone();
+    HybridConfig cfg;
+    cfg.train.epochs = 3;
+    cfg.bt.n_trees = 25;
+    HybridModel via_stream(f, cfg, 999);
+    std::stringstream ss;
+    model.Save(ss);
+    via_stream.Load(ss);
+
+    EXPECT_DOUBLE_EQ(direct->ValRmseMs(), model.ValRmseMs());
+    EXPECT_DOUBLE_EQ(via_stream.ValRmseMs(), model.ValRmseMs());
+
+    const MetricWindow w = MakeWindow(f, 150, 120);
+    const auto cands = MakeCandidates(f, 12);
+    const std::vector<Prediction> ref = model.Evaluate(w, cands);
+    ExpectPredictionsBitIdentical(direct->Evaluate(w, cands), ref,
+                                  "direct clone");
+    ExpectPredictionsBitIdentical(via_stream.Evaluate(w, cands), ref,
+                                  "serialized round trip");
+}
+
+/** The pre-im2col Conv2D forward: direct 7-deep loop with bias-first
+ *  accumulation and skipped out-of-bounds taps. */
+Tensor
+NaiveConvForward(const Tensor& x, const Tensor& w, const Tensor& b,
+                 int kernel)
+{
+    const int batch = x.Dim(0);
+    const int in_c = x.Dim(1);
+    const int h = x.Dim(2);
+    const int wdim = x.Dim(3);
+    const int out_c = w.Dim(0);
+    const int pad = kernel / 2;
+    Tensor y({batch, out_c, h, wdim});
+    for (int bi = 0; bi < batch; ++bi) {
+        for (int o = 0; o < out_c; ++o) {
+            for (int i = 0; i < h; ++i) {
+                for (int j = 0; j < wdim; ++j) {
+                    float acc = b.Data()[o];
+                    for (int c = 0; c < in_c; ++c) {
+                        for (int ki = 0; ki < kernel; ++ki) {
+                            const int si = i + ki - pad;
+                            if (si < 0 || si >= h)
+                                continue;
+                            for (int kj = 0; kj < kernel; ++kj) {
+                                const int sj = j + kj - pad;
+                                if (sj < 0 || sj >= wdim)
+                                    continue;
+                                acc += w.At(o, c, ki, kj) *
+                                       x.At(bi, c, si, sj);
+                            }
+                        }
+                    }
+                    y.At(bi, o, i, j) = acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+TEST(InferenceFastPath, Im2colConvMatchesNaiveReferenceBitwise)
+{
+    // Zero-padding contributions in the im2col formulation add +-0.0f,
+    // which leaves every partial sum bitwise unchanged, so the two
+    // kernels must agree exactly — not just approximately.
+    Rng rng(17);
+    for (const int kernel : {3, 5}) {
+        Conv2D conv(4, 6, kernel, rng);
+        const Tensor x = Tensor::Randn({3, 4, 7, 6}, rng, 0.5f);
+        const Tensor y = conv.Forward(x);
+        const std::vector<Param*> params = conv.Params();
+        const Tensor ref = NaiveConvForward(x, params[0]->value,
+                                            params[1]->value, kernel);
+        ASSERT_EQ(y.Shape(), ref.Shape());
+        for (size_t i = 0; i < y.Size(); ++i)
+            ASSERT_EQ(y.Data()[i], ref.Data()[i])
+                << "kernel=" << kernel << " element " << i;
+    }
+}
+
+} // namespace
+} // namespace sinan
