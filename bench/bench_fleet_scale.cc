@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Fleet-scale throughput bench: how many cluster-intervals per second
+ * the sharded fleet harness (src/fleet) sustains as the fleet grows
+ * from 1 to 100 clusters, serial vs. on the shared thread pool.
+ *
+ * For each fleet size the same mixed hotel/social fleet is run twice —
+ * SetNumThreads(1) and SetNumThreads(8) — and the bench records wall
+ * time, shard-interval throughput, the manager's per-interval decision
+ * latency percentiles, and whether the two runs produced byte-identical
+ * fleet traces (the determinism contract; they must). Results go to
+ * stdout and to BENCH_fleet.json for the CI artifact and the README
+ * throughput table.
+ *
+ * CI gate (SINAN_BENCH_CHECK=1): trace bytes must match at every fleet
+ * size, and — only on machines with >= 4 hardware threads, since the
+ * speedup is meaningless on a 1-core runner — the 8-thread run of the
+ * largest fleet must beat serial by >= 1.5x (the local acceptance bar
+ * on an 8-core box is >= 3x; CI uses a conservative margin so shared
+ * runners cannot flake the job).
+ *
+ * SINAN_BENCH_FAST=1 shrinks the horizon for quick iteration.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "fleet/fleet.h"
+#include "fleet/fleet_log.h"
+
+namespace sinan {
+namespace {
+
+struct SweepRow {
+    int clusters = 0;
+    int64_t intervals_per_cluster = 0;
+    double serial_s = 0.0;
+    double threaded_s = 0.0;
+    double speedup = 0.0;
+    /** Cluster-intervals per second of the threaded run. */
+    double intervals_per_s = 0.0;
+    FleetDecideStats decide;
+    bool trace_identical = false;
+};
+
+FleetConfig
+SweepConfig(int clusters, double duration_s)
+{
+    FleetConfig cfg;
+    cfg.n_clusters = clusters;
+    cfg.default_manager = "sinan";
+    cfg.duration_s = duration_s;
+    cfg.warmup_s = 3.0;
+    cfg.seed = 7;
+    // A little per-shard spice: one faulted shard and one baseline
+    // shard per 16 so the sweep also covers the degraded and
+    // non-model decision paths at scale.
+    for (int k = 12; k < clusters; k += 16) {
+        ShardOverride fault;
+        fault.index = k;
+        fault.faults_set = true;
+        fault.faults = "stall@4+2:tier=1;drop@8";
+        cfg.overrides.push_back(fault);
+    }
+    for (int k = 5; k < clusters; k += 16) {
+        ShardOverride cons;
+        cons.index = k;
+        cons.manager = "cons";
+        cfg.overrides.push_back(cons);
+    }
+    return cfg;
+}
+
+struct TimedRun {
+    double wall_s = 0.0;
+    std::string trace;
+    FleetResult result;
+};
+
+TimedRun
+RunAtThreads(const FleetConfig& cfg, const FleetModels& models,
+             int threads)
+{
+    SetNumThreads(threads);
+    TimedRun out;
+    const auto t0 = std::chrono::steady_clock::now();
+    out.result = RunFleet(cfg, models);
+    out.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    out.trace = FleetTraceToCsv(out.result);
+    SetNumThreads(0);
+    return out;
+}
+
+void
+WriteFleetBenchJson(const std::string& path, double duration_s,
+                    int threads, const std::vector<SweepRow>& rows)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    out << "{\n  \"bench\": \"fleet_scale\",\n";
+    out << "  \"duration_s\": " << duration_s << ",\n";
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"sweep\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow& r = rows[i];
+        out << "    {\"clusters\": " << r.clusters
+            << ", \"intervals_per_cluster\": "
+            << r.intervals_per_cluster
+            << ", \"serial_s\": " << r.serial_s
+            << ", \"threaded_s\": " << r.threaded_s
+            << ", \"speedup\": " << r.speedup
+            << ", \"intervals_per_s\": " << r.intervals_per_s
+            << ", \"trace_identical\": "
+            << (r.trace_identical ? "true" : "false")
+            << ",\n     \"decide_ms\": {\"mean\": " << r.decide.mean_ms
+            << ", \"p50\": " << r.decide.p50_ms
+            << ", \"p95\": " << r.decide.p95_ms
+            << ", \"p99\": " << r.decide.p99_ms
+            << ", \"max\": " << r.decide.max_ms << "}}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::ofstream f(path, std::ios::binary);
+    f << out.str();
+}
+
+bool
+CheckSweep(const std::vector<SweepRow>& rows)
+{
+    bool ok = true;
+    for (const SweepRow& r : rows) {
+        if (!r.trace_identical) {
+            std::printf("FAIL: %d clusters: serial and 8-thread fleet "
+                        "traces differ\n",
+                        r.clusters);
+            ok = false;
+        }
+    }
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores < 4) {
+        std::printf("NOTE: %u hardware thread(s); skipping the speedup "
+                    "gate (needs >= 4 cores to be meaningful)\n",
+                    cores);
+    } else if (!rows.empty()) {
+        constexpr double kMinSpeedup = 1.5;
+        const SweepRow& largest = rows.back();
+        if (largest.speedup < kMinSpeedup) {
+            std::printf("FAIL: %d clusters: %.2fx speedup at 8 threads "
+                        "(need >= %.1fx)\n",
+                        largest.clusters, largest.speedup, kMinSpeedup);
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("PASS: traces byte-identical at every fleet size\n");
+    return ok;
+}
+
+int
+Run()
+{
+    bench::PrintHeader("Fleet-scale sharded simulation throughput",
+                       "fleet harness, src/fleet");
+
+    const TrainedSinan hotel = bench::GetTrainedSinan(
+        BuildHotelReservation(), bench::HotelPipeline(), "hotel");
+    const TrainedSinan social = bench::GetTrainedSinan(
+        BuildSocialNetwork(), bench::SocialPipeline(), "social");
+    FleetModels models;
+    models.hotel = hotel.model.get();
+    models.social = social.model.get();
+
+    const double duration_s = bench::FastMode() ? 8.0 : 30.0;
+    const std::vector<int> fleet_sizes = {1, 8, 32, 100};
+    const int threads = 8;
+
+    std::printf("%9s %10s %11s %9s %13s %10s\n", "clusters", "serial_s",
+                "8thread_s", "speedup", "intervals/s", "decide_p99");
+    std::vector<SweepRow> rows;
+    for (int clusters : fleet_sizes) {
+        const FleetConfig cfg = SweepConfig(clusters, duration_s);
+        const TimedRun serial = RunAtThreads(cfg, models, 1);
+        const TimedRun threaded = RunAtThreads(cfg, models, threads);
+
+        SweepRow row;
+        row.clusters = clusters;
+        row.intervals_per_cluster =
+            serial.result.timeline.empty()
+                ? 0
+                : static_cast<int64_t>(serial.result.timeline.size());
+        row.serial_s = serial.wall_s;
+        row.threaded_s = threaded.wall_s;
+        row.speedup =
+            threaded.wall_s > 0.0 ? serial.wall_s / threaded.wall_s : 0.0;
+        row.intervals_per_s = threaded.result.shard_intervals_per_s;
+        row.decide = threaded.result.decide;
+        row.trace_identical = serial.trace == threaded.trace;
+        rows.push_back(row);
+
+        std::printf("%9d %10.3f %11.3f %8.2fx %13.0f %9.3fms\n",
+                    clusters, row.serial_s, row.threaded_s, row.speedup,
+                    row.intervals_per_s, row.decide.p99_ms);
+    }
+
+    WriteFleetBenchJson("BENCH_fleet.json", duration_s, threads, rows);
+    std::printf("\nWrote BENCH_fleet.json\n");
+
+    const char* check = std::getenv("SINAN_BENCH_CHECK");
+    if (check != nullptr && std::string(check) == "1" &&
+        !CheckSweep(rows))
+        return 1;
+    return 0;
+}
+
+} // namespace
+} // namespace sinan
+
+int
+main()
+{
+    return sinan::Run();
+}

@@ -1,0 +1,402 @@
+#include "cli/sim_cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+#include "app/apps.h"
+#include "common/thread_pool.h"
+#include "fleet/fleet_log.h"
+#include "harness/harness.h"
+
+namespace sinan {
+
+namespace {
+
+/** Strict numeric parsers: the whole argument must be consumed.
+ *  (std::atof-style parsing turned typos like `--users 2oo` into 2 —
+ *  or 0 — and silently ran the wrong experiment.) */
+double
+ParseDoubleArg(const char* flag, const std::string& v)
+{
+    char* end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (v.empty() || end != v.c_str() + v.size())
+        SimUsage((std::string(flag) + " expects a number, got '" + v +
+                  "'")
+                     .c_str());
+    return out;
+}
+
+int
+ParseIntArg(const char* flag, const std::string& v)
+{
+    char* end = nullptr;
+    const long out = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || end != v.c_str() + v.size())
+        SimUsage((std::string(flag) + " expects an integer, got '" + v +
+                  "'")
+                     .c_str());
+    return static_cast<int>(out);
+}
+
+uint64_t
+ParseU64Arg(const char* flag, const std::string& v)
+{
+    char* end = nullptr;
+    const unsigned long long out = std::strtoull(v.c_str(), &end, 10);
+    // strtoull silently wraps negatives; the strict convention rejects.
+    if (v.empty() || v[0] == '-' || end != v.c_str() + v.size())
+        SimUsage((std::string(flag) +
+                  " expects an unsigned integer, got '" + v + "'")
+                     .c_str());
+    return out;
+}
+
+[[noreturn]] void
+ListChaosScenarios()
+{
+    std::printf("named chaos scenarios (--faults chaos:NAME):\n");
+    for (const ChaosScenario& s : ChaosScenarios()) {
+        std::printf("  %-18s %-40s %s\n", s.name.c_str(),
+                    s.spec.c_str(), s.description.c_str());
+    }
+    std::exit(0);
+}
+
+bool
+KnownManagerName(const std::string& m)
+{
+    return m == "sinan" || m == "opt" || m == "cons" ||
+           m == "powerchief" || m == "hold";
+}
+
+/** Trains the Sinan pipeline for one app kind with the CLI's
+ *  collection/epoch knobs (shared by single-run and fleet mode). */
+std::unique_ptr<TrainedSinan>
+TrainForCli(const Application& app, bool hotel, const SimOptions& opt)
+{
+    std::printf("training Sinan for %s (%.0f s collection, %d "
+                "epochs)...\n",
+                app.name.c_str(), opt.collect_s, opt.epochs);
+    PipelineConfig pcfg;
+    pcfg.collect_s = opt.collect_s;
+    pcfg.users_min = hotel ? 500.0 : 50.0;
+    pcfg.users_max = hotel ? 3700.0 : 450.0;
+    pcfg.hybrid = DefaultHybridConfig();
+    pcfg.hybrid.train.epochs = opt.epochs;
+    pcfg.seed = opt.seed;
+    auto trained =
+        std::make_unique<TrainedSinan>(TrainSinanForApp(app, pcfg));
+    std::printf("CNN val RMSE %.1f ms, BT val acc %.1f%%\n",
+                trained->report.cnn.val_rmse_ms,
+                100.0 * trained->report.bt_val_accuracy);
+    return trained;
+}
+
+} // namespace
+
+[[noreturn]] void
+SimUsage(const char* msg)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n", msg);
+    std::fprintf(
+        stderr,
+        "usage: sinan_sim [--app hotel|social]\n"
+        "                 [--manager sinan|opt|cons|powerchief|hold]\n"
+        "                 [--users N | --diurnal LO:HI:PERIOD]\n"
+        "                 [--duration S] [--warmup S] [--seed N]\n"
+        "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
+        "                 [--log FILE] [--threads N]\n"
+        "                 [--decision-log FILE] [--metrics FILE]\n"
+        "                 [--faults SPEC]\n"
+        "                 [--fleet N] [--fleet-shard K:key=val[,...]]\n"
+        "                 [--fleet-log FILE] [--fleet-report FILE]\n"
+        "\n"
+        "  --faults accepts 'kind@start[+dur][:tier=N,mag=X]' events\n"
+        "  joined with ';' (kinds: stall caploss spike steal drop delay\n"
+        "  nan), a named scenario 'chaos:NAME', or 'list' to print the\n"
+        "  scenario catalog and exit.\n"
+        "\n"
+        "  --fleet N steps N clusters concurrently under one fleet\n"
+        "  manager; --app/--manager/--users become fleet-wide shard\n"
+        "  defaults. --fleet-shard overrides one shard with keys app,\n"
+        "  manager, users, seed, faults (faults last: its value runs to\n"
+        "  the end of the override). Single-run flags (--diurnal, --mix,\n"
+        "  --log, --decision-log, --metrics, --faults) are rejected in\n"
+        "  fleet mode; use --fleet-log (per-interval trace CSV) and\n"
+        "  --fleet-report (summary, '.json' selects JSON) instead.\n");
+    std::exit(2);
+}
+
+SimOptions
+ParseSimArgs(int argc, const char* const* argv)
+{
+    SimOptions opt;
+    // Accept both `--flag value` and `--flag=value`.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const size_t eq = a.find('=');
+        if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    const size_t n = args.size();
+    auto need = [&](size_t i) -> const std::string& {
+        if (i + 1 >= n)
+            SimUsage(("missing value for " + args[i]).c_str());
+        return args[i + 1];
+    };
+    for (size_t i = 0; i < n; ++i) {
+        const std::string& a = args[i];
+        if (a == "--app") {
+            opt.app = need(i++);
+            opt.app_set = true;
+        } else if (a == "--manager") {
+            opt.manager = need(i++);
+            opt.manager_set = true;
+        } else if (a == "--users") {
+            opt.users = ParseDoubleArg("--users", need(i++));
+            opt.users_set = true;
+        } else if (a == "--diurnal") {
+            opt.diurnal = true;
+            const std::string v = need(i++);
+            char lo[64], hi[64], period[64];
+            if (std::sscanf(v.c_str(), "%63[^:]:%63[^:]:%63s", lo, hi,
+                            period) != 3) {
+                SimUsage("--diurnal expects LO:HI:PERIOD");
+            }
+            opt.diurnal_low = ParseDoubleArg("--diurnal LO", lo);
+            opt.diurnal_high = ParseDoubleArg("--diurnal HI", hi);
+            opt.diurnal_period =
+                ParseDoubleArg("--diurnal PERIOD", period);
+        } else if (a == "--duration") {
+            opt.duration_s = ParseDoubleArg("--duration", need(i++));
+        } else if (a == "--warmup") {
+            opt.warmup_s = ParseDoubleArg("--warmup", need(i++));
+        } else if (a == "--seed") {
+            opt.seed = ParseU64Arg("--seed", need(i++));
+        } else if (a == "--collect") {
+            opt.collect_s = ParseDoubleArg("--collect", need(i++));
+        } else if (a == "--epochs") {
+            opt.epochs = ParseIntArg("--epochs", need(i++));
+        } else if (a == "--mix") {
+            const std::string v = need(i++);
+            const char* p = v.c_str();
+            char* end = nullptr;
+            while (*p) {
+                const double w = std::strtod(p, &end);
+                if (end == p)
+                    SimUsage(("--mix expects numbers, got '" + v + "'")
+                                 .c_str());
+                opt.mix_weights.push_back(w);
+                p = *end == ',' ? end + 1 : end;
+            }
+            if (opt.mix_weights.empty())
+                SimUsage("--mix expects at least one weight");
+        } else if (a == "--log") {
+            opt.log_path = need(i++);
+        } else if (a == "--decision-log") {
+            opt.decision_log_path = need(i++);
+        } else if (a == "--metrics") {
+            opt.metrics_path = need(i++);
+        } else if (a == "--threads") {
+            opt.threads = ParseIntArg("--threads", need(i++));
+            if (opt.threads < 0)
+                SimUsage("--threads must be >= 0");
+        } else if (a == "--faults") {
+            const std::string spec = need(i++);
+            if (spec == "list")
+                ListChaosScenarios();
+            try {
+                opt.faults = ParseFaultSpec(spec);
+                opt.faults_set = true;
+            } catch (const std::exception& e) {
+                SimUsage(e.what());
+            }
+        } else if (a == "--fleet") {
+            opt.fleet = ParseIntArg("--fleet", need(i++));
+            if (opt.fleet < 1)
+                SimUsage("--fleet must be >= 1");
+        } else if (a == "--fleet-shard") {
+            try {
+                opt.fleet_shards.push_back(
+                    ParseShardOverride(need(i++)));
+            } catch (const std::exception& e) {
+                SimUsage(e.what());
+            }
+        } else if (a == "--fleet-log") {
+            opt.fleet_log_path = need(i++);
+        } else if (a == "--fleet-report") {
+            opt.fleet_report_path = need(i++);
+        } else if (a == "--help" || a == "-h") {
+            SimUsage(nullptr);
+        } else {
+            SimUsage(("unknown flag " + a).c_str());
+        }
+    }
+    if (opt.app != "hotel" && opt.app != "social")
+        SimUsage("--app must be hotel or social");
+    if (!KnownManagerName(opt.manager))
+        SimUsage(("unknown --manager " + opt.manager).c_str());
+    if (opt.users_set && opt.diurnal)
+        SimUsage("--users and --diurnal are mutually exclusive");
+    if (opt.duration_s <= 0 || opt.users <= 0)
+        SimUsage("durations and users must be positive");
+    if (opt.diurnal &&
+        (opt.diurnal_low <= 0 || opt.diurnal_high < opt.diurnal_low ||
+         opt.diurnal_period <= 0))
+        SimUsage("--diurnal expects 0 < LO <= HI and PERIOD > 0");
+    if (opt.warmup_s < 0)
+        SimUsage("--warmup must be >= 0");
+    if (opt.epochs <= 0)
+        SimUsage("--epochs must be > 0");
+    if (opt.collect_s <= 0)
+        SimUsage("--collect must be > 0");
+
+    if (opt.fleet == 0) {
+        if (!opt.fleet_shards.empty())
+            SimUsage("--fleet-shard requires --fleet");
+        if (!opt.fleet_log_path.empty() ||
+            !opt.fleet_report_path.empty())
+            SimUsage("--fleet-log and --fleet-report require --fleet");
+        if (opt.faults_set) {
+            // Validate tier targets against the selected app now so a
+            // bad spec exits 2 instead of throwing mid-run.
+            const Application app = opt.app == "hotel"
+                                        ? BuildHotelReservation()
+                                        : BuildSocialNetwork();
+            try {
+                ValidateFaultSchedule(
+                    opt.faults, static_cast<int>(app.tiers.size()));
+            } catch (const std::exception& e) {
+                SimUsage(e.what());
+            }
+        }
+    } else {
+        if (opt.diurnal)
+            SimUsage("--diurnal is a single-run flag; fleet shards use "
+                     "constant per-shard loads (--fleet-shard "
+                     "K:users=N)");
+        if (!opt.mix_weights.empty())
+            SimUsage("--mix is a single-run flag and has no fleet "
+                     "equivalent yet");
+        if (!opt.log_path.empty() || !opt.decision_log_path.empty() ||
+            !opt.metrics_path.empty())
+            SimUsage("--log/--decision-log/--metrics are single-run "
+                     "flags; use --fleet-log / --fleet-report");
+        if (opt.faults_set)
+            SimUsage("--faults is a single-run flag; use --fleet-shard "
+                     "K:faults=SPEC for per-shard faults");
+        // Resolve now so a bad shard override (index out of range,
+        // duplicate index, malformed fault spec) exits 2 here rather
+        // than throwing mid-run.
+        try {
+            ResolveFleetShards(BuildFleetConfig(opt));
+        } catch (const std::exception& e) {
+            SimUsage(e.what());
+        }
+    }
+    return opt;
+}
+
+FleetConfig
+BuildFleetConfig(const SimOptions& opt)
+{
+    FleetConfig cfg;
+    cfg.n_clusters = opt.fleet;
+    cfg.default_app = opt.app_set ? opt.app : "";
+    cfg.default_manager = opt.manager_set ? opt.manager : "sinan";
+    cfg.default_users = opt.users_set ? opt.users : 0.0;
+    cfg.overrides = opt.fleet_shards;
+    cfg.duration_s = opt.duration_s;
+    cfg.warmup_s = opt.warmup_s;
+    cfg.seed = opt.seed;
+    return cfg;
+}
+
+int
+RunFleetMode(const SimOptions& opt)
+{
+    const FleetConfig cfg = BuildFleetConfig(opt);
+    const std::vector<ShardSpec> specs = ResolveFleetShards(cfg);
+
+    bool sinan_hotel = false, sinan_social = false;
+    for (const ShardSpec& spec : specs) {
+        if (spec.manager != "sinan")
+            continue;
+        (spec.app == "hotel" ? sinan_hotel : sinan_social) = true;
+    }
+
+    std::unique_ptr<TrainedSinan> hotel_trained, social_trained;
+    FleetModels models;
+    if (sinan_hotel) {
+        hotel_trained =
+            TrainForCli(BuildHotelReservation(), true, opt);
+        models.hotel = hotel_trained->model.get();
+    }
+    if (sinan_social) {
+        social_trained =
+            TrainForCli(BuildSocialNetwork(), false, opt);
+        models.social = social_trained->model.get();
+    }
+
+    FleetManager fleet(cfg, models);
+    const FleetResult r = fleet.Run();
+
+    std::printf("\nfleet of %d clusters for %.0f s (%d threads):\n",
+                cfg.n_clusters, cfg.duration_s, r.threads);
+    for (const FleetClusterResult& c : r.clusters) {
+        std::printf("  [%3d] %-6s %-10s users %6.0f  P(QoS) %.3f  "
+                    "cpu %6.1f/%6.1f  p99 %7.1f ms",
+                    c.spec.index, c.spec.app.c_str(),
+                    c.spec.manager.c_str(), c.spec.users,
+                    c.result.qos_meet_prob, c.result.mean_cpu,
+                    c.result.max_cpu, c.result.mean_p99_ms);
+        if (!c.spec.faults.empty()) {
+            if (c.recovery_intervals < 0)
+                std::printf("  faults: unrecovered");
+            else
+                std::printf("  faults: recovered +%d",
+                            c.recovery_intervals);
+        }
+        std::printf("\n");
+    }
+    std::printf("  fleet P(meet QoS) : %.3f (%llu violations / %llu "
+                "cluster-intervals)\n",
+                r.qos_meet_prob,
+                static_cast<unsigned long long>(
+                    r.violation_cluster_intervals),
+                static_cast<unsigned long long>(
+                    r.measured_cluster_intervals));
+    std::printf("  fleet CPU         : %.1f mean / %.1f max cores\n",
+                r.mean_total_cpu, r.max_total_cpu);
+    std::printf("  decide latency    : %.2f ms mean, %.2f p50, "
+                "%.2f p95, %.2f p99, %.2f max\n",
+                r.decide.mean_ms, r.decide.p50_ms, r.decide.p95_ms,
+                r.decide.p99_ms, r.decide.max_ms);
+    std::printf("  throughput        : %.0f shard-intervals/s "
+                "(wall %.2f s, %d model clones)\n",
+                r.shard_intervals_per_s, r.wall_s, r.model_clones);
+
+    if (!opt.fleet_log_path.empty()) {
+        WriteFleetTrace(opt.fleet_log_path, r);
+        std::printf("  fleet trace       : %s\n",
+                    opt.fleet_log_path.c_str());
+    }
+    if (!opt.fleet_report_path.empty()) {
+        WriteFleetReport(opt.fleet_report_path, r);
+        std::printf("  fleet report      : %s\n",
+                    opt.fleet_report_path.c_str());
+    }
+    return 0;
+}
+
+} // namespace sinan

@@ -32,7 +32,7 @@ ProbabilityBounds()
 
 SinanScheduler::SinanScheduler(HybridModel& model,
                                const SchedulerConfig& cfg)
-    : model_(model), cfg_(cfg), window_(model.Features()),
+    : model_(&model), cfg_(cfg), window_(model.Features()),
       guard_(model.Features().n_tiers)
 {
 }
@@ -218,7 +218,7 @@ SinanScheduler::DecideFresh(const IntervalObservation& obs,
                             const std::vector<double>& alloc,
                             const Application& app)
 {
-    const double qos = model_.Features().qos_ms;
+    const double qos = model_->Features().qos_ms;
     const int n = static_cast<int>(alloc.size());
 
     // ---- analysis phase ----------------------------------------------
@@ -387,7 +387,7 @@ SinanScheduler::DecideFresh(const IntervalObservation& obs,
     for (size_t i = 0; i < cands.size(); ++i)
         eval_allocs_[i] = cands[i].alloc;
     const std::vector<Prediction> preds =
-        model_.Evaluate(next_window, eval_allocs_);
+        model_->Evaluate(next_window, eval_allocs_);
     SINAN_CHECK_EQ(preds.size(), cands.size());
     for (const Prediction& p : preds) {
         // A NaN prediction would silently poison every margin
@@ -400,7 +400,7 @@ SinanScheduler::DecideFresh(const IntervalObservation& obs,
 
     // Reduced trust makes the latency margin twice as conservative.
     const double margin =
-        std::min(model_.ValRmseSubQosMs(), cfg_.margin_cap_frac * qos) *
+        std::min(model_->ValRmseSubQosMs(), cfg_.margin_cap_frac * qos) *
         (trust_reduced ? 2.0 : 1.0);
 
     // Hysteresis: only reclaim after a streak of comfortable intervals.
@@ -535,7 +535,7 @@ SinanScheduler::DecideDegraded(TelemetryHealth health,
                                const std::vector<double>& alloc,
                                const Application& app)
 {
-    const double qos = model_.Features().qos_ms;
+    const double qos = model_->Features().qos_ms;
     const int n = static_cast<int>(alloc.size());
     // Including this interval; the guard advances in commit().
     const int silent = guard_.SilentIntervals() + 1;
@@ -622,13 +622,13 @@ SinanScheduler::DecideDegraded(TelemetryHealth health,
         for (size_t i = 0; i < cands.size(); ++i)
             eval_allocs_[i] = cands[i].alloc;
         const std::vector<Prediction> preds =
-            model_.Evaluate(window_, eval_allocs_);
+            model_->Evaluate(window_, eval_allocs_);
         SINAN_CHECK_EQ(preds.size(), cands.size());
         for (const Prediction& p : preds) {
             SINAN_CHECK_FINITE(p.P99());
             SINAN_CHECK_BOUNDS(p.p_violation, 0.0, 1.0);
         }
-        const double margin = std::min(model_.ValRmseSubQosMs(),
+        const double margin = std::min(model_->ValRmseSubQosMs(),
                                        cfg_.margin_cap_frac * qos) *
                               (trust_reduced_ ? 2.0 : 1.0);
 

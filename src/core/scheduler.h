@@ -106,6 +106,17 @@ class SinanScheduler : public ResourceManager {
     int SilentIntervals() const { return guard_.SilentIntervals(); }
 
     /**
+     * Swaps the hybrid model consulted by subsequent Decide() calls.
+     * The replacement must be weight-identical to the original (a
+     * Clone()) — the fleet harness rebinds each shard's scheduler to a
+     * per-worker clone for the duration of one batched decision, so
+     * concurrent shards never share Evaluate() workspaces. Decisions
+     * are unaffected because Evaluate() output depends only on the
+     * weights and inputs, never on workspace residue.
+     */
+    void RebindModel(HybridModel& model) { model_ = &model; }
+
+    /**
      * Attaches per-decision telemetry sinks: every Decide() appends
      * one DecisionTraceEntry (candidates, rejection reasons, trust
      * state) and updates the `sinan.scheduler.*` counters/histograms.
@@ -162,7 +173,8 @@ class SinanScheduler : public ResourceManager {
                                  const Application& app,
                                  bool aggressive) const;
 
-    HybridModel& model_;
+    /** Never null; rebindable (see RebindModel). */
+    HybridModel* model_;
     SchedulerConfig cfg_;
     MetricWindow window_;
     TelemetryGuard guard_;

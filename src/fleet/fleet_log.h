@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Serializers for fleet runs, in the style of harness/telemetry_log.h:
+ *
+ *  - FleetTraceToCsv: the deterministic per-interval, per-cluster fleet
+ *    trace (interval-major, cluster-minor in fixed shard order). This
+ *    is the byte-identity surface of the fleet determinism contract —
+ *    it contains no wall-clock measurement and must be identical at any
+ *    thread count.
+ *  - FleetSummaryToCsv / FleetSummaryToJson: per-cluster and fleet-wide
+ *    aggregates. The JSON form optionally appends the wall-clock timing
+ *    section (decision-latency percentiles, throughput), which is
+ *    machine-dependent and therefore excluded when comparing bytes.
+ */
+#ifndef SINAN_FLEET_FLEET_LOG_H
+#define SINAN_FLEET_FLEET_LOG_H
+
+#include <string>
+
+#include "fleet/fleet.h"
+
+namespace sinan {
+
+/** Deterministic per-cluster, per-interval fleet trace as CSV. */
+std::string FleetTraceToCsv(const FleetResult& result);
+
+/** Per-cluster summary rows + a fleet-wide footer row as CSV. */
+std::string FleetSummaryToCsv(const FleetResult& result);
+
+/**
+ * Fleet report as JSON: per-cluster aggregates, fleet-wide aggregates,
+ * and — when @p include_timing — the wall-clock section (threads,
+ * throughput, decision-latency percentiles). Tests compare bytes with
+ * include_timing=false.
+ */
+std::string FleetSummaryToJson(const FleetResult& result,
+                               bool include_timing = true);
+
+/** Writes the deterministic fleet trace CSV (parents created). */
+void WriteFleetTrace(const std::string& path, const FleetResult& result);
+
+/** Writes the fleet report: ".json" suffix selects JSON (with timing),
+ *  anything else the summary CSV. */
+void WriteFleetReport(const std::string& path,
+                      const FleetResult& result);
+
+} // namespace sinan
+
+#endif // SINAN_FLEET_FLEET_LOG_H

@@ -1,111 +1,159 @@
 #include "harness/harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "collect/bandit.h"
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace sinan {
 
-RunResult
-RunManaged(const Application& app, ResourceManager& manager,
-           const LoadShape& load, const RunConfig& cfg)
+ManagedRun::ManagedRun(const Application& app, ResourceManager& manager,
+                       const LoadShape& load, const RunConfig& cfg)
+    : app_(app), manager_(manager), cfg_(cfg), sim_(cfg.sim),
+      cluster_(app, cfg.cluster, cfg.seed),
+      gen_(cluster_, load, cfg.seed ^ 0xfeed, 1.0, cfg.bursts)
 {
-    Simulator sim(cfg.sim);
-    Cluster cluster(app, cfg.cluster, cfg.seed);
-    WorkloadGenerator gen(cluster, load, cfg.seed ^ 0xfeed, 1.0,
-                          cfg.bursts);
+    // Intervals completed within the configured duration; trailing
+    // ticks shorter than a full interval produce no record (exactly
+    // the intervals a single RunFor(duration_s) would report).
+    const int64_t total_ticks = static_cast<int64_t>(
+        std::llround(cfg.duration_s / cfg.sim.tick_s));
+    const int64_t ticks_per_interval = static_cast<int64_t>(
+        std::llround(cfg.sim.interval_s / cfg.sim.tick_s));
+    total_intervals_ = total_ticks / std::max<int64_t>(
+        ticks_per_interval, 1);
 
-    manager.Reset();
-    RunResult result;
-    manager.AttachTelemetry(&result.decision_trace, &result.metrics);
+    manager_.Reset();
+    manager_.AttachTelemetry(&result_.decision_trace,
+                             &result_.metrics);
 
     // Deterministic fault injection (see sim/fault_injector.h). The
     // injector perturbs the cluster before each interval starts and
     // corrupts only the manager's copy of the harvested observation;
-    // IntervalRecord and the QoS accounting below always see the truth.
-    std::unique_ptr<FaultInjector> injector;
-    IntervalObservation last_delivered;
-    bool have_delivered = false;
+    // IntervalRecord and the QoS accounting always see the truth.
     if (!cfg.faults.Empty()) {
         ValidateFaultSchedule(cfg.faults,
                               static_cast<int>(app.tiers.size()));
-        injector = std::make_unique<FaultInjector>(cfg.faults,
-                                                   cfg.sim.interval_s);
-        injector->AttachMetrics(&result.metrics);
-        injector->ApplyClusterFaults(0, 0.0, cluster);
+        injector_ = std::make_unique<FaultInjector>(
+            cfg.faults, cfg.sim.interval_s);
+        injector_->AttachMetrics(&result_.metrics);
+        injector_->ApplyClusterFaults(0, 0.0, cluster_);
     }
 
-    sim.AddTickable([&](double now, double dt) { gen.Tick(now, dt); });
-    sim.AddTickable([&](double now, double dt) { cluster.Tick(now, dt); });
-    sim.AddIntervalListener([&](int64_t interval, double now) {
-        const std::vector<double> alloc = cluster.Allocation();
-        const IntervalObservation obs =
-            cluster.Harvest(now, cfg.sim.interval_s);
+    sim_.AddTickable(
+        [this](double now, double dt) { gen_.Tick(now, dt); });
+    sim_.AddTickable(
+        [this](double now, double dt) { cluster_.Tick(now, dt); });
+}
 
-        IntervalRecord rec;
-        rec.time_s = now;
-        rec.rps = obs.rps;
-        rec.p99_ms = obs.P99();
-        rec.total_cpu = obs.TotalCpuLimit();
-        rec.alloc = alloc;
+void
+ManagedRun::AdvanceInterval()
+{
+    SINAN_CHECK_MSG(!pending_, "ManagedRun: AdvanceInterval called "
+                                "twice without DecideAndApply");
+    SINAN_CHECK_MSG(!Done() && !finished_,
+                    "ManagedRun: AdvanceInterval on a finished run");
+    sim_.RunFor(cfg_.sim.interval_s);
+    const double now = sim_.Now();
+    const int64_t interval = intervals_done_;
 
-        IntervalObservation managed = obs;
-        if (injector) {
-            switch (injector->FilterTelemetry(interval, managed)) {
-            case TelemetryFate::kDeliver:
-                last_delivered = managed;
-                have_delivered = true;
-                break;
-            case TelemetryFate::kDrop:
-                // Blank observation: no tiers, no percentiles — the
-                // scheduler's guard classifies it as absent.
-                managed = IntervalObservation{};
-                managed.time_s = now;
-                break;
-            case TelemetryFate::kDelay:
-                // The pipeline redelivers the newest already-delivered
-                // observation (stale), or nothing at all if the outage
-                // started before anything got through.
-                if (have_delivered) {
-                    managed = last_delivered;
-                } else {
-                    managed = IntervalObservation{};
-                    managed.time_s = now;
-                }
-                break;
+    const std::vector<double> alloc = cluster_.Allocation();
+    const IntervalObservation obs =
+        cluster_.Harvest(now, cfg_.sim.interval_s);
+
+    pending_rec_ = IntervalRecord{};
+    pending_rec_.time_s = now;
+    pending_rec_.rps = obs.rps;
+    pending_rec_.p99_ms = obs.P99();
+    pending_rec_.total_cpu = obs.TotalCpuLimit();
+    pending_rec_.alloc = alloc;
+
+    pending_managed_ = obs;
+    if (injector_) {
+        switch (injector_->FilterTelemetry(interval, pending_managed_)) {
+        case TelemetryFate::kDeliver:
+            last_delivered_ = pending_managed_;
+            have_delivered_ = true;
+            break;
+        case TelemetryFate::kDrop:
+            // Blank observation: no tiers, no percentiles — the
+            // scheduler's guard classifies it as absent.
+            pending_managed_ = IntervalObservation{};
+            pending_managed_.time_s = now;
+            break;
+        case TelemetryFate::kDelay:
+            // The pipeline redelivers the newest already-delivered
+            // observation (stale), or nothing at all if the outage
+            // started before anything got through.
+            if (have_delivered_) {
+                pending_managed_ = last_delivered_;
+            } else {
+                pending_managed_ = IntervalObservation{};
+                pending_managed_.time_s = now;
             }
+            break;
         }
+    }
+    pending_now_ = now;
+    pending_ = true;
+}
 
-        const size_t traced = result.decision_trace.intervals.size();
-        const std::vector<double> next =
-            manager.Decide(managed, alloc, app);
-        cluster.SetAllocation(next);
-        if (injector)
-            injector->ApplyClusterFaults(interval + 1, now, cluster);
-        // Stamp the simulation time onto whatever the manager traced
-        // for this decision (the scheduler has no notion of time).
-        for (size_t i = traced;
-             i < result.decision_trace.intervals.size(); ++i)
-            result.decision_trace.intervals[i].time_s = now;
-        rec.predicted_p99_ms = manager.LastPredictedP99();
-        rec.predicted_violation = manager.LastViolationProb();
-        result.timeline.push_back(std::move(rec));
-    });
+void
+ManagedRun::DecideAndApply()
+{
+    SINAN_CHECK_MSG(pending_,
+                    "ManagedRun: DecideAndApply without "
+                    "AdvanceInterval");
+    const double now = pending_now_;
+    const int64_t interval = intervals_done_;
 
-    sim.RunFor(cfg.duration_s);
+    const size_t traced = result_.decision_trace.intervals.size();
+    const std::vector<double> next =
+        manager_.Decide(pending_managed_, pending_rec_.alloc, app_);
+    cluster_.SetAllocation(next);
+    if (injector_)
+        injector_->ApplyClusterFaults(interval + 1, now, cluster_);
+    // Stamp the simulation time onto whatever the manager traced
+    // for this decision (the scheduler has no notion of time).
+    for (size_t i = traced;
+         i < result_.decision_trace.intervals.size(); ++i)
+        result_.decision_trace.intervals[i].time_s = now;
+    pending_rec_.predicted_p99_ms = manager_.LastPredictedP99();
+    pending_rec_.predicted_violation = manager_.LastViolationProb();
+    result_.timeline.push_back(std::move(pending_rec_));
+    pending_ = false;
+    ++intervals_done_;
+}
+
+const IntervalRecord&
+ManagedRun::LastRecord() const
+{
+    SINAN_CHECK_MSG(!result_.timeline.empty(),
+                    "ManagedRun: LastRecord before the first interval");
+    return result_.timeline.back();
+}
+
+RunResult
+ManagedRun::Finish()
+{
+    SINAN_CHECK_MSG(!finished_, "ManagedRun: Finish called twice");
+    finished_ = true;
+    intervals_done_ = total_intervals_;
     // The sinks move with the result; detach before returning.
-    manager.AttachTelemetry(nullptr, nullptr);
+    manager_.AttachTelemetry(nullptr, nullptr);
 
     // Aggregate post-warmup metrics.
+    RunResult result = std::move(result_);
     size_t met = 0, measured = 0;
     double cpu_acc = 0.0, p99_acc = 0.0;
     for (const IntervalRecord& rec : result.timeline) {
-        if (rec.time_s <= cfg.warmup_s)
+        if (rec.time_s <= cfg_.warmup_s)
             continue;
         ++measured;
-        if (rec.p99_ms <= app.qos_ms)
+        if (rec.p99_ms <= app_.qos_ms)
             ++met;
         cpu_acc += rec.total_cpu;
         p99_acc += rec.p99_ms;
@@ -119,6 +167,18 @@ RunManaged(const Application& app, ResourceManager& manager,
         result.mean_p99_ms = p99_acc / static_cast<double>(measured);
     }
     return result;
+}
+
+RunResult
+RunManaged(const Application& app, ResourceManager& manager,
+           const LoadShape& load, const RunConfig& cfg)
+{
+    ManagedRun run(app, manager, load, cfg);
+    while (!run.Done()) {
+        run.AdvanceInterval();
+        run.DecideAndApply();
+    }
+    return run.Finish();
 }
 
 int

@@ -89,6 +89,89 @@ RunResult RunManaged(const Application& app, ResourceManager& manager,
                      const LoadShape& load, const RunConfig& cfg);
 
 /**
+ * One managed run decomposed into externally driven interval steps.
+ *
+ * Each decision interval splits into two phases:
+ *   A. AdvanceInterval() — tick the simulation to the next interval
+ *      boundary and harvest (and fault-filter) the observation;
+ *   B. DecideAndApply()  — run the manager on the pending observation
+ *      and apply the returned allocation (plus next-interval cluster
+ *      faults).
+ *
+ * RunManaged() drives one instance to completion; the fleet harness
+ * (src/fleet) advances many instances concurrently in phase A and
+ * batches phase B under the centralized FleetManager. The per-interval
+ * operation sequence on the run's own state is exactly RunManaged's,
+ * so a cluster stepped inside a fleet produces byte-identical
+ * telemetry to the same configuration run solo.
+ *
+ * Instances are pinned to their construction address (the simulator's
+ * tick callbacks capture member references): neither copyable nor
+ * movable. The application, manager, and load must outlive the run.
+ */
+class ManagedRun {
+  public:
+    ManagedRun(const Application& app, ResourceManager& manager,
+               const LoadShape& load, const RunConfig& cfg);
+
+    ManagedRun(const ManagedRun&) = delete;
+    ManagedRun& operator=(const ManagedRun&) = delete;
+
+    /** Decision intervals the configured duration spans. */
+    int64_t TotalIntervals() const { return total_intervals_; }
+
+    /** Intervals fully processed (both phases). */
+    int64_t IntervalsDone() const { return intervals_done_; }
+
+    bool Done() const { return intervals_done_ >= total_intervals_; }
+
+    /** Phase A (see class comment). Call only while !Done(), and
+     *  never twice without a DecideAndApply() in between. */
+    void AdvanceInterval();
+
+    /** Phase B (see class comment). Must follow AdvanceInterval(). */
+    void DecideAndApply();
+
+    const Application& App() const { return app_; }
+    ResourceManager& Manager() { return manager_; }
+    const RunConfig& Config() const { return cfg_; }
+
+    /** Newest timeline record (valid once an interval completed). */
+    const IntervalRecord& LastRecord() const;
+
+    /**
+     * Detaches the telemetry sinks, aggregates the post-warmup
+     * metrics, and surrenders the result. The run is spent afterwards
+     * (Done() is forced true); call exactly once.
+     */
+    RunResult Finish();
+
+  private:
+    const Application& app_;
+    ResourceManager& manager_;
+    RunConfig cfg_;
+    Simulator sim_;
+    Cluster cluster_;
+    WorkloadGenerator gen_;
+    std::unique_ptr<FaultInjector> injector_;
+
+    RunResult result_;
+    int64_t total_intervals_ = 0;
+    int64_t intervals_done_ = 0;
+    bool pending_ = false;
+    bool finished_ = false;
+
+    /** Phase-A products consumed by phase B. */
+    double pending_now_ = 0.0;
+    IntervalRecord pending_rec_;
+    IntervalObservation pending_managed_;
+
+    /** Telemetry-delay redelivery state (see sim/fault_injector.h). */
+    IntervalObservation last_delivered_;
+    bool have_delivered_ = false;
+};
+
+/**
  * Recovery time after a fault run: intervals past @p fault_end_s until
  * the first measured interval with p99 <= @p qos_ms. 0 means the first
  * post-fault interval already met QoS; -1 means the run never recovered

@@ -1,6 +1,8 @@
 #include "sim/fault_injector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
@@ -182,6 +184,57 @@ ToString(FaultKind kind)
         return "nan";
     }
     return "unknown";
+}
+
+std::string
+FormatFaultEvent(const FaultEvent& event)
+{
+    std::string out = ToString(event.kind);
+    out += '@';
+    out += std::to_string(event.start);
+    if (event.duration != 1) {
+        out += '+';
+        out += std::to_string(event.duration);
+    }
+    std::string params;
+    if (event.tier != -1)
+        params += "tier=" + std::to_string(event.tier);
+    if (event.magnitude != DefaultMagnitude(event.kind)) {
+        if (!params.empty())
+            params += ',';
+        // Shortest representation that strtod parses back exactly;
+        // integral magnitudes get plain form ("250", not "2.5e+02").
+        char buf[40];
+        const double mag = event.magnitude;
+        if (mag == std::floor(mag) && std::fabs(mag) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%.0f", mag);
+        } else {
+            for (int prec = 1; prec <= 17; ++prec) {
+                std::snprintf(buf, sizeof(buf), "%.*g", prec, mag);
+                if (std::strtod(buf, nullptr) == mag)
+                    break;
+            }
+        }
+        params += "mag=";
+        params += buf;
+    }
+    if (!params.empty()) {
+        out += ':';
+        out += params;
+    }
+    return out;
+}
+
+std::string
+FormatFaultSpec(const FaultSchedule& schedule)
+{
+    std::string out;
+    for (const FaultEvent& event : schedule.events) {
+        if (!out.empty())
+            out += ';';
+        out += FormatFaultEvent(event);
+    }
+    return out;
 }
 
 int64_t

@@ -105,6 +105,22 @@ struct FaultSchedule {
 FaultSchedule ParseFaultSpec(const std::string& spec);
 
 /**
+ * Formats one event in the spec grammar, emitting only non-default
+ * fields (duration when != 1, tier when != -1, mag when it differs
+ * from the kind's default) with shortest-round-trip magnitudes, so
+ * ParseFaultSpec(FormatFaultEvent(e)) reproduces @p e exactly.
+ */
+std::string FormatFaultEvent(const FaultEvent& event);
+
+/**
+ * Formats a schedule as a ';'-joined spec string — the inverse of
+ * ParseFaultSpec: parsing the result yields a field-identical
+ * schedule. An empty schedule formats as "" (which ParseFaultSpec
+ * rejects; callers treat "" as "no faults" before parsing).
+ */
+std::string FormatFaultSpec(const FaultSchedule& schedule);
+
+/**
  * Rejects events referencing tiers outside [0, n_tiers). Throws
  * std::invalid_argument; called by the harness before a run starts so
  * a bad spec fails loudly instead of silently perturbing nothing.

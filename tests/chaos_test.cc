@@ -11,12 +11,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "app/apps.h"
 #include "baselines/autoscale.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/scheduler.h"
 #include "harness/harness.h"
@@ -100,6 +102,123 @@ TEST(FaultSpecTest, CatalogHasAtLeastSixParseableScenarios)
         EXPECT_EQ(FindChaosScenario(sc.name)->spec, sc.spec);
     }
     EXPECT_EQ(FindChaosScenario("no-such"), nullptr);
+}
+
+bool
+SameEvent(const FaultEvent& a, const FaultEvent& b)
+{
+    return a.kind == b.kind && a.start == b.start &&
+           a.duration == b.duration && a.tier == b.tier &&
+           a.magnitude == b.magnitude;
+}
+
+bool
+SameSchedule(const FaultSchedule& a, const FaultSchedule& b)
+{
+    if (a.events.size() != b.events.size())
+        return false;
+    for (size_t i = 0; i < a.events.size(); ++i)
+        if (!SameEvent(a.events[i], b.events[i]))
+            return false;
+    return true;
+}
+
+/** One random valid event in the spec grammar (seeded, no std::rand). */
+std::string
+RandomEventSpec(Rng& rng)
+{
+    static const char* kKinds[] = {"stall", "caploss", "spike",
+                                   "steal", "drop",    "delay", "nan"};
+    const std::string kind = kKinds[rng.UniformInt(7u)];
+    std::string spec =
+        kind + "@" + std::to_string(rng.UniformInt(int64_t{0}, 40));
+    if (rng.Bernoulli(0.6))
+        spec += "+" + std::to_string(rng.UniformInt(int64_t{1}, 12));
+    std::vector<std::string> params;
+    if (rng.Bernoulli(0.5))
+        params.push_back(
+            "tier=" + std::to_string(rng.UniformInt(int64_t{-1}, 9)));
+    if (rng.Bernoulli(0.5)) {
+        // Magnitudes valid for every kind: caploss/steal need (0, 1],
+        // spike needs > 0; awkward decimals exercise the formatter's
+        // shortest-round-trip path.
+        const double mag = rng.Uniform(0.05, kind == "spike" ? 900.0
+                                                             : 1.0);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", mag);
+        params.push_back(std::string("mag=") + buf);
+    }
+    for (size_t i = 0; i < params.size(); ++i)
+        spec += (i == 0 ? ":" : ",") + params[i];
+    return spec;
+}
+
+TEST(FaultSpecTest, FormatParsesBackIdenticallyOverSeededCorpus)
+{
+    Rng rng(20260808);
+    for (int round = 0; round < 200; ++round) {
+        const int events = static_cast<int>(rng.UniformInt(1u, 5u));
+        std::string spec;
+        for (int e = 0; e < events; ++e)
+            spec += (e ? ";" : "") + RandomEventSpec(rng);
+        SCOPED_TRACE(spec);
+        const FaultSchedule parsed = ParseFaultSpec(spec);
+        const std::string formatted = FormatFaultSpec(parsed);
+        const FaultSchedule reparsed = ParseFaultSpec(formatted);
+        EXPECT_TRUE(SameSchedule(parsed, reparsed))
+            << "round-trip changed the schedule: '" << formatted << "'";
+        // format is a fixed point: format(parse(format(x))) == format(x)
+        EXPECT_EQ(formatted, FormatFaultSpec(reparsed));
+    }
+}
+
+TEST(FaultSpecTest, FormatEmitsOnlyNonDefaultFields)
+{
+    EXPECT_EQ(FormatFaultSpec(ParseFaultSpec("drop@10")), "drop@10");
+    EXPECT_EQ(FormatFaultSpec(ParseFaultSpec(
+                  "stall@5+3:tier=2;caploss@8+2:tier=0,mag=0.5;"
+                  "spike@4:mag=250")),
+              "stall@5+3:tier=2;caploss@8+2:tier=0;spike@4:mag=250");
+    // caploss mag=0.5 and spike default 500 are kind defaults — elided.
+    EXPECT_EQ(FormatFaultSpec(ParseFaultSpec("spike@4:mag=500")),
+              "spike@4");
+    EXPECT_EQ(FormatFaultSpec(FaultSchedule{}), "");
+    // Named scenarios format to their expanded, reparseable spec.
+    for (const ChaosScenario& sc : ChaosScenarios()) {
+        SCOPED_TRACE(sc.name);
+        const FaultSchedule direct = ParseFaultSpec(sc.spec);
+        EXPECT_TRUE(SameSchedule(
+            direct, ParseFaultSpec(FormatFaultSpec(direct))));
+    }
+}
+
+void
+ExpectSpecError(const std::string& spec, const std::string& needle)
+{
+    try {
+        ParseFaultSpec(spec);
+        FAIL() << "expected ParseFaultSpec to reject '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+}
+
+TEST(FaultSpecTest, MalformedSpecsNameTheOffendingText)
+{
+    ExpectSpecError("bogus@3", "unknown fault kind 'bogus'");
+    ExpectSpecError("drop", "missing '@start'");
+    ExpectSpecError("drop@x", "bad integer 'x'");
+    ExpectSpecError("drop@-1", "start must be >= 0");
+    ExpectSpecError("drop@3+0", "duration must be >= 1");
+    ExpectSpecError("drop@3:frobs=1", "unknown parameter 'frobs'");
+    ExpectSpecError("drop@3:tier", "needs key=value");
+    ExpectSpecError("caploss@3:mag=1.5", "mag must be in (0, 1]");
+    ExpectSpecError("spike@3:mag=-2", "mag must be > 0");
+    ExpectSpecError("stall@2:tier=9999999999999", "tier out of range");
+    ExpectSpecError("chaos:no-such-scenario", "unknown chaos scenario");
+    ExpectSpecError("drop@3;;drop@4", "empty event");
+    ExpectSpecError("", "empty spec");
 }
 
 // ---- cluster fault hooks ---------------------------------------------

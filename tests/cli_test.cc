@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Argv-level contract of the sinan_sim flag surface: every malformed
+ * flag prints usage to stderr and exits 2 (the strict convention from
+ * src/cli/sim_cli.h), `--faults list` prints the chaos catalog and
+ * exits 0, and well-formed invocations populate SimOptions exactly.
+ * Exit behavior is pinned with gtest death tests so a regression to
+ * throwing (or to silently misparsing) fails loudly.
+ */
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "cli/sim_cli.h"
+
+namespace sinan {
+namespace {
+
+/** Runs ParseSimArgs on "sinan_sim <args...>". */
+SimOptions
+Parse(std::initializer_list<const char*> args)
+{
+    std::vector<const char*> argv = {"sinan_sim"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return ParseSimArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+/** Asserts the invocation exits 2 with @p needle on stderr. */
+void
+ExpectUsageExit(std::initializer_list<const char*> args,
+                const std::string& needle)
+{
+    SCOPED_TRACE(needle);
+    EXPECT_EXIT(Parse(args), ::testing::ExitedWithCode(2), needle);
+}
+
+TEST(CliTest, DefaultsWhenNoFlags)
+{
+    const SimOptions opt = Parse({});
+    EXPECT_EQ(opt.app, "social");
+    EXPECT_FALSE(opt.app_set);
+    EXPECT_EQ(opt.manager, "cons");
+    EXPECT_FALSE(opt.manager_set);
+    EXPECT_DOUBLE_EQ(opt.users, 200.0);
+    EXPECT_FALSE(opt.users_set);
+    EXPECT_EQ(opt.fleet, 0);
+    EXPECT_FALSE(opt.faults_set);
+}
+
+TEST(CliTest, ParsesSingleRunFlagsBothSpellings)
+{
+    const SimOptions opt =
+        Parse({"--app", "hotel", "--manager=sinan", "--users=2500",
+               "--duration", "30", "--warmup=5", "--seed", "42",
+               "--threads=4", "--faults", "stall@3+2:tier=1",
+               "--decision-log", "trace.json"});
+    EXPECT_EQ(opt.app, "hotel");
+    EXPECT_TRUE(opt.app_set);
+    EXPECT_EQ(opt.manager, "sinan");
+    EXPECT_DOUBLE_EQ(opt.users, 2500.0);
+    EXPECT_DOUBLE_EQ(opt.duration_s, 30.0);
+    EXPECT_DOUBLE_EQ(opt.warmup_s, 5.0);
+    EXPECT_EQ(opt.seed, 42u);
+    EXPECT_EQ(opt.threads, 4);
+    EXPECT_TRUE(opt.faults_set);
+    ASSERT_EQ(opt.faults.events.size(), 1u);
+    EXPECT_EQ(opt.faults.events[0].start, 3);
+    EXPECT_EQ(opt.faults.events[0].tier, 1);
+    EXPECT_EQ(opt.decision_log_path, "trace.json");
+}
+
+TEST(CliTest, ParsesFleetFlagsAndOverrides)
+{
+    const SimOptions opt =
+        Parse({"--fleet", "32", "--manager", "sinan",
+               "--fleet-shard", "7:app=hotel,users=2500",
+               "--fleet-shard", "12:faults=stall@2+3:tier=1;drop@6",
+               "--fleet-log", "fleet.csv", "--fleet-report",
+               "fleet.json"});
+    EXPECT_EQ(opt.fleet, 32);
+    ASSERT_EQ(opt.fleet_shards.size(), 2u);
+    EXPECT_EQ(opt.fleet_shards[0].index, 7);
+    EXPECT_EQ(opt.fleet_shards[0].app, "hotel");
+    EXPECT_DOUBLE_EQ(opt.fleet_shards[0].users, 2500.0);
+    EXPECT_EQ(opt.fleet_shards[1].index, 12);
+    EXPECT_TRUE(opt.fleet_shards[1].faults_set);
+    EXPECT_EQ(opt.fleet_shards[1].faults,
+              "stall@2+3:tier=1;drop@6");
+    EXPECT_EQ(opt.fleet_log_path, "fleet.csv");
+    EXPECT_EQ(opt.fleet_report_path, "fleet.json");
+
+    // The parsed options resolve into a runnable fleet shape.
+    const std::vector<ShardSpec> shards =
+        ResolveFleetShards(BuildFleetConfig(opt));
+    ASSERT_EQ(shards.size(), 32u);
+    EXPECT_EQ(shards[7].app, "hotel");
+    EXPECT_EQ(shards[12].faults, "stall@2+3:tier=1;drop@6");
+}
+
+TEST(CliDeathTest, MalformedFlagsExitTwo)
+{
+    ExpectUsageExit({"--bogus"}, "unknown flag --bogus");
+    ExpectUsageExit({"--users"}, "missing value for --users");
+    ExpectUsageExit({"--users", "abc"}, "expects a number");
+    ExpectUsageExit({"--users", "12x"}, "expects a number");
+    ExpectUsageExit({"--seed", "-3"}, "expects");
+    ExpectUsageExit({"--threads", "-1"}, "--threads must be >= 0");
+    ExpectUsageExit({"--app", "bank"}, "--app must be hotel or social");
+    ExpectUsageExit({"--manager", "llm"}, "unknown --manager llm");
+    ExpectUsageExit({"--users", "100", "--diurnal", "50:200:600"},
+                    "mutually exclusive");
+    ExpectUsageExit({"--duration", "0"},
+                    "durations and users must be positive");
+}
+
+TEST(CliDeathTest, MalformedFaultSpecsExitTwo)
+{
+    ExpectUsageExit({"--faults", "bogus@3"}, "unknown fault kind");
+    ExpectUsageExit({"--faults", "stall"}, "missing '@start'");
+    ExpectUsageExit({"--faults", "caploss@2:mag=7"},
+                    "mag must be in");
+    ExpectUsageExit({"--faults", "chaos:nope"},
+                    "unknown chaos scenario");
+    // Tier validation happens against the selected app's tier count.
+    ExpectUsageExit({"--app", "hotel", "--faults", "stall@1:tier=99"},
+                    "targets tier 99");
+}
+
+TEST(CliDeathTest, FaultsListPrintsCatalogAndExitsZero)
+{
+    // The catalog goes to stdout; here we only pin the exit code.
+    EXPECT_EXIT(Parse({"--faults", "list"}),
+                ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, FleetFlagFamilyExitsTwo)
+{
+    ExpectUsageExit({"--fleet", "0"}, "--fleet must be >= 1");
+    ExpectUsageExit({"--fleet", "two"}, "expects an integer");
+    ExpectUsageExit({"--fleet-shard", "0:users=100"},
+                    "--fleet-shard requires --fleet");
+    ExpectUsageExit({"--fleet-log", "f.csv"},
+                    "require --fleet");
+    ExpectUsageExit({"--fleet-report", "f.json"},
+                    "require --fleet");
+    // Overrides are resolved at parse time: shape errors exit 2 here.
+    ExpectUsageExit({"--fleet", "4", "--fleet-shard", "9:users=100"},
+                    "index 9 outside fleet of 4");
+    ExpectUsageExit({"--fleet", "4", "--fleet-shard", "1:users=100",
+                     "--fleet-shard", "1:seed=7"},
+                    "duplicate --fleet-shard index 1");
+    ExpectUsageExit({"--fleet", "4", "--fleet-shard", "1:color=red"},
+                    "unknown key 'color'");
+    ExpectUsageExit({"--fleet", "4", "--fleet-shard",
+                     "1:faults=bogus@3"},
+                    "unknown fault kind");
+    ExpectUsageExit({"--fleet", "4", "--fleet-shard", "nope"},
+                    "ParseShardOverride");
+}
+
+TEST(CliDeathTest, SingleRunFlagsRejectedInFleetMode)
+{
+    ExpectUsageExit({"--fleet", "4", "--diurnal", "50:200:600"},
+                    "single-run flag");
+    ExpectUsageExit({"--fleet", "4", "--mix", "1,2,1"},
+                    "single-run flag");
+    ExpectUsageExit({"--fleet", "4", "--log", "run.csv"},
+                    "single-run");
+    ExpectUsageExit({"--fleet", "4", "--metrics", "m.txt"},
+                    "single-run");
+    ExpectUsageExit({"--fleet", "4", "--faults", "drop@3"},
+                    "use --fleet-shard");
+}
+
+} // namespace
+} // namespace sinan

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Golden-file pin of the telemetry_log serializers. The decision-trace
+ * CSV and JSON renderings are consumed by the acceptance tooling and
+ * compared byte-for-byte by the determinism tests, so their exact bytes
+ * are a contract: any formatting drift (column order, precision,
+ * enum spelling, JSON layout) must show up as a reviewed diff of the
+ * committed golden files, not as a silent change.
+ *
+ * The fixture trace is hand-built to cover every serialization branch:
+ * a warm-up interval with no candidates, a model interval with one
+ * candidate per outcome, a fallback, and a degraded interval with
+ * non-finite telemetry. Regenerate after an intentional format change
+ * with:  SINAN_REGEN_GOLDEN=1 ./tests/golden_trace_test
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/telemetry_log.h"
+
+namespace sinan {
+namespace {
+
+std::string
+GoldenPath(const char* name)
+{
+    return std::string(SINAN_REPO_ROOT) + "/tests/golden/" + name;
+}
+
+std::string
+ReadFileOrEmpty(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** A fixed trace exercising every row shape the serializers emit. */
+DecisionTrace
+FixtureTrace()
+{
+    DecisionTrace trace;
+
+    // Interval 0: warm-up, no candidates (the candidate=-1 row).
+    DecisionTraceEntry warmup;
+    warmup.time_s = 1.0;
+    warmup.interval = 0;
+    warmup.kind = DecisionKind::kWarmup;
+    warmup.observed_p99_ms = 87.5;
+    trace.intervals.push_back(warmup);
+
+    // Interval 1: model path, one candidate per outcome.
+    DecisionTraceEntry model;
+    model.time_s = 2.0;
+    model.interval = 1;
+    model.kind = DecisionKind::kModel;
+    model.observed_p99_ms = 142.25;
+    model.healthy_streak = 3;
+    model.margin_ms = 20.0;
+    model.may_reclaim = true;
+    model.chosen = 1;
+    const CandidateOutcome outcomes[] = {
+        CandidateOutcome::kNotCheapest,
+        CandidateOutcome::kChosen,
+        CandidateOutcome::kRejectedHysteresis,
+        CandidateOutcome::kRejectedPostDownSaturation,
+        CandidateOutcome::kRejectedLatencyMargin,
+        CandidateOutcome::kRejectedViolationProb,
+        CandidateOutcome::kRejectedDegradedTelemetry,
+    };
+    const ActionKind kinds[] = {
+        ActionKind::kHold,          ActionKind::kScaleDown,
+        ActionKind::kScaleDownBatch, ActionKind::kScaleUp,
+        ActionKind::kScaleUpAll,    ActionKind::kScaleUpVictims,
+        ActionKind::kHold,
+    };
+    for (int i = 0; i < 7; ++i) {
+        CandidateTrace c;
+        c.kind = kinds[i];
+        c.total_cpu = 10.0 + i * 0.5;
+        c.latency_ms = {100.0 + i, 110.0 + i, 120.0 + i, 130.0 + i,
+                        140.0 + i};
+        c.p_violation = 0.01 * i;
+        c.outcome = outcomes[i];
+        model.candidates.push_back(c);
+    }
+    trace.intervals.push_back(model);
+
+    // Interval 2: fallback after an observed violation, trust lost.
+    DecisionTraceEntry fallback;
+    fallback.time_s = 3.0;
+    fallback.interval = 2;
+    fallback.kind = DecisionKind::kEscalatedFallback;
+    fallback.observed_p99_ms = 512.0;
+    fallback.violated = true;
+    fallback.trust_reduced = true;
+    fallback.mispredictions = 2;
+    fallback.consecutive_violations = 3;
+    fallback.trust_lost = true;
+    trace.intervals.push_back(fallback);
+
+    // Interval 3: degraded telemetry (non-finite), heuristic path.
+    DecisionTraceEntry degraded;
+    degraded.time_s = 4.0;
+    degraded.interval = 3;
+    degraded.kind = DecisionKind::kDegradedHeuristic;
+    degraded.observed_p99_ms = -1.0;
+    degraded.telemetry = TelemetryHealth::kNonFinite;
+    degraded.silent_intervals = 1;
+    degraded.trust_reduced = true;
+    degraded.trust_restored = false;
+    trace.intervals.push_back(degraded);
+
+    return trace;
+}
+
+void
+CheckGolden(const char* name, const std::string& rendered)
+{
+    const std::string path = GoldenPath(name);
+    if (std::getenv("SINAN_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << rendered;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    const std::string golden = ReadFileOrEmpty(path);
+    ASSERT_FALSE(golden.empty())
+        << path << " missing; regenerate with SINAN_REGEN_GOLDEN=1";
+    EXPECT_EQ(rendered, golden)
+        << name
+        << " drifted from the committed golden file. If the change is "
+           "intentional, rerun with SINAN_REGEN_GOLDEN=1 and commit "
+           "the diff.";
+}
+
+TEST(GoldenTraceTest, DecisionTraceCsvBytesAreStable)
+{
+    CheckGolden("decision_trace.csv",
+                DecisionTraceToCsv(FixtureTrace()));
+}
+
+TEST(GoldenTraceTest, DecisionTraceJsonBytesAreStable)
+{
+    CheckGolden("decision_trace.json",
+                DecisionTraceToJson(FixtureTrace()));
+}
+
+TEST(GoldenTraceTest, RenderingIsAPureFunctionOfTheTrace)
+{
+    const DecisionTrace t = FixtureTrace();
+    EXPECT_EQ(DecisionTraceToCsv(t), DecisionTraceToCsv(t));
+    EXPECT_EQ(DecisionTraceToJson(t), DecisionTraceToJson(t));
+}
+
+} // namespace
+} // namespace sinan

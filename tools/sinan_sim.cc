@@ -3,14 +3,11 @@
  * Command-line driver: run any resource manager against either
  * application under a configurable load and emit the execution log
  * (CSV) plus a summary — the equivalent of the paper artifact's
- * deployment scripts.
+ * deployment scripts. With --fleet N it instead steps N clusters
+ * concurrently under the centralized FleetManager (src/fleet).
  *
- * Usage:
- *   sinan_sim [--app hotel|social] [--manager sinan|opt|cons|powerchief|hold]
- *             [--users N | --diurnal LO:HI:PERIOD] [--duration S]
- *             [--warmup S] [--seed N] [--collect S] [--epochs N]
- *             [--mix W0,W1,...] [--log FILE] [--threads N]
- *             [--decision-log FILE] [--metrics FILE] [--faults SPEC]
+ * Flag parsing and validation live in src/cli/sim_cli.h (strict:
+ * anything malformed prints usage and exits 2).
  *
  * Examples:
  *   sinan_sim --app social --manager cons --users 250 --duration 120
@@ -20,263 +17,47 @@
  *   sinan_sim --manager sinan --faults chaos:telemetry-blackout
  *   sinan_sim --faults 'stall@10+5:tier=2;drop@12+3'
  *   sinan_sim --faults list
+ *   sinan_sim --fleet 100 --manager sinan --duration 60 \
+ *             --fleet-shard '7:app=hotel,users=2500' \
+ *             --fleet-shard '12:faults=chaos:tier-stall' \
+ *             --fleet-log fleet.csv --fleet-report fleet.json
  */
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "app/apps.h"
-#include "baselines/autoscale.h"
+#include "cli/sim_cli.h"
 #include "common/thread_pool.h"
-#include "baselines/powerchief.h"
 #include "core/scheduler.h"
+#include "fleet/fleet.h"
 #include "harness/harness.h"
 #include "harness/runlog.h"
 #include "harness/telemetry_log.h"
 #include "sim/fault_injector.h"
 
-namespace {
-
 using namespace sinan;
-
-struct CliOptions {
-    std::string app = "social";
-    std::string manager = "cons";
-    double users = 200.0;
-    bool users_set = false;
-    bool diurnal = false;
-    double diurnal_low = 100.0;
-    double diurnal_high = 300.0;
-    double diurnal_period = 600.0;
-    double duration_s = 120.0;
-    double warmup_s = 20.0;
-    uint64_t seed = 1;
-    double collect_s = 800.0;
-    int epochs = 8;
-    std::string mix;
-    std::string log_path;
-    /** Decision-trace / metrics output (".json" selects JSON). */
-    std::string decision_log_path;
-    std::string metrics_path;
-    /** 0 = keep the default (SINAN_THREADS or hardware concurrency). */
-    int threads = 0;
-    /** Fault-injection schedule (see sim/fault_injector.h). */
-    FaultSchedule faults;
-    double fault_end_s = 0.0;
-};
-
-[[noreturn]] void
-Usage(const char* msg)
-{
-    if (msg)
-        std::fprintf(stderr, "error: %s\n", msg);
-    std::fprintf(
-        stderr,
-        "usage: sinan_sim [--app hotel|social]\n"
-        "                 [--manager sinan|opt|cons|powerchief|hold]\n"
-        "                 [--users N | --diurnal LO:HI:PERIOD]\n"
-        "                 [--duration S] [--warmup S] [--seed N]\n"
-        "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
-        "                 [--log FILE] [--threads N]\n"
-        "                 [--decision-log FILE] [--metrics FILE]\n"
-        "                 [--faults SPEC]\n"
-        "\n"
-        "  --faults accepts 'kind@start[+dur][:tier=N][:mag=X]' events\n"
-        "  joined with ';' (kinds: stall caploss spike steal drop delay\n"
-        "  nan), a named scenario 'chaos:NAME', or 'list' to print the\n"
-        "  scenario catalog and exit.\n");
-    std::exit(2);
-}
-
-/** Strict numeric parsers: the whole argument must be consumed.
- *  (std::atof-style parsing turned typos like `--users 2oo` into 2 —
- *  or 0 — and silently ran the wrong experiment.) */
-double
-ParseDoubleArg(const char* flag, const std::string& v)
-{
-    char* end = nullptr;
-    const double out = std::strtod(v.c_str(), &end);
-    if (v.empty() || end != v.c_str() + v.size())
-        Usage((std::string(flag) + " expects a number, got '" + v + "'")
-                  .c_str());
-    return out;
-}
-
-int
-ParseIntArg(const char* flag, const std::string& v)
-{
-    char* end = nullptr;
-    const long out = std::strtol(v.c_str(), &end, 10);
-    if (v.empty() || end != v.c_str() + v.size())
-        Usage((std::string(flag) + " expects an integer, got '" + v +
-               "'")
-                  .c_str());
-    return static_cast<int>(out);
-}
-
-uint64_t
-ParseU64Arg(const char* flag, const std::string& v)
-{
-    char* end = nullptr;
-    const unsigned long long out = std::strtoull(v.c_str(), &end, 10);
-    if (v.empty() || end != v.c_str() + v.size())
-        Usage((std::string(flag) + " expects an unsigned integer, got '" +
-               v + "'")
-                  .c_str());
-    return out;
-}
-
-[[noreturn]] void
-ListChaosScenarios()
-{
-    std::printf("named chaos scenarios (--faults chaos:NAME):\n");
-    for (const ChaosScenario& s : ChaosScenarios()) {
-        std::printf("  %-18s %-40s %s\n", s.name.c_str(),
-                    s.spec.c_str(), s.description.c_str());
-    }
-    std::exit(0);
-}
-
-CliOptions
-Parse(int argc, char** argv)
-{
-    CliOptions opt;
-    // Accept both `--flag value` and `--flag=value`.
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        const size_t eq = a.find('=');
-        if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
-            args.push_back(a.substr(0, eq));
-            args.push_back(a.substr(eq + 1));
-        } else {
-            args.push_back(a);
-        }
-    }
-
-    const size_t n = args.size();
-    auto need = [&](size_t i) -> const std::string& {
-        if (i + 1 >= n)
-            Usage(("missing value for " + args[i]).c_str());
-        return args[i + 1];
-    };
-    for (size_t i = 0; i < n; ++i) {
-        const std::string& a = args[i];
-        if (a == "--app") {
-            opt.app = need(i++);
-        } else if (a == "--manager") {
-            opt.manager = need(i++);
-        } else if (a == "--users") {
-            opt.users = ParseDoubleArg("--users", need(i++));
-            opt.users_set = true;
-        } else if (a == "--diurnal") {
-            opt.diurnal = true;
-            const std::string v = need(i++);
-            char lo[64], hi[64], period[64];
-            if (std::sscanf(v.c_str(), "%63[^:]:%63[^:]:%63s", lo, hi,
-                            period) != 3) {
-                Usage("--diurnal expects LO:HI:PERIOD");
-            }
-            opt.diurnal_low = ParseDoubleArg("--diurnal LO", lo);
-            opt.diurnal_high = ParseDoubleArg("--diurnal HI", hi);
-            opt.diurnal_period =
-                ParseDoubleArg("--diurnal PERIOD", period);
-        } else if (a == "--duration") {
-            opt.duration_s = ParseDoubleArg("--duration", need(i++));
-        } else if (a == "--warmup") {
-            opt.warmup_s = ParseDoubleArg("--warmup", need(i++));
-        } else if (a == "--seed") {
-            opt.seed = ParseU64Arg("--seed", need(i++));
-        } else if (a == "--collect") {
-            opt.collect_s = ParseDoubleArg("--collect", need(i++));
-        } else if (a == "--epochs") {
-            opt.epochs = ParseIntArg("--epochs", need(i++));
-        } else if (a == "--mix") {
-            opt.mix = need(i++);
-        } else if (a == "--log") {
-            opt.log_path = need(i++);
-        } else if (a == "--decision-log") {
-            opt.decision_log_path = need(i++);
-        } else if (a == "--metrics") {
-            opt.metrics_path = need(i++);
-        } else if (a == "--threads") {
-            opt.threads = ParseIntArg("--threads", need(i++));
-            if (opt.threads < 0)
-                Usage("--threads must be >= 0");
-        } else if (a == "--faults") {
-            const std::string spec = need(i++);
-            if (spec == "list")
-                ListChaosScenarios();
-            try {
-                opt.faults = ParseFaultSpec(spec);
-            } catch (const std::exception& e) {
-                Usage(e.what());
-            }
-        } else if (a == "--help" || a == "-h") {
-            Usage(nullptr);
-        } else {
-            Usage(("unknown flag " + a).c_str());
-        }
-    }
-    if (opt.app != "hotel" && opt.app != "social")
-        Usage("--app must be hotel or social");
-    if (opt.users_set && opt.diurnal)
-        Usage("--users and --diurnal are mutually exclusive");
-    if (opt.duration_s <= 0 || opt.users <= 0)
-        Usage("durations and users must be positive");
-    if (opt.diurnal &&
-        (opt.diurnal_low <= 0 || opt.diurnal_high < opt.diurnal_low ||
-         opt.diurnal_period <= 0))
-        Usage("--diurnal expects 0 < LO <= HI and PERIOD > 0");
-    if (opt.warmup_s < 0)
-        Usage("--warmup must be >= 0");
-    if (opt.epochs <= 0)
-        Usage("--epochs must be > 0");
-    if (opt.collect_s <= 0)
-        Usage("--collect must be > 0");
-    return opt;
-}
-
-/** A do-nothing manager, handy as a control. */
-class HoldManager : public ResourceManager {
-  public:
-    std::vector<double>
-    Decide(const IntervalObservation&, const std::vector<double>& alloc,
-           const Application&) override
-    {
-        return alloc;
-    }
-    const char* Name() const override { return "Hold"; }
-};
-
-} // namespace
 
 int
 main(int argc, char** argv)
 {
-    const CliOptions opt = Parse(argc, argv);
+    const SimOptions opt = ParseSimArgs(argc, argv);
     if (opt.threads > 0)
         SetNumThreads(opt.threads);
 
+    if (opt.fleet > 0)
+        return RunFleetMode(opt);
+
     Application app = opt.app == "hotel" ? BuildHotelReservation()
                                          : BuildSocialNetwork();
-    if (!opt.mix.empty()) {
-        std::vector<double> weights;
-        const char* p = opt.mix.c_str();
-        char* end = nullptr;
-        while (*p) {
-            const double w = std::strtod(p, &end);
-            if (end == p)
-                Usage(("--mix expects numbers, got '" + opt.mix + "'")
-                          .c_str());
-            weights.push_back(w);
-            p = *end == ',' ? end + 1 : end;
+    if (!opt.mix_weights.empty()) {
+        try {
+            SetRequestMix(app, opt.mix_weights);
+        } catch (const std::exception& e) {
+            SimUsage(e.what());
         }
-        SetRequestMix(app, weights);
     }
 
     RunConfig cfg;
@@ -289,7 +70,7 @@ main(int argc, char** argv)
             ValidateFaultSchedule(
                 opt.faults, static_cast<int>(app.tiers.size()));
         } catch (const std::exception& e) {
-            Usage(e.what());
+            SimUsage(e.what());
         }
     }
 
@@ -312,16 +93,8 @@ main(int argc, char** argv)
                     100.0 * trained->report.bt_val_accuracy);
         manager = std::make_unique<SinanScheduler>(*trained->model,
                                                    SchedulerConfig{});
-    } else if (opt.manager == "opt") {
-        manager = std::make_unique<AutoScaler>(MakeAutoScaleOpt());
-    } else if (opt.manager == "cons") {
-        manager = std::make_unique<AutoScaler>(MakeAutoScaleCons());
-    } else if (opt.manager == "powerchief") {
-        manager = std::make_unique<PowerChief>();
-    } else if (opt.manager == "hold") {
-        manager = std::make_unique<HoldManager>();
     } else {
-        Usage("unknown --manager");
+        manager = MakeBaselineManager(opt.manager);
     }
 
     std::unique_ptr<LoadShape> load;
