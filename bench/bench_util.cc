@@ -299,6 +299,7 @@ SocialLoads()
 
 void
 WriteInferenceJson(const std::string& path, const std::string& model_name,
+                   const std::string& kernel_id,
                    double interval_budget_ms,
                    const std::vector<InferenceBenchRow>& rows)
 {
@@ -306,9 +307,11 @@ WriteInferenceJson(const std::string& path, const std::string& model_name,
     if (!out)
         throw std::runtime_error("WriteInferenceJson: cannot open " + path);
 
-    char buf[256];
+    char buf[384];
     out << "{\n";
+    out << "  \"schema\": 2,\n";
     out << "  \"model\": \"" << model_name << "\",\n";
+    out << "  \"kernel_id\": \"" << kernel_id << "\",\n";
     std::snprintf(buf, sizeof(buf), "  \"interval_budget_ms\": %.3f,\n",
                   interval_budget_ms);
     out << buf;
@@ -322,9 +325,9 @@ WriteInferenceJson(const std::string& path, const std::string& model_name,
             "    {\"candidates\": %d, \"legacy_ms\": %.6f, "
             "\"cached_ms\": %.6f, \"speedup\": %.3f, \"stages_ms\": "
             "{\"feature_build\": %.6f, \"trunk\": %.6f, \"head\": %.6f, "
-            "\"bt\": %.6f}}%s\n",
+            "\"bt\": %.6f}, \"scalar_trunk_ms\": %.6f}%s\n",
             r.candidates, r.legacy_ms, r.cached_ms, speedup, r.feature_ms,
-            r.trunk_ms, r.head_ms, r.bt_ms,
+            r.trunk_ms, r.head_ms, r.bt_ms, r.scalar_trunk_ms,
             i + 1 < rows.size() ? "," : "");
         out << buf;
     }

@@ -86,15 +86,21 @@ struct InferenceBenchRow {
     double trunk_ms = 0.0;
     double head_ms = 0.0;
     double bt_ms = 0.0;
+    /** Trunk stage re-measured under forced-scalar dispatch (equals
+     *  trunk_ms when the active kernel is already scalar). */
+    double scalar_trunk_ms = 0.0;
 };
 
 /**
  * Writes the machine-readable inference-speed dump (consumed by the
  * CI perf-smoke job and the README perf table). Deterministic
  * formatting; one object with a "sweep" array ordered like @p rows.
+ * Schema 2 adds the microkernel id that produced the timings (see
+ * common/cpu_features.h) and the per-row forced-scalar trunk time.
  */
 void WriteInferenceJson(const std::string& path,
                         const std::string& model_name,
+                        const std::string& kernel_id,
                         double interval_budget_ms,
                         const std::vector<InferenceBenchRow>& rows);
 

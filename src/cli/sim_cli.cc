@@ -1,5 +1,8 @@
 #include "cli/sim_cli.h"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -14,15 +17,29 @@ namespace sinan {
 
 namespace {
 
-/** Strict numeric parsers: the whole argument must be consumed.
- *  (std::atof-style parsing turned typos like `--users 2oo` into 2 —
- *  or 0 — and silently ran the wrong experiment.) */
+/** Strict numeric parsers: the whole argument must be consumed, the
+ *  digits must start immediately (strto* skip leading whitespace and
+ *  accept a '+' sign, which the strict convention rejects — a quoted
+ *  " 5" or a stray '+' is a scripting bug, not a number), and
+ *  out-of-range values must not saturate silently. (std::atof-style
+ *  parsing turned typos like `--users 2oo` into 2 — or 0 — and
+ *  silently ran the wrong experiment.) */
+bool
+LaxNumericPrefix(const std::string& v)
+{
+    return !v.empty() &&
+           (std::isspace(static_cast<unsigned char>(v[0])) ||
+            v[0] == '+');
+}
+
 double
 ParseDoubleArg(const char* flag, const std::string& v)
 {
     char* end = nullptr;
+    errno = 0;
     const double out = std::strtod(v.c_str(), &end);
-    if (v.empty() || end != v.c_str() + v.size())
+    if (v.empty() || LaxNumericPrefix(v) ||
+        end != v.c_str() + v.size() || errno == ERANGE)
         SimUsage((std::string(flag) + " expects a number, got '" + v +
                   "'")
                      .c_str());
@@ -33,8 +50,11 @@ int
 ParseIntArg(const char* flag, const std::string& v)
 {
     char* end = nullptr;
+    errno = 0;
     const long out = std::strtol(v.c_str(), &end, 10);
-    if (v.empty() || end != v.c_str() + v.size())
+    if (v.empty() || LaxNumericPrefix(v) ||
+        end != v.c_str() + v.size() || errno == ERANGE ||
+        out < INT_MIN || out > INT_MAX)
         SimUsage((std::string(flag) + " expects an integer, got '" + v +
                   "'")
                      .c_str());
@@ -45,9 +65,13 @@ uint64_t
 ParseU64Arg(const char* flag, const std::string& v)
 {
     char* end = nullptr;
+    errno = 0;
     const unsigned long long out = std::strtoull(v.c_str(), &end, 10);
-    // strtoull silently wraps negatives; the strict convention rejects.
-    if (v.empty() || v[0] == '-' || end != v.c_str() + v.size())
+    // strtoull silently wraps negatives and clamps overflow to
+    // ULLONG_MAX (with errno == ERANGE); the strict convention rejects
+    // both, along with the leading whitespace/'+' it would tolerate.
+    if (v.empty() || v[0] == '-' || LaxNumericPrefix(v) ||
+        end != v.c_str() + v.size() || errno == ERANGE)
         SimUsage((std::string(flag) +
                   " expects an unsigned integer, got '" + v + "'")
                      .c_str());
@@ -110,6 +134,7 @@ SimUsage(const char* msg)
         "                 [--duration S] [--warmup S] [--seed N]\n"
         "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
         "                 [--log FILE] [--threads N]\n"
+        "                 [--simd on|off|auto]\n"
         "                 [--decision-log FILE] [--metrics FILE]\n"
         "                 [--faults SPEC]\n"
         "                 [--fleet N] [--fleet-shard K:key=val[,...]]\n"
@@ -211,6 +236,12 @@ ParseSimArgs(int argc, const char* const* argv)
             opt.threads = ParseIntArg("--threads", need(i++));
             if (opt.threads < 0)
                 SimUsage("--threads must be >= 0");
+        } else if (a == "--simd") {
+            const std::string v = need(i++);
+            if (!ParseSimdMode(v.c_str(), &opt.simd))
+                SimUsage(("--simd expects on, off, or auto, got '" + v +
+                          "'")
+                             .c_str());
         } else if (a == "--faults") {
             const std::string spec = need(i++);
             if (spec == "list")
@@ -304,6 +335,9 @@ ParseSimArgs(int argc, const char* const* argv)
             SimUsage(e.what());
         }
     }
+    // Apply the dispatch override once the whole argv validated, so a
+    // later bad flag never leaves a half-applied mode behind.
+    SetSimdMode(opt.simd);
     return opt;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "fleet/fleet.h"
 #include "sim/fault_injector.h"
 
@@ -52,6 +53,9 @@ struct SimOptions {
     std::string metrics_path;
     /** 0 = keep the default (SINAN_THREADS or hardware concurrency). */
     int threads = 0;
+    /** Microkernel dispatch override (--simd on|off|auto); applied via
+     *  SetSimdMode() once the whole argv has validated. */
+    SimdMode simd = SimdMode::kAuto;
     /** Fault-injection schedule (see sim/fault_injector.h). */
     FaultSchedule faults;
     bool faults_set = false;

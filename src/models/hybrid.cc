@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 
 namespace sinan {
@@ -256,6 +257,7 @@ HybridModel::EvaluateTimed(const MetricWindow& window,
         stages->trunk_s = Seconds(t1, t2);
         stages->head_s = Seconds(t2, t3);
         stages->bt_s = Seconds(t3, t4);
+        stages->kernel_id = ActiveKernelId();
     }
     return out;
 }

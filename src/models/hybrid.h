@@ -53,6 +53,11 @@ struct EvalStageTimes {
     double trunk_s = 0.0;
     double head_s = 0.0;
     double bt_s = 0.0;
+    /** Microkernel that produced these bytes ("scalar-v1"/"avx2-v1",
+     *  see common/cpu_features.h); ids sharing a version suffix are
+     *  bit-compatible, so a changed id with changed bytes marks a
+     *  deliberate kernel revision, not nondeterminism. */
+    const char* kernel_id = "";
 };
 
 /** The CNN + Boosted-Trees hybrid model. */

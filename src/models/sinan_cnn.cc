@@ -1,6 +1,7 @@
 #include "models/sinan_cnn.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "common/check.h"
@@ -110,6 +111,10 @@ SinanCnn::ForwardTrunk(CnnEvalWorkspace& ws) const
     conv2_.ForwardInto(ws.conv1_out, ws.conv2_out, ws.col);
     ReluInPlace(ws.conv2_out);
     // Flatten is a pure view change on a batch of 1.
+    SINAN_CHECK_MSG(
+        ws.conv2_out.Size() <=
+            static_cast<size_t>(std::numeric_limits<int>::max()),
+        "ForwardTrunk: conv output too large to flatten");
     ws.conv2_out.ReshapeInPlace(
         {1, static_cast<int>(ws.conv2_out.Size())});
     rh_fc_.ForwardInto(ws.conv2_out, ws.rh_embed);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "tensor/gemm_kernels.h"
 
 namespace sinan {
 
@@ -16,6 +18,12 @@ namespace {
  *  function of the thread count) so the per-block gradient partials of
  *  Conv2D::Backward reduce in the same order at any parallelism. */
 constexpr int64_t kConvBatchGrain = 4;
+
+/** Output channels per forward-matmul block. Fixed so the block
+ *  structure — and therefore the bytes — never depends on the thread
+ *  count; 8 rows also lets the AVX2 kernel reuse each loaded im2col
+ *  row across two 4-row register panels. */
+constexpr int64_t kConvOcBlock = 8;
 
 } // namespace
 
@@ -156,8 +164,17 @@ Conv2D::ForwardInto(const Tensor& x, Tensor& y, Tensor& col) const
               w = x.Dim(3);
     const int out_c = w_.value.Dim(0);
     const int pad = kernel_ / 2;
-    const int hw = h * w;
-    const int ckk = in_c * kernel_ * kernel_;
+    // Widen before multiplying: on large h*w (many tiers x long
+    // histories) the products overflow int before the old code's
+    // implicit widening to size_t could help.
+    const int64_t hw64 = static_cast<int64_t>(h) * w;
+    const int64_t ckk64 = static_cast<int64_t>(in_c) * kernel_ * kernel_;
+    SINAN_CHECK_MSG(hw64 <= std::numeric_limits<int>::max() &&
+                        ckk64 <= std::numeric_limits<int>::max(),
+                    "Conv2D: per-sample plane too large (" << h << "x"
+                        << w << ", " << in_c << " channels)");
+    const int hw = static_cast<int>(hw64);
+    const int ckk = static_cast<int>(ckk64);
     y.EnsureShape({batch, out_c, h, w});
     col.EnsureShape({batch, ckk, hw});
 
@@ -208,36 +225,34 @@ Conv2D::ForwardInto(const Tensor& x, Tensor& y, Tensor& col) const
         }
     });
 
-    // Phase 2 — blocked matmul: y[b, oc, :] = bias[oc] +
-    // sum_p w[oc, p] * col[b, p, :]. Each (sample, out-channel) plane
-    // is written by exactly one block, and per output element the
-    // terms accumulate in ascending p = (c, ki, kj) — the naive
-    // kernel's order — so results are bit-identical at any thread
-    // count. Output positions are tiled so the accumulator tile stays
-    // cache-resident when h*w grows with the tier count.
-    constexpr int kPosTile = 256;
+    // Phase 2 — dispatched row-panel matmul: y[b, oc, :] = bias[oc] +
+    // sum_p w[oc, p] * col[b, p, :]. Each (sample, oc-block) panel is
+    // written by exactly one ParallelFor block (structure fixed by
+    // kConvOcBlock), and per output element the terms accumulate in
+    // ascending p = (c, ki, kj) — the naive kernel's order — with one
+    // rounded mul-then-add per term in both the scalar and the AVX2
+    // kernel, so results are bit-identical across kernels and thread
+    // counts.
     const float* wp = w_.value.Data();
-    ParallelFor(0, static_cast<int64_t>(batch) * out_c, 1,
-                [&](int64_t lo, int64_t hi) {
+    const GemmRowsFn kern = ActiveGemmRows();
+    const int64_t oc_blocks =
+        (out_c + kConvOcBlock - 1) / kConvOcBlock;
+    ParallelFor(0, batch * oc_blocks, 1, [&](int64_t lo, int64_t hi) {
         for (int64_t idx = lo; idx < hi; ++idx) {
-            const int bi = static_cast<int>(idx / out_c);
-            const int oc = static_cast<int>(idx % out_c);
+            const int64_t bi = idx / oc_blocks;
+            const int64_t oc0 = (idx % oc_blocks) * kConvOcBlock;
+            const int64_t oc1 =
+                std::min<int64_t>(out_c, oc0 + kConvOcBlock);
             const float* cb =
                 col.Data() + static_cast<size_t>(bi) * ckk * hw;
-            const float* wrow = wp + static_cast<size_t>(oc) * ckk;
-            float* yp = y.Data() + static_cast<size_t>(idx) * hw;
-            const float bias = b_.value[oc];
-            for (int t0 = 0; t0 < hw; t0 += kPosTile) {
-                const int t1 = std::min(hw, t0 + kPosTile);
-                for (int t = t0; t < t1; ++t)
-                    yp[t] = bias;
-                for (int p = 0; p < ckk; ++p) {
-                    const float wv = wrow[p];
-                    const float* crow = cb + static_cast<size_t>(p) * hw;
-                    for (int t = t0; t < t1; ++t)
-                        yp[t] += wv * crow[t];
-                }
+            float* yb =
+                y.Data() + static_cast<size_t>(bi) * out_c * hw;
+            for (int64_t oc = oc0; oc < oc1; ++oc) {
+                float* yrow = yb + oc * hw;
+                std::fill(yrow, yrow + hw,
+                          b_.value[static_cast<size_t>(oc)]);
             }
+            kern(wp, ckk, cb, hw, yb, hw, oc0, oc1, ckk, hw);
         }
     });
 }
@@ -325,10 +340,13 @@ Flatten::Forward(const Tensor& x)
 {
     in_shape_ = x.Shape();
     SINAN_CHECK_GE(x.Rank(), 2);
-    int rest = 1;
+    int64_t rest = 1;
     for (int d = 1; d < x.Rank(); ++d)
         rest *= x.Dim(d);
-    return x.Reshaped({x.Dim(0), rest});
+    SINAN_CHECK_MSG(rest <= std::numeric_limits<int>::max(),
+                    "Flatten: flattened extent overflows int (" << rest
+                        << ")");
+    return x.Reshaped({x.Dim(0), static_cast<int>(rest)});
 }
 
 Tensor

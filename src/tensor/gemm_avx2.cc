@@ -1,0 +1,216 @@
+/**
+ * @file
+ * AVX2 row-panel GEMM microkernel (see gemm_kernels.h for the shared
+ * accumulation-order contract). Compiled only under SINAN_HAVE_AVX2,
+ * with -mavx2 -ffp-contract=off: every term is an explicit
+ * _mm256_mul_ps followed by _mm256_add_ps, and contraction is disabled
+ * so the compiler cannot fuse them into an FMA whose single rounding
+ * would diverge from the scalar path. Vector lanes are distinct output
+ * elements; per element the k terms accumulate in ascending p exactly
+ * like GemmRowsScalar, so the two kernels produce identical bytes.
+ *
+ * Blocking: 4 rows x 16 columns (8 ymm accumulators live across the
+ * whole k loop, b rows loaded once per 4 output rows), with a 1-row x
+ * 64-column panel for single-row products (the trunk's [1, k] dense
+ * layers) so enough independent add chains stay in flight to cover the
+ * add latency. Column tails fall back to scalar code with the same
+ * per-element order.
+ */
+#include "tensor/gemm_kernels.h"
+
+#ifdef SINAN_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace sinan {
+
+namespace {
+
+/** Scalar column tail [j0, n) for one row; ascending-p mul-then-add. */
+inline void
+TailCols(const float* arow, const float* b, int64_t ldb, float* crow,
+         int64_t j0, int64_t n, int64_t k)
+{
+    for (int64_t j = j0; j < n; ++j) {
+        float acc = crow[j];
+        const float* bp = b + j;
+        for (int64_t p = 0; p < k; ++p)
+            acc += arow[p] * bp[p * ldb];
+        crow[j] = acc;
+    }
+}
+
+/** One row, 64 columns: 8 independent accumulator chains. */
+inline void
+Panel1x64(const float* arow, const float* b, int64_t ldb, float* crow,
+          int64_t j, int64_t k)
+{
+    __m256 acc0 = _mm256_loadu_ps(crow + j);
+    __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+    __m256 acc2 = _mm256_loadu_ps(crow + j + 16);
+    __m256 acc3 = _mm256_loadu_ps(crow + j + 24);
+    __m256 acc4 = _mm256_loadu_ps(crow + j + 32);
+    __m256 acc5 = _mm256_loadu_ps(crow + j + 40);
+    __m256 acc6 = _mm256_loadu_ps(crow + j + 48);
+    __m256 acc7 = _mm256_loadu_ps(crow + j + 56);
+    for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * ldb + j;
+        const __m256 av = _mm256_set1_ps(arow[p]);
+        acc0 = _mm256_add_ps(acc0,
+                             _mm256_mul_ps(av, _mm256_loadu_ps(brow)));
+        acc1 = _mm256_add_ps(
+            acc1, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 8)));
+        acc2 = _mm256_add_ps(
+            acc2, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 16)));
+        acc3 = _mm256_add_ps(
+            acc3, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 24)));
+        acc4 = _mm256_add_ps(
+            acc4, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 32)));
+        acc5 = _mm256_add_ps(
+            acc5, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 40)));
+        acc6 = _mm256_add_ps(
+            acc6, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 48)));
+        acc7 = _mm256_add_ps(
+            acc7, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 56)));
+    }
+    _mm256_storeu_ps(crow + j, acc0);
+    _mm256_storeu_ps(crow + j + 8, acc1);
+    _mm256_storeu_ps(crow + j + 16, acc2);
+    _mm256_storeu_ps(crow + j + 24, acc3);
+    _mm256_storeu_ps(crow + j + 32, acc4);
+    _mm256_storeu_ps(crow + j + 40, acc5);
+    _mm256_storeu_ps(crow + j + 48, acc6);
+    _mm256_storeu_ps(crow + j + 56, acc7);
+}
+
+/** One row, 8 columns. */
+inline void
+Panel1x8(const float* arow, const float* b, int64_t ldb, float* crow,
+         int64_t j, int64_t k)
+{
+    __m256 acc = _mm256_loadu_ps(crow + j);
+    for (int64_t p = 0; p < k; ++p) {
+        const __m256 av = _mm256_set1_ps(arow[p]);
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(av, _mm256_loadu_ps(b + p * ldb + j)));
+    }
+    _mm256_storeu_ps(crow + j, acc);
+}
+
+/** Four rows, 16 columns: b rows loaded once per four output rows. */
+inline void
+Panel4x16(const float* a, int64_t lda, const float* b, int64_t ldb,
+          float* c, int64_t ldc, int64_t r, int64_t j, int64_t k)
+{
+    const float* a0 = a + r * lda;
+    const float* a1 = a0 + lda;
+    const float* a2 = a1 + lda;
+    const float* a3 = a2 + lda;
+    float* c0 = c + r * ldc + j;
+    float* c1 = c0 + ldc;
+    float* c2 = c1 + ldc;
+    float* c3 = c2 + ldc;
+    __m256 acc00 = _mm256_loadu_ps(c0);
+    __m256 acc01 = _mm256_loadu_ps(c0 + 8);
+    __m256 acc10 = _mm256_loadu_ps(c1);
+    __m256 acc11 = _mm256_loadu_ps(c1 + 8);
+    __m256 acc20 = _mm256_loadu_ps(c2);
+    __m256 acc21 = _mm256_loadu_ps(c2 + 8);
+    __m256 acc30 = _mm256_loadu_ps(c3);
+    __m256 acc31 = _mm256_loadu_ps(c3 + 8);
+    for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * ldb + j;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        __m256 av = _mm256_set1_ps(a0[p]);
+        acc00 = _mm256_add_ps(acc00, _mm256_mul_ps(av, b0));
+        acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a1[p]);
+        acc10 = _mm256_add_ps(acc10, _mm256_mul_ps(av, b0));
+        acc11 = _mm256_add_ps(acc11, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a2[p]);
+        acc20 = _mm256_add_ps(acc20, _mm256_mul_ps(av, b0));
+        acc21 = _mm256_add_ps(acc21, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a3[p]);
+        acc30 = _mm256_add_ps(acc30, _mm256_mul_ps(av, b0));
+        acc31 = _mm256_add_ps(acc31, _mm256_mul_ps(av, b1));
+    }
+    _mm256_storeu_ps(c0, acc00);
+    _mm256_storeu_ps(c0 + 8, acc01);
+    _mm256_storeu_ps(c1, acc10);
+    _mm256_storeu_ps(c1 + 8, acc11);
+    _mm256_storeu_ps(c2, acc20);
+    _mm256_storeu_ps(c2 + 8, acc21);
+    _mm256_storeu_ps(c3, acc30);
+    _mm256_storeu_ps(c3 + 8, acc31);
+}
+
+/** Four rows, 8 columns. */
+inline void
+Panel4x8(const float* a, int64_t lda, const float* b, int64_t ldb,
+         float* c, int64_t ldc, int64_t r, int64_t j, int64_t k)
+{
+    const float* a0 = a + r * lda;
+    const float* a1 = a0 + lda;
+    const float* a2 = a1 + lda;
+    const float* a3 = a2 + lda;
+    float* c0 = c + r * ldc + j;
+    float* c1 = c0 + ldc;
+    float* c2 = c1 + ldc;
+    float* c3 = c2 + ldc;
+    __m256 acc0 = _mm256_loadu_ps(c0);
+    __m256 acc1 = _mm256_loadu_ps(c1);
+    __m256 acc2 = _mm256_loadu_ps(c2);
+    __m256 acc3 = _mm256_loadu_ps(c3);
+    for (int64_t p = 0; p < k; ++p) {
+        const __m256 b0 = _mm256_loadu_ps(b + p * ldb + j);
+        acc0 = _mm256_add_ps(
+            acc0, _mm256_mul_ps(_mm256_set1_ps(a0[p]), b0));
+        acc1 = _mm256_add_ps(
+            acc1, _mm256_mul_ps(_mm256_set1_ps(a1[p]), b0));
+        acc2 = _mm256_add_ps(
+            acc2, _mm256_mul_ps(_mm256_set1_ps(a2[p]), b0));
+        acc3 = _mm256_add_ps(
+            acc3, _mm256_mul_ps(_mm256_set1_ps(a3[p]), b0));
+    }
+    _mm256_storeu_ps(c0, acc0);
+    _mm256_storeu_ps(c1, acc1);
+    _mm256_storeu_ps(c2, acc2);
+    _mm256_storeu_ps(c3, acc3);
+}
+
+} // namespace
+
+void
+GemmRowsAvx2(const float* a, int64_t lda, const float* b, int64_t ldb,
+             float* c, int64_t ldc, int64_t r0, int64_t r1, int64_t k,
+             int64_t n)
+{
+    int64_t r = r0;
+    for (; r + 4 <= r1; r += 4) {
+        int64_t j = 0;
+        for (; j + 16 <= n; j += 16)
+            Panel4x16(a, lda, b, ldb, c, ldc, r, j, k);
+        for (; j + 8 <= n; j += 8)
+            Panel4x8(a, lda, b, ldb, c, ldc, r, j, k);
+        if (j < n) {
+            for (int64_t rr = r; rr < r + 4; ++rr)
+                TailCols(a + rr * lda, b, ldb, c + rr * ldc, j, n, k);
+        }
+    }
+    for (; r < r1; ++r) {
+        const float* arow = a + r * lda;
+        float* crow = c + r * ldc;
+        int64_t j = 0;
+        for (; j + 64 <= n; j += 64)
+            Panel1x64(arow, b, ldb, crow, j, k);
+        for (; j + 8 <= n; j += 8)
+            Panel1x8(arow, b, ldb, crow, j, k);
+        if (j < n)
+            TailCols(arow, b, ldb, crow, j, n, k);
+    }
+}
+
+} // namespace sinan
+
+#endif // SINAN_HAVE_AVX2

@@ -1,0 +1,48 @@
+#include "tensor/gemm_kernels.h"
+
+#include <algorithm>
+
+#include "common/cpu_features.h"
+
+namespace sinan {
+
+namespace {
+
+/** Output positions per accumulation tile. Tiling only affects cache
+ *  behaviour, never bytes: each element's terms still accumulate in
+ *  ascending p regardless of how columns are grouped. */
+constexpr int64_t kPosTile = 256;
+
+} // namespace
+
+void
+GemmRowsScalar(const float* a, int64_t lda, const float* b, int64_t ldb,
+               float* c, int64_t ldc, int64_t r0, int64_t r1, int64_t k,
+               int64_t n)
+{
+    for (int64_t r = r0; r < r1; ++r) {
+        const float* arow = a + r * lda;
+        float* crow = c + r * ldc;
+        for (int64_t t0 = 0; t0 < n; t0 += kPosTile) {
+            const int64_t t1 = std::min(n, t0 + kPosTile);
+            for (int64_t p = 0; p < k; ++p) {
+                const float av = arow[p];
+                const float* brow = b + p * ldb;
+                for (int64_t t = t0; t < t1; ++t)
+                    crow[t] += av * brow[t];
+            }
+        }
+    }
+}
+
+GemmRowsFn
+ActiveGemmRows()
+{
+#ifdef SINAN_HAVE_AVX2
+    if (SimdActive())
+        return GemmRowsAvx2;
+#endif
+    return GemmRowsScalar;
+}
+
+} // namespace sinan

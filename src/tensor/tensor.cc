@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "tensor/gemm_kernels.h"
 
 namespace sinan {
 
@@ -141,8 +142,15 @@ Tensor::EnsureShape(const std::vector<int>& shape)
     if (shape_ == shape)
         return;
     const size_t n = ShapeSize(shape);
-    if (n > data_.capacity())
+    if (n > data_.capacity()) {
         BumpAllocEvents();
+        // Pad fresh workspace allocations to a full 8-float SIMD lane:
+        // the microkernels use unaligned loads and scalar tails, so
+        // this is not a correctness requirement, but the rounded
+        // capacity absorbs the +/- few-element shape wobble between
+        // candidate batches without reallocating.
+        data_.reserve((n + 7) & ~static_cast<size_t>(7));
+    }
     shape_ = shape;
     data_.resize(n);
 }
@@ -262,16 +270,13 @@ MatMul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate)
     const float* ap = a.Data();
     const float* bp = b.Data();
     float* cp = c.Data();
+    // Row-blocked over C (disjoint per block, structure fixed by
+    // RowGrain) with the dispatched row-panel kernel inside: scalar
+    // and AVX2 share the ascending-p mul-then-add contract, so the
+    // result is bit-identical across kernels and thread counts.
+    const GemmRowsFn kern = ActiveGemmRows();
     ParallelFor(0, m, RowGrain(m, k, n), [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-            for (int p = 0; p < k; ++p) {
-                const float av = ap[static_cast<size_t>(i) * k + p];
-                const float* brow = bp + static_cast<size_t>(p) * n;
-                float* crow = cp + static_cast<size_t>(i) * n;
-                for (int j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
-        }
+        kern(ap, k, bp, n, cp, n, lo, hi, k, n);
     });
 }
 

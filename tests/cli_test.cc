@@ -105,6 +105,16 @@ TEST(CliDeathTest, MalformedFlagsExitTwo)
     ExpectUsageExit({"--users"}, "missing value for --users");
     ExpectUsageExit({"--users", "abc"}, "expects a number");
     ExpectUsageExit({"--users", "12x"}, "expects a number");
+    // strtod/strtoull tolerate leading whitespace and '+', and clamp
+    // overflow instead of failing; the strict convention rejects all
+    // three (a quoted " 5" or a 21-digit seed is a scripting bug).
+    ExpectUsageExit({"--users", " 5"}, "expects a number");
+    ExpectUsageExit({"--users", "+5"}, "expects a number");
+    ExpectUsageExit({"--seed", " 7"}, "expects an unsigned integer");
+    ExpectUsageExit({"--seed", "+7"}, "expects an unsigned integer");
+    ExpectUsageExit({"--seed", "184467440737095516160"},
+                    "expects an unsigned integer");
+    ExpectUsageExit({"--epochs", "99999999999"}, "expects an integer");
     ExpectUsageExit({"--seed", "-3"}, "expects");
     ExpectUsageExit({"--threads", "-1"}, "--threads must be >= 0");
     ExpectUsageExit({"--app", "bank"}, "--app must be hotel or social");
@@ -172,6 +182,31 @@ TEST(CliDeathTest, SingleRunFlagsRejectedInFleetMode)
                     "single-run");
     ExpectUsageExit({"--fleet", "4", "--faults", "drop@3"},
                     "use --fleet-shard");
+}
+
+TEST(CliTest, ParsesSimdFlagAndAppliesDispatchMode)
+{
+    const SimdMode entry = CurrentSimdMode();
+    const SimOptions off = Parse({"--simd", "off"});
+    EXPECT_EQ(off.simd, SimdMode::kOff);
+    EXPECT_EQ(CurrentSimdMode(), SimdMode::kOff);
+    EXPECT_STREQ(ActiveKernelId(), "scalar-v1");
+
+    const SimOptions on = Parse({"--simd=on"});
+    EXPECT_EQ(on.simd, SimdMode::kOn);
+    EXPECT_EQ(CurrentSimdMode(), SimdMode::kOn);
+
+    const SimOptions aut = Parse({"--simd", "auto"});
+    EXPECT_EQ(aut.simd, SimdMode::kAuto);
+    SetSimdMode(entry);
+}
+
+TEST(CliDeathTest, SimdFlagRejectsUnknownMode)
+{
+    ExpectUsageExit({"--simd", "fast"},
+                    "--simd expects on, off, or auto");
+    ExpectUsageExit({"--simd", ""},
+                    "--simd expects on, off, or auto");
 }
 
 } // namespace

@@ -3,14 +3,19 @@
  * Parity and allocation tests for the single-pass candidate-inference
  * fast path: the cached-trunk Evaluate must be bit-identical to the
  * legacy full-batch reference on trained models (synthetic and the
- * bundled bench_cache models) at every thread count, the im2col conv
- * kernel must match a naive reference convolution bitwise, Clone()'s
+ * bundled bench_cache models) at every thread count, the AVX2 and
+ * scalar microkernels must agree bitwise in every dispatch mode (with
+ * SINAN_SIMD=off pinning the scalar path to golden bytes), the im2col
+ * conv kernel must match a naive reference convolution bitwise, Clone()'s
  * direct deep copy must agree with a serialization round trip, and the
  * model-owned workspace must make steady-state Evaluate calls
  * tensor-allocation-free.
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "app/apps.h"
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "harness/harness.h"
 #include "models/hybrid.h"
@@ -283,23 +289,135 @@ NaiveConvForward(const Tensor& x, const Tensor& w, const Tensor& b,
     return y;
 }
 
+/** Restores the entry SIMD dispatch mode on scope exit. */
+class SimdModeGuard {
+  public:
+    SimdModeGuard() : saved_(CurrentSimdMode()) {}
+    ~SimdModeGuard() { SetSimdMode(saved_); }
+
+  private:
+    SimdMode saved_;
+};
+
+TEST(InferenceFastPath, SimdMatchesScalarBitwiseAtEveryThreadCount)
+{
+    // The AVX2 and scalar microkernels share the ascending-p
+    // mul-then-add accumulation contract, so forcing either dispatch
+    // mode must not move a single bit of the predictions — at 1 or 8
+    // threads. (On hosts without AVX2 both modes resolve to the scalar
+    // kernel and this degenerates to the thread-parity check.)
+    const FeatureConfig f = SmallFeatures();
+    const std::unique_ptr<HybridModel> pm = TrainSmallHybrid(f, 509);
+    HybridModel& model = *pm;
+    const MetricWindow w = MakeWindow(f, 150, 120);
+    const auto cands = MakeCandidates(f, 24);
+
+    ThreadGuard threads_guard;
+    SimdModeGuard mode_guard;
+    SetNumThreads(1);
+    SetSimdMode(SimdMode::kOff);
+    const std::vector<Prediction> ref = model.Evaluate(w, cands);
+    for (const SimdMode mode : {SimdMode::kOn, SimdMode::kOff}) {
+        SetSimdMode(mode);
+        for (int threads : {1, 8}) {
+            SetNumThreads(threads);
+            ExpectPredictionsBitIdentical(
+                model.Evaluate(w, cands), ref,
+                std::string("kernel ") + ActiveKernelId() +
+                    " threads=" + std::to_string(threads));
+        }
+    }
+}
+
+TEST(InferenceFastPath, EvaluateTimedStampsActiveKernelId)
+{
+    const FeatureConfig f = SmallFeatures();
+    const std::unique_ptr<HybridModel> pm = TrainSmallHybrid(f, 521);
+    HybridModel& model = *pm;
+    const MetricWindow w = MakeWindow(f, 150, 120);
+    const auto cands = MakeCandidates(f, 4);
+
+    SimdModeGuard mode_guard;
+    for (const SimdMode mode : {SimdMode::kOn, SimdMode::kOff}) {
+        SetSimdMode(mode);
+        EvalStageTimes stages{};
+        (void)model.EvaluateTimed(w, cands, &stages);
+        EXPECT_STREQ(stages.kernel_id, ActiveKernelId());
+    }
+    SetSimdMode(SimdMode::kOff);
+    EvalStageTimes stages{};
+    (void)model.EvaluateTimed(w, cands, &stages);
+    EXPECT_STREQ(stages.kernel_id, "scalar-v1");
+}
+
+TEST(InferenceFastPath, EnvOverrideForcesScalarKernelWithGoldenBytes)
+{
+    // SINAN_SIMD=off in the environment must force the scalar kernel
+    // after ReloadSimdModeFromEnv(), and the scalar path must still
+    // produce the exact bytes pinned below (a seeded Conv2D + Dense
+    // forward). A changed byte here means the scalar kernel's
+    // arithmetic changed — which requires a kernel-id version bump,
+    // not a silent edit.
+    SimdModeGuard mode_guard;
+    const char* saved_env = std::getenv("SINAN_SIMD");
+    const std::string saved_val = saved_env ? saved_env : "";
+    setenv("SINAN_SIMD", "off", 1);
+    ReloadSimdModeFromEnv();
+    EXPECT_EQ(CurrentSimdMode(), SimdMode::kOff);
+    EXPECT_FALSE(SimdActive());
+    EXPECT_STREQ(ActiveKernelId(), "scalar-v1");
+
+    Rng rng(77);
+    Conv2D conv(2, 3, 3, rng);
+    const Tensor x = Tensor::Randn({1, 2, 4, 5}, rng, 0.5f);
+    Tensor y = conv.Forward(x);
+    Dense dense(60, 4, rng);
+    y.ReshapeInPlace({1, 60});
+    const Tensor out = dense.Forward(y);
+
+    const uint32_t kGolden[] = {
+        0xbf90ae9cu, // -1.13032866
+        0xbf882c3eu, // -1.06385016
+        0x3f305563u, // 0.688802898
+        0xbf3ff61fu, // -0.74984926
+    };
+    ASSERT_EQ(out.Size(), 4u);
+    for (size_t i = 0; i < out.Size(); ++i) {
+        uint32_t bits = 0;
+        std::memcpy(&bits, out.Data() + i, sizeof(bits));
+        EXPECT_EQ(bits, kGolden[i]) << "element " << i;
+    }
+
+    if (saved_env)
+        setenv("SINAN_SIMD", saved_val.c_str(), 1);
+    else
+        unsetenv("SINAN_SIMD");
+    ReloadSimdModeFromEnv();
+}
+
 TEST(InferenceFastPath, Im2colConvMatchesNaiveReferenceBitwise)
 {
     // Zero-padding contributions in the im2col formulation add +-0.0f,
     // which leaves every partial sum bitwise unchanged, so the two
-    // kernels must agree exactly — not just approximately.
+    // kernels must agree exactly — not just approximately — under
+    // either dispatch mode.
+    SimdModeGuard mode_guard;
     Rng rng(17);
     for (const int kernel : {3, 5}) {
         Conv2D conv(4, 6, kernel, rng);
         const Tensor x = Tensor::Randn({3, 4, 7, 6}, rng, 0.5f);
-        const Tensor y = conv.Forward(x);
         const std::vector<Param*> params = conv.Params();
         const Tensor ref = NaiveConvForward(x, params[0]->value,
                                             params[1]->value, kernel);
-        ASSERT_EQ(y.Shape(), ref.Shape());
-        for (size_t i = 0; i < y.Size(); ++i)
-            ASSERT_EQ(y.Data()[i], ref.Data()[i])
-                << "kernel=" << kernel << " element " << i;
+        for (const SimdMode mode : {SimdMode::kOn, SimdMode::kOff}) {
+            SetSimdMode(mode);
+            const Tensor y = conv.Forward(x);
+            ASSERT_EQ(y.Shape(), ref.Shape());
+            for (size_t i = 0; i < y.Size(); ++i)
+                ASSERT_EQ(y.Data()[i], ref.Data()[i])
+                    << "kernel=" << kernel << " mode "
+                    << ActiveKernelId() << " element " << i;
+        }
     }
 }
 

@@ -467,8 +467,9 @@ TEST_F(SchedulerFixture, WatchdogUpscalesAfterPersistentSilence)
                              *app_);
         if (k + 1 >= cfg.watchdog_silent_after) {
             for (size_t i = 0; i < alloc.size(); ++i) {
-                if (before[i] < app_->tiers[i].max_cpu - 1e-9)
+                if (before[i] < app_->tiers[i].max_cpu - 1e-9) {
                     EXPECT_GT(alloc[i], before[i]) << "tier " << i;
+                }
             }
         }
     }

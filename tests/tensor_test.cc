@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <new>
 #include <sstream>
 
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "tensor/tensor.h"
 
@@ -251,6 +253,91 @@ TEST(MatMulParity, AccumulateModeBitIdentical)
             MatMul(a, b, c, /*accumulate=*/true);
         },
         {50, 30});
+}
+
+/** Runs MatMul under forced-SIMD and forced-scalar dispatch; the two
+ *  kernels share the ascending-p mul-then-add contract, so the bytes
+ *  must match exactly (a no-op comparison on hosts without AVX2,
+ *  where both modes resolve to the scalar kernel). */
+void
+ExpectSimdScalarParity(const Tensor& a, const Tensor& b, int m, int n)
+{
+    const SimdMode saved = CurrentSimdMode();
+    SetSimdMode(SimdMode::kOn);
+    Tensor simd({m, n});
+    MatMul(a, b, simd);
+    SetSimdMode(SimdMode::kOff);
+    EXPECT_STREQ(ActiveKernelId(), "scalar-v1");
+    Tensor scalar({m, n});
+    MatMul(a, b, scalar);
+    SetSimdMode(saved);
+    ASSERT_EQ(simd.Size(), scalar.Size());
+    for (size_t i = 0; i < simd.Size(); ++i)
+        ASSERT_EQ(simd[i], scalar[i]) << "element " << i;
+}
+
+TEST(MatMulParity, SimdBitIdenticalToScalar)
+{
+    Rng rng(31);
+    // Sizes chosen to exercise every kernel tier: 4-row blocks with
+    // 16/8-wide column panels, the 1-row 64-wide panel (m covers a
+    // remainder row), and the scalar column tail (n % 8 != 0).
+    const struct {
+        int m, k, n;
+    } shapes[] = {
+        {1, 1120, 48},  // the rh_fc dense shape: single row, wide k
+        {67, 33, 41},   // odd everything: every tail path
+        {4, 16, 64},    // exact 4x16 panels, then exact 1x64
+        {5, 7, 3},      // below every vector width
+        {8, 54, 140},   // the conv1 im2col shape (oc x ckk x hw)
+    };
+    for (const auto& s : shapes) {
+        SCOPED_TRACE(testing::Message()
+                     << s.m << "x" << s.k << "x" << s.n);
+        const Tensor a = Tensor::Randn({s.m, s.k}, rng);
+        const Tensor b = Tensor::Randn({s.k, s.n}, rng);
+        ExpectSimdScalarParity(a, b, s.m, s.n);
+    }
+}
+
+TEST(MatMulParity, SimdBitIdenticalAcrossThreadCounts)
+{
+    const SimdMode saved = CurrentSimdMode();
+    SetSimdMode(SimdMode::kOn);
+    Rng rng(32);
+    const Tensor a = Tensor::Randn({67, 33}, rng);
+    const Tensor b = Tensor::Randn({33, 41}, rng);
+    for (int threads : {2, 8}) {
+        ExpectThreadParity(
+            threads, [&](Tensor& c) { MatMul(a, b, c); }, {67, 41});
+    }
+    SetSimdMode(saved);
+}
+
+TEST(Tensor, IndexArithmeticSurvivesPastIntMaxBytes)
+{
+    // 16400 * 32768 = 537,395,200 elements (~2.1 GB): the
+    // element-count * sizeof(float) product and the im2col-style
+    // row-offset products overflow 32-bit arithmetic, so this pins
+    // the size_t/int64_t indexing paths. Skipped when the allocator
+    // cannot serve the buffers.
+    constexpr int kRows = 16400, kCols = 32768;
+    try {
+        Tensor t({kRows, kCols});
+        ASSERT_EQ(t.Size(),
+                  static_cast<size_t>(kRows) * kCols);
+        // Touch the far corner through the offset helpers: a 32-bit
+        // index product would land somewhere inside the buffer (or
+        // crash) instead.
+        t.At(kRows - 1, kCols - 1) = 3.5f;
+        EXPECT_FLOAT_EQ(t[t.Size() - 1], 3.5f);
+        EXPECT_FLOAT_EQ(t.At(kRows - 1, kCols - 1), 3.5f);
+        t.At(kRows - 1, 0) = -2.0f;
+        EXPECT_FLOAT_EQ(t[t.Size() - static_cast<size_t>(kCols)],
+                        -2.0f);
+    } catch (const std::bad_alloc&) {
+        GTEST_SKIP() << "not enough memory for the 2 GB tensor";
+    }
 }
 
 } // namespace

@@ -1,0 +1,10 @@
+// lint-expect: raw-simd-intrinsic
+// Vector intrinsics outside the blessed kernel TU: everything except
+// src/tensor/gemm_avx2.cc must call the dispatched kernels in
+// tensor/gemm_kernels.h instead.
+void
+LoadEight(const float* p, float* out)
+{
+    __m256 v = _mm256_loadu_ps(p);
+    _mm256_storeu_ps(out, v);
+}

@@ -31,6 +31,13 @@
  *  - missing-include-guard
  *                         every header needs `#ifndef`/`#define` or
  *                         `#pragma once`.
+ *  - raw-simd-intrinsic   vector intrinsics (`_mm*`/`__m256`) are
+ *                         confined to the blessed kernel TU
+ *                         (src/tensor/gemm_avx2.cc); everywhere else
+ *                         must go through the dispatched kernels in
+ *                         tensor/gemm_kernels.h so the scalar
+ *                         bit-parity contract stays auditable in one
+ *                         place.
  *
  * Deliberate exceptions live in tools/lint_allowlist.txt as
  * `<rule> <repo-relative-path>` lines.
@@ -230,9 +237,15 @@ LintFile(const std::string& rel, const std::string& contents)
     const std::string kUMap = std::string("std::") + "unordered_map";
     const std::string kUSet = std::string("std::") + "unordered_set";
     const std::string kThread = std::string("std::") + "thread";
+    const std::string kMm256 = std::string("_mm") + "256_";
+    const std::string kM256Type = std::string("__m") + "256";
+    const std::string kMm128 = std::string("_mm") + "_";
+    const std::string kMm512 = std::string("_mm") + "512_";
 
     const bool in_thread_pool =
         PathContains(rel, "common/thread_pool");
+    const bool in_simd_kernel =
+        PathContains(rel, "tensor/gemm_avx2.cc");
     for (size_t i = 0; i < code.size(); ++i) {
         const std::string& line = code[i];
         const int no = static_cast<int>(i) + 1;
@@ -248,6 +261,12 @@ LintFile(const std::string& rel, const std::string& contents)
         if (IsHeader(rel) && PathContains(rel, "src/") &&
             HasCStyleNumericCast(line))
             add("narrowing-cast-in-header", no, line);
+        if (!in_simd_kernel &&
+            (ContainsToken(line, kMm256) ||
+             ContainsToken(line, kM256Type) ||
+             ContainsToken(line, kMm128) ||
+             ContainsToken(line, kMm512)))
+            add("raw-simd-intrinsic", no, line);
     }
 
     if (IsHeader(rel)) {
@@ -394,7 +413,7 @@ SelfTest(const fs::path& fixtures)
     for (const char* rule :
          {"no-std-rand", "no-raw-assert", "no-unordered-container",
           "no-raw-thread", "narrowing-cast-in-header",
-          "missing-include-guard"}) {
+          "missing-include-guard", "raw-simd-intrinsic"}) {
         if (!covered.count(rule)) {
             std::fprintf(stderr, "no fixture covers rule '%s'\n", rule);
             ++failures;
