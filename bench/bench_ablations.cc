@@ -13,7 +13,6 @@
  *  E. CNN capacity sweep — channels vs accuracy (the paper sizes nets
  *     "until accuracy levels off").
  */
-#include <chrono>
 #include <cstdio>
 #include <numeric>
 
@@ -72,7 +71,6 @@ AblationBtInput(const Dataset& train, const Dataset& valid,
                 const FeatureConfig& f, const PipelineConfig& pcfg)
 {
     std::printf("\n--- B. BT on CNN latent vs raw inputs ---\n");
-    using Clock = std::chrono::steady_clock;
 
     // Latent-input BT: the standard hybrid.
     HybridModel hybrid(f, pcfg.hybrid, 7);
@@ -96,10 +94,9 @@ AblationBtInput(const Dataset& train, const Dataset& valid,
     for (const Sample& s : valid.samples)
         raw_valid.AddRow(raw_row(s), s.violation);
     BoostedTrees raw_bt(pcfg.hybrid.bt);
-    const auto t0 = Clock::now();
+    bench::Stopwatch watch;
     raw_bt.Train(raw_train, &raw_valid);
-    const double raw_time =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double raw_time = watch.Seconds();
     int correct = 0;
     for (int i = 0; i < raw_valid.n_rows; ++i) {
         const double p = raw_bt.Predict(

@@ -25,7 +25,6 @@
  * SINAN_BENCH_FAST=1 shrinks the horizon for quick iteration.
  */
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -90,15 +89,13 @@ struct TimedRun {
 
 TimedRun
 RunAtThreads(const FleetConfig& cfg, const FleetModels& models,
-             int threads)
+             const FleetApps& apps, int threads)
 {
     SetNumThreads(threads);
     TimedRun out;
-    const auto t0 = std::chrono::steady_clock::now();
-    out.result = RunFleet(cfg, models);
-    out.wall_s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count();
+    bench::Stopwatch watch;
+    out.result = RunFleet(cfg, models, apps);
+    out.wall_s = watch.Seconds();
     out.trace = FleetTraceToCsv(out.result);
     SetNumThreads(0);
     return out;
@@ -182,13 +179,16 @@ Run()
     bench::PrintHeader("Fleet-scale sharded simulation throughput",
                        "fleet harness, src/fleet");
 
+    const Application hotel_app = BuildHotelReservation();
+    const Application social_app = BuildSocialNetwork();
     const TrainedSinan hotel = bench::GetTrainedSinan(
-        BuildHotelReservation(), bench::HotelPipeline(), "hotel");
+        hotel_app, bench::HotelPipeline(), "hotel");
     const TrainedSinan social = bench::GetTrainedSinan(
-        BuildSocialNetwork(), bench::SocialPipeline(), "social");
+        social_app, bench::SocialPipeline(), "social");
     FleetModels models;
     models.hotel = hotel.model.get();
     models.social = social.model.get();
+    const FleetApps apps{&hotel_app, &social_app};
 
     const double duration_s = bench::FastMode() ? 8.0 : 30.0;
     const std::vector<int> fleet_sizes = {1, 8, 32, 100};
@@ -211,8 +211,9 @@ Run()
     std::vector<SweepRow> rows;
     for (int clusters : fleet_sizes) {
         const FleetConfig cfg = SweepConfig(clusters, duration_s);
-        const TimedRun serial = RunAtThreads(cfg, models, 1);
-        const TimedRun threaded = RunAtThreads(cfg, models, threads);
+        const TimedRun serial = RunAtThreads(cfg, models, apps, 1);
+        const TimedRun threaded =
+            RunAtThreads(cfg, models, apps, threads);
 
         SweepRow row;
         row.clusters = clusters;

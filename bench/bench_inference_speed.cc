@@ -16,7 +16,6 @@
  */
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -388,7 +387,6 @@ RunInferenceSweep(const std::string& json_path)
     const FeatureConfig& f = model.Features();
     const MetricWindow window = MakeWindow(f);
 
-    using Clock = std::chrono::steady_clock;
     const int kInner = 5;
     const int kReps = 12;
     std::vector<bench::InferenceBenchRow> rows;
@@ -410,11 +408,12 @@ RunInferenceSweep(const std::string& json_path)
         double best_cached = 0.0;
         EvalStageTimes best_stages{};
         for (int rep = 0; rep < kReps; ++rep) {
-            const auto t0 = Clock::now();
+            bench::Stopwatch watch;
             for (int k = 0; k < kInner; ++k)
                 benchmark::DoNotOptimize(
                     model.EvaluateFullBatch(window, cands));
-            const auto t1 = Clock::now();
+            const double legacy_ms = watch.Millis() / kInner;
+            watch.Restart();
             EvalStageTimes acc{};
             for (int k = 0; k < kInner; ++k) {
                 EvalStageTimes stages{};
@@ -425,13 +424,7 @@ RunInferenceSweep(const std::string& json_path)
                 acc.head_s += stages.head_s;
                 acc.bt_s += stages.bt_s;
             }
-            const auto t2 = Clock::now();
-            const double legacy_ms =
-                std::chrono::duration<double, std::milli>(t1 - t0).count() /
-                kInner;
-            const double cached_ms =
-                std::chrono::duration<double, std::milli>(t2 - t1).count() /
-                kInner;
+            const double cached_ms = watch.Millis() / kInner;
             if (rep == 0 || legacy_ms < best_legacy)
                 best_legacy = legacy_ms;
             if (rep == 0 || cached_ms < best_cached) {

@@ -7,6 +7,7 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -16,6 +17,40 @@
 
 namespace sinan {
 namespace bench {
+
+namespace {
+
+/** The single wall-clock read of the bench suite (see Stopwatch's
+ *  header comment and tools/analyze/timing_quarantine.txt). */
+int64_t
+NowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Stopwatch::Stopwatch() : start_ns_(NowNs()) {}
+
+void
+Stopwatch::Restart()
+{
+    start_ns_ = NowNs();
+}
+
+double
+Stopwatch::Seconds() const
+{
+    return static_cast<double>(NowNs() - start_ns_) * 1e-9;
+}
+
+double
+Stopwatch::Millis() const
+{
+    return static_cast<double>(NowNs() - start_ns_) * 1e-6;
+}
 
 bool
 FastMode()

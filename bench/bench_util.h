@@ -12,6 +12,7 @@
 #ifndef SINAN_BENCH_BENCH_UTIL_H
 #define SINAN_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -20,6 +21,32 @@
 
 namespace sinan {
 namespace bench {
+
+/**
+ * Wall-clock stopwatch for bench measurement. Every bench binary times
+ * through this type so the actual clock reads stay inside
+ * bench/bench_util.cc — the one bench file on the analyzer's timing
+ * quarantine (tools/analyze/timing_quarantine.txt). Measured values
+ * are reporting-only and must never reach a deterministic
+ * serialization.
+ */
+class Stopwatch {
+  public:
+    /** Construction starts the watch. */
+    Stopwatch();
+
+    /** Restarts the watch (for lap-style segment timing). */
+    void Restart();
+
+    /** Seconds elapsed since construction / the last Restart(). */
+    double Seconds() const;
+
+    /** Milliseconds elapsed since construction / the last Restart(). */
+    double Millis() const;
+
+  private:
+    int64_t start_ns_ = 0;
+};
 
 /** Canonical collection/training pipeline for the Social Network. */
 PipelineConfig SocialPipeline(uint64_t seed = 42);

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 
 namespace sinan {
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 
 namespace sinan {
 

@@ -330,7 +330,10 @@ ParseSimArgs(int argc, const char* const* argv)
         // duplicate index, malformed fault spec) exits 2 here rather
         // than throwing mid-run.
         try {
-            ResolveFleetShards(BuildFleetConfig(opt));
+            const Application hotel = BuildHotelReservation();
+            const Application social = BuildSocialNetwork();
+            ResolveFleetShards(BuildFleetConfig(opt),
+                               FleetApps{&hotel, &social});
         } catch (const std::exception& e) {
             SimUsage(e.what());
         }
@@ -360,7 +363,10 @@ int
 RunFleetMode(const SimOptions& opt)
 {
     const FleetConfig cfg = BuildFleetConfig(opt);
-    const std::vector<ShardSpec> specs = ResolveFleetShards(cfg);
+    const Application hotel_app = BuildHotelReservation();
+    const Application social_app = BuildSocialNetwork();
+    const FleetApps apps{&hotel_app, &social_app};
+    const std::vector<ShardSpec> specs = ResolveFleetShards(cfg, apps);
 
     bool sinan_hotel = false, sinan_social = false;
     for (const ShardSpec& spec : specs) {
@@ -372,17 +378,15 @@ RunFleetMode(const SimOptions& opt)
     std::unique_ptr<TrainedSinan> hotel_trained, social_trained;
     FleetModels models;
     if (sinan_hotel) {
-        hotel_trained =
-            TrainForCli(BuildHotelReservation(), true, opt);
+        hotel_trained = TrainForCli(hotel_app, true, opt);
         models.hotel = hotel_trained->model.get();
     }
     if (sinan_social) {
-        social_trained =
-            TrainForCli(BuildSocialNetwork(), false, opt);
+        social_trained = TrainForCli(social_app, false, opt);
         models.social = social_trained->model.get();
     }
 
-    FleetManager fleet(cfg, models);
+    FleetManager fleet(cfg, models, apps);
     const FleetResult r = fleet.Run();
 
     std::printf("\nfleet of %d clusters for %.0f s (%d threads):\n",

@@ -22,7 +22,7 @@
 #include <deque>
 #include <vector>
 
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 #include "cluster/tracing.h"
 #include "cluster/spec.h"
 #include "common/rng.h"

@@ -28,7 +28,7 @@
  * `-DSINAN_DISABLE_DCHECKS` for profiling builds. Unlike `assert`,
  * DCHECKs are ON in `NDEBUG`/Release builds — ctest runs Release, so a
  * contract that vanished under `NDEBUG` would never be exercised (this
- * is why the linter bans raw `assert(`; see tools/sinan_lint.cc).
+ * is why the analyzer bans raw `assert(`; see tools/analyze/).
  */
 #ifndef SINAN_COMMON_CHECK_H
 #define SINAN_COMMON_CHECK_H

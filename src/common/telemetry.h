@@ -1,15 +1,21 @@
 /**
  * @file
- * Per-interval telemetry exported by the cluster substrate.
+ * Per-interval telemetry types shared by the cluster substrate that
+ * produces them and the models/managers that consume them.
  *
  * This mirrors what the paper's per-node agents read from Docker's cgroup
  * interface every decision interval: CPU usage, memory usage (resident
  * set size and cache memory), network packet counts, plus the end-to-end
  * latency percentiles from the API gateway. Queue statistics are also
  * exported because the PowerChief baseline needs them.
+ *
+ * These are pure data carriers with no cluster dependencies, which is
+ * why they live in common/: models (layer 3) consumes them and cluster
+ * (layer 4) produces them, so hosting them in cluster/ would force an
+ * upward include (see tools/analyze/layers.txt).
  */
-#ifndef SINAN_CLUSTER_METRICS_H
-#define SINAN_CLUSTER_METRICS_H
+#ifndef SINAN_COMMON_TELEMETRY_H
+#define SINAN_COMMON_TELEMETRY_H
 
 #include <cmath>
 #include <cstddef>
@@ -120,4 +126,4 @@ LatencyQuantiles()
 
 } // namespace sinan
 
-#endif // SINAN_CLUSTER_METRICS_H
+#endif // SINAN_COMMON_TELEMETRY_H

@@ -10,7 +10,7 @@
 
 #include <vector>
 
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 #include "cluster/spec.h"
 #include "common/metrics.h"
 #include "core/decision_trace.h"

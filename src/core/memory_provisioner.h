@@ -13,7 +13,7 @@
 
 #include <vector>
 
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 #include "cluster/spec.h"
 
 namespace sinan {

@@ -19,7 +19,7 @@
 #ifndef SINAN_CORE_TELEMETRY_GUARD_H
 #define SINAN_CORE_TELEMETRY_GUARD_H
 
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 #include "core/decision_trace.h"
 
 namespace sinan {

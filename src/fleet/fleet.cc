@@ -8,7 +8,6 @@
 #include <set>
 #include <stdexcept>
 
-#include "app/apps.h"
 #include "baselines/autoscale.h"
 #include "baselines/powerchief.h"
 #include "common/check.h"
@@ -113,12 +112,16 @@ Percentile(std::vector<double> xs, double q)
     return xs[static_cast<size_t>(idx)];
 }
 
+/** The injected application for shard-app @p app. Null is a contract
+ *  violation: the caller configured a shard it supplied no app for. */
 const Application&
-AppForKind(const std::string& app)
+AppForKind(const FleetApps& apps, const std::string& app)
 {
-    static const Application hotel = BuildHotelReservation();
-    static const Application social = BuildSocialNetwork();
-    return app == "hotel" ? hotel : social;
+    const Application* a = app == "hotel" ? apps.hotel : apps.social;
+    SINAN_CHECK_MSG(a != nullptr,
+                    "fleet: FleetApps is missing the application for "
+                    "a configured shard");
+    return *a;
 }
 
 } // namespace
@@ -184,7 +187,7 @@ ParseShardOverride(const std::string& text)
 }
 
 std::vector<ShardSpec>
-ResolveFleetShards(const FleetConfig& cfg)
+ResolveFleetShards(const FleetConfig& cfg, const FleetApps& apps)
 {
     if (cfg.n_clusters < 1)
         throw std::invalid_argument(
@@ -243,7 +246,7 @@ ResolveFleetShards(const FleetConfig& cfg)
             const FaultSchedule schedule = ParseFaultSpec(s.faults);
             ValidateFaultSchedule(
                 schedule,
-                static_cast<int>(AppForKind(s.app).tiers.size()));
+                static_cast<int>(AppForKind(apps, s.app).tiers.size()));
         }
         specs.push_back(std::move(s));
     }
@@ -341,8 +344,9 @@ struct FleetManager::Shard {
 };
 
 FleetManager::FleetManager(const FleetConfig& cfg,
-                           const FleetModels& models)
-    : cfg_(cfg), specs_(ResolveFleetShards(cfg))
+                           const FleetModels& models,
+                           const FleetApps& apps)
+    : cfg_(cfg), specs_(ResolveFleetShards(cfg, apps))
 {
     int sinan_shards[2] = {0, 0};
     for (const ShardSpec& spec : specs_)
@@ -368,7 +372,7 @@ FleetManager::FleetManager(const FleetConfig& cfg,
     shards_.reserve(specs_.size());
     for (const ShardSpec& spec : specs_) {
         auto shard = std::make_unique<Shard>();
-        shard->app = AppForKind(spec.app);
+        shard->app = AppForKind(apps, spec.app);
         shard->kind = spec.app == "hotel" ? 0 : 1;
         shard->load = std::make_unique<ConstantLoad>(spec.users);
         if (!spec.faults.empty())
@@ -536,9 +540,10 @@ FleetManager::Run()
 }
 
 FleetResult
-RunFleet(const FleetConfig& cfg, const FleetModels& models)
+RunFleet(const FleetConfig& cfg, const FleetModels& models,
+         const FleetApps& apps)
 {
-    FleetManager fleet(cfg, models);
+    FleetManager fleet(cfg, models, apps);
     return fleet.Run();
 }
 

@@ -108,14 +108,28 @@ struct FleetConfig {
 };
 
 /**
+ * The concrete applications a fleet's shards run, injected by the
+ * caller (the CLI, tests, benches) so the fleet layer never reaches up
+ * into app/ to build them itself. A kind may be null when no shard of
+ * that app exists; a shard whose application is missing is a contract
+ * violation. The referenced applications must outlive the fleet.
+ */
+struct FleetApps {
+    const Application* hotel = nullptr;
+    const Application* social = nullptr;
+};
+
+/**
  * Expands a FleetConfig into one resolved ShardSpec per cluster and
  * validates everything that can fail (cluster count, app/manager
  * names, user counts, override indices and duplicates, fault specs
- * against the target app's tier count). Throws std::invalid_argument
- * on any bad value; callers (the --fleet CLI) surface the message
- * through the strict usage-and-exit-2 path.
+ * against the target app's tier count — which is why @p apps is
+ * needed). Throws std::invalid_argument on any bad value; callers
+ * (the --fleet CLI) surface the message through the strict
+ * usage-and-exit-2 path.
  */
-std::vector<ShardSpec> ResolveFleetShards(const FleetConfig& cfg);
+std::vector<ShardSpec> ResolveFleetShards(const FleetConfig& cfg,
+                                          const FleetApps& apps);
 
 /**
  * Trained models for the fleet's Sinan-managed shards, keyed by app.
@@ -215,8 +229,10 @@ class FleetManager {
      * @param cfg fleet configuration (resolved and validated here).
      * @param models trained models for sinan shards; the referenced
      *        models must outlive the FleetManager.
+     * @param apps the applications shards run (see FleetApps).
      */
-    FleetManager(const FleetConfig& cfg, const FleetModels& models);
+    FleetManager(const FleetConfig& cfg, const FleetModels& models,
+                 const FleetApps& apps);
     ~FleetManager();
 
     FleetManager(const FleetManager&) = delete;
@@ -240,7 +256,8 @@ class FleetManager {
 };
 
 /** Convenience wrapper: construct a FleetManager and run it. */
-FleetResult RunFleet(const FleetConfig& cfg, const FleetModels& models);
+FleetResult RunFleet(const FleetConfig& cfg, const FleetModels& models,
+                     const FleetApps& apps);
 
 } // namespace sinan
 

@@ -17,7 +17,7 @@
 
 #include <vector>
 
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 #include "common/rng.h"
 #include "common/timeseries.h"
 #include "tensor/tensor.h"

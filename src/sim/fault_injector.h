@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
-#include "cluster/metrics.h"
+#include "common/telemetry.h"
 #include "common/metrics.h"
 
 namespace sinan {

@@ -21,7 +21,7 @@
  * The AVX2 implementation is compiled only when CMake's SINAN_SIMD
  * option and the toolchain allow it (SINAN_HAVE_AVX2), in its own
  * translation unit built with -mavx2 -ffp-contract=off; it is the one
- * file allowed to use _mm256 intrinsics (enforced by sinan_lint's
+ * file allowed to use _mm256 intrinsics (enforced by sinan_analyze's
  * raw-simd-intrinsic rule).
  */
 #ifndef SINAN_TENSOR_GEMM_KERNELS_H

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "app/apps.h"
 #include "cli/sim_cli.h"
 
 namespace sinan {
@@ -92,8 +93,10 @@ TEST(CliTest, ParsesFleetFlagsAndOverrides)
     EXPECT_EQ(opt.fleet_report_path, "fleet.json");
 
     // The parsed options resolve into a runnable fleet shape.
-    const std::vector<ShardSpec> shards =
-        ResolveFleetShards(BuildFleetConfig(opt));
+    const Application hotel = BuildHotelReservation();
+    const Application social = BuildSocialNetwork();
+    const std::vector<ShardSpec> shards = ResolveFleetShards(
+        BuildFleetConfig(opt), FleetApps{&hotel, &social});
     ASSERT_EQ(shards.size(), 32u);
     EXPECT_EQ(shards[7].app, "hotel");
     EXPECT_EQ(shards[12].faults, "stall@2+3:tier=1;drop@6");

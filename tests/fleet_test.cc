@@ -94,6 +94,15 @@ class FleetFixture : public ::testing::Test {
         return m;
     }
 
+    static FleetApps
+    Apps()
+    {
+        FleetApps a;
+        a.hotel = hotel_app_;
+        a.social = social_app_;
+        return a;
+    }
+
     static Application* hotel_app_;
     static Application* social_app_;
     static HybridModel* hotel_model_;
@@ -125,10 +134,10 @@ struct FleetBytes {
 
 FleetBytes
 RunAtThreads(const FleetConfig& cfg, const FleetModels& models,
-             int threads)
+             const FleetApps& apps, int threads)
 {
     SetNumThreads(threads);
-    const FleetResult result = RunFleet(cfg, models);
+    const FleetResult result = RunFleet(cfg, models, apps);
     SetNumThreads(0); // restore the SINAN_THREADS / hardware default
     FleetBytes bytes;
     bytes.trace = FleetTraceToCsv(result);
@@ -186,9 +195,9 @@ TEST_F(FleetFixture, TraceBytesIdenticalAcrossThreadCounts)
                                    ManagersAndChaosConfig(21),
                                    HotelChaosConfig(33)};
     for (const FleetConfig& cfg : configs) {
-        const FleetBytes serial = RunAtThreads(cfg, Models(), 1);
-        const FleetBytes par3 = RunAtThreads(cfg, Models(), 3);
-        const FleetBytes par8 = RunAtThreads(cfg, Models(), 8);
+        const FleetBytes serial = RunAtThreads(cfg, Models(), Apps(), 1);
+        const FleetBytes par3 = RunAtThreads(cfg, Models(), Apps(), 3);
+        const FleetBytes par8 = RunAtThreads(cfg, Models(), Apps(), 8);
         EXPECT_EQ(serial.trace, par3.trace);
         EXPECT_EQ(serial.trace, par8.trace);
         EXPECT_EQ(serial.summary, par3.summary);
@@ -233,10 +242,11 @@ TEST_F(FleetFixture, ClusterTraceIndependentOfFleetSize)
     cfg.overrides.push_back(Override("30:manager=opt"));
 
     SetNumThreads(8);
-    const FleetResult fleet = RunFleet(cfg, Models());
+    const FleetResult fleet = RunFleet(cfg, Models(), Apps());
     SetNumThreads(0);
 
-    const std::vector<ShardSpec> specs = ResolveFleetShards(cfg);
+    const std::vector<ShardSpec> specs =
+        ResolveFleetShards(cfg, Apps());
     for (const int k : {0, 7, 30, 31}) {
         const ShardSpec& spec = specs[static_cast<size_t>(k)];
         const Application& app =
@@ -274,8 +284,9 @@ TEST_F(FleetFixture, CleanShardUnaffectedByChaoticPoolNeighbour)
     alone.overrides.push_back(Override("0" + clean));
 
     SetNumThreads(8);
-    const FleetResult with_neighbour = RunFleet(pair, Models());
-    const FleetResult solo = RunFleet(alone, Models());
+    const FleetResult with_neighbour =
+        RunFleet(pair, Models(), Apps());
+    const FleetResult solo = RunFleet(alone, Models(), Apps());
     SetNumThreads(0);
 
     const RunResult& noisy = with_neighbour.clusters[0].result;
@@ -332,11 +343,14 @@ TEST(FleetOverride, RejectsMalformedOverrides)
 
 TEST(FleetResolve, ValidatesFleetShape)
 {
+    const Application hotel = BuildHotelReservation();
+    const Application social = BuildSocialNetwork();
+    const FleetApps apps{&hotel, &social};
     FleetConfig cfg;
     cfg.n_clusters = 4;
     cfg.overrides.push_back(ParseShardOverride("1:manager=hold"));
     cfg.overrides.push_back(ParseShardOverride("3:app=hotel"));
-    const std::vector<ShardSpec> specs = ResolveFleetShards(cfg);
+    const std::vector<ShardSpec> specs = ResolveFleetShards(cfg, apps);
     ASSERT_EQ(specs.size(), 4u);
     EXPECT_EQ(specs[0].app, "social"); // default mix alternates
     EXPECT_EQ(specs[1].app, "hotel");
@@ -347,20 +361,24 @@ TEST(FleetResolve, ValidatesFleetShape)
 
     FleetConfig dup = cfg;
     dup.overrides.push_back(ParseShardOverride("1:users=99"));
-    EXPECT_THROW(ResolveFleetShards(dup), std::invalid_argument);
+    EXPECT_THROW(ResolveFleetShards(dup, apps),
+                 std::invalid_argument);
 
     FleetConfig range = cfg;
     range.overrides.push_back(ParseShardOverride("9:users=99"));
-    EXPECT_THROW(ResolveFleetShards(range), std::invalid_argument);
+    EXPECT_THROW(ResolveFleetShards(range, apps),
+                 std::invalid_argument);
 
     FleetConfig badfault = cfg;
     badfault.overrides.push_back(
         ParseShardOverride("2:faults=warp@1"));
-    EXPECT_THROW(ResolveFleetShards(badfault), std::invalid_argument);
+    EXPECT_THROW(ResolveFleetShards(badfault, apps),
+                 std::invalid_argument);
 
     FleetConfig empty = cfg;
     empty.n_clusters = 0;
-    EXPECT_THROW(ResolveFleetShards(empty), std::invalid_argument);
+    EXPECT_THROW(ResolveFleetShards(empty, apps),
+                 std::invalid_argument);
 }
 
 } // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * sinan_analyze — multi-pass determinism & layering static analyzer.
+ *
+ * Four pass families over the token streams of every first-party
+ * source file (src/, tools/, tests/, bench/, examples/):
+ *
+ *  1. project rules re-hosted from the old sinan_lint (no-std-rand,
+ *     no-raw-assert, no-unordered-container, no-raw-thread,
+ *     narrowing-cast-in-header, missing-include-guard,
+ *     raw-simd-intrinsic);
+ *  2. a determinism-source audit (wall-clock reads outside the timing
+ *     quarantine, std::random_device, getenv outside cpu_features/the
+ *     CLI, pointer-keyed ordered containers, thread_local/volatile
+ *     outside the thread pool);
+ *  3. header hygiene (non-inline non-template function definitions in
+ *     headers, src/ headers missing `namespace sinan`);
+ *  4. include-graph passes over src/: the directory DAG is checked
+ *     against the declared layer spec (tools/analyze/layers.txt) and
+ *     file-level include cycles are reported.
+ *
+ * Exceptions live in tools/analyze/allowlist.txt as
+ * `<rule> <path> -- <justification>`; wall-clock reads are separately
+ * blessed per file in tools/analyze/timing_quarantine.txt. Both lists
+ * fail the run when an entry is stale or missing its justification.
+ *
+ * Findings are reported as human-readable text and, on request, as a
+ * SARIF 2.1.0 log (deterministic byte-for-byte; pinned by
+ * tests/analyze_sarif_test).
+ */
+#ifndef SINAN_TOOLS_ANALYZE_ANALYZE_H
+#define SINAN_TOOLS_ANALYZE_ANALYZE_H
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace sinan {
+namespace analyze {
+
+/** One rule violation at a source location. */
+struct Finding {
+    std::string rule;
+    std::string path; // repo-relative, '/'-separated
+    int line = 0;
+    std::string message;
+};
+
+/** Deterministic ordering: path, then line, then rule. */
+bool FindingLess(const Finding& a, const Finding& b);
+
+/** Static metadata for one rule (drives SARIF's rule table). */
+struct RuleInfo {
+    const char* id;
+    const char* description;
+};
+
+/** Every rule the analyzer can emit, in stable registry order. The
+ *  self-test requires a firing fixture for each. */
+const std::vector<RuleInfo>& Rules();
+
+/** Parsed tools/analyze/ configuration of a tree under analysis. */
+struct Config {
+    /** Layer groups, bottom (index 0) to top; each group is a set of
+     *  src/ subdirectories that may include each other freely. */
+    std::vector<std::vector<std::string>> layers;
+    /** dir -> layer index, derived from `layers`. */
+    std::map<std::string, int> layer_of;
+    /** Files blessed to read the wall clock: path -> justification. */
+    std::map<std::string, std::string> timing_quarantine;
+    /** (rule, path) -> justification. */
+    std::map<std::pair<std::string, std::string>, std::string> allowlist;
+    /** Malformed-config messages (missing justification, unknown rule,
+     *  unreadable file); any entry fails the run. */
+    std::vector<std::string> errors;
+};
+
+/** Loads layers.txt / timing_quarantine.txt / allowlist.txt from
+ *  @p root / tools/analyze. Missing files are config errors. */
+Config LoadConfig(const std::filesystem::path& root);
+
+/** Per-file context handed to the token passes. */
+struct FileContext {
+    std::string rel; // repo-relative path
+    bool is_header = false;
+};
+
+/** Runs every per-file token pass. Suppression (quarantine, allowlist)
+ *  is applied later by AnalyzeTree; fixtures call this raw. */
+std::vector<Finding> RunFilePasses(const FileContext& ctx,
+                                   const std::vector<Token>& tokens);
+
+/** One project `#include "dir/file.h"` site inside src/. */
+struct IncludeEdge {
+    std::string from; // src-relative includer, e.g. "models/features.h"
+    std::string to;   // src-relative target, e.g. "common/telemetry.h"
+    int line = 0;
+};
+
+/** Include-graph passes: layer check + cycle detection. @p edges must
+ *  only contain src/-internal includes. */
+std::vector<Finding> RunGraphPasses(const Config& cfg,
+                                    const std::vector<IncludeEdge>& edges);
+
+/** Outcome of a full tree analysis. */
+struct Report {
+    /** Findings that survived quarantine and allowlist, sorted. */
+    std::vector<Finding> findings;
+    /** Stale/malformed exception entries and config errors; any entry
+     *  fails the run, same as a finding. */
+    std::vector<std::string> errors;
+    int files_scanned = 0;
+
+    bool Clean() const { return findings.empty() && errors.empty(); }
+};
+
+/** Analyzes the repository at @p root (scans src/, tools/, tests/,
+ *  bench/, examples/; skips tools/analyze/fixtures). */
+Report AnalyzeTree(const std::filesystem::path& root);
+
+/** Renders @p report as a SARIF 2.1.0 log. Deterministic: results are
+ *  sorted, no timestamps or absolute paths. */
+std::string ToSarif(const Report& report);
+
+/** Fixture self-test over @p fixtures_dir (see fixtures/README in the
+ *  directory): every rule must fire on its fixture, `none` fixtures
+ *  must stay clean, and the embedded mini-tree exercises the graph and
+ *  quarantine passes end to end. @returns the number of failures. */
+int SelfTest(const std::filesystem::path& fixtures_dir);
+
+} // namespace analyze
+} // namespace sinan
+
+#endif // SINAN_TOOLS_ANALYZE_ANALYZE_H

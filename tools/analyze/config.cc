@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Loaders for the three sinan_analyze configuration files under
+ * tools/analyze/:
+ *
+ *  - layers.txt: one layer per non-comment line, bottom first; each
+ *    line lists the src/ subdirectories of that layer.
+ *  - timing_quarantine.txt: `<path> -- <justification>` — the files
+ *    blessed to read the wall clock.
+ *  - allowlist.txt: `<rule> <path> -- <justification>` — scoped
+ *    exceptions to any rule.
+ *
+ * Every exception entry must carry a justification after ` -- `; a
+ * missing or empty justification, an unknown rule id, or an unreadable
+ * file is a config error and fails the run exactly like a finding.
+ */
+#include "analyze.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace sinan {
+namespace analyze {
+
+namespace {
+
+/** Splits `head -- justification`; returns false when the separator
+ *  or the justification is missing. */
+bool
+SplitJustified(const std::string& line, std::string* head,
+               std::string* justification)
+{
+    const size_t sep = line.find(" -- ");
+    if (sep == std::string::npos)
+        return false;
+    *head = line.substr(0, sep);
+    *justification = line.substr(sep + 4);
+    while (!justification->empty() && justification->front() == ' ')
+        justification->erase(justification->begin());
+    while (!head->empty() && head->back() == ' ')
+        head->pop_back();
+    return !justification->empty();
+}
+
+bool
+KnownRule(const std::string& rule)
+{
+    for (const RuleInfo& r : Rules()) {
+        if (rule == r.id)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Config
+LoadConfig(const std::filesystem::path& root)
+{
+    Config cfg;
+    const std::filesystem::path dir = root / "tools" / "analyze";
+
+    // layers.txt
+    {
+        std::ifstream in(dir / "layers.txt");
+        if (!in) {
+            cfg.errors.push_back(
+                "cannot read tools/analyze/layers.txt");
+        } else {
+            std::string line;
+            while (std::getline(in, line)) {
+                if (line.empty() || line[0] == '#')
+                    continue;
+                std::istringstream row(line);
+                std::vector<std::string> group;
+                std::string dir_name;
+                while (row >> dir_name)
+                    group.push_back(dir_name);
+                if (group.empty())
+                    continue;
+                const int level =
+                    static_cast<int>(cfg.layers.size());
+                for (const std::string& d : group) {
+                    if (!cfg.layer_of.emplace(d, level).second)
+                        cfg.errors.push_back(
+                            "layers.txt: directory '" + d +
+                            "' appears in more than one layer");
+                }
+                cfg.layers.push_back(std::move(group));
+            }
+            if (cfg.layers.empty())
+                cfg.errors.push_back(
+                    "tools/analyze/layers.txt declares no layers");
+        }
+    }
+
+    // timing_quarantine.txt
+    {
+        std::ifstream in(dir / "timing_quarantine.txt");
+        if (!in) {
+            cfg.errors.push_back(
+                "cannot read tools/analyze/timing_quarantine.txt");
+        } else {
+            std::string line;
+            while (std::getline(in, line)) {
+                if (line.empty() || line[0] == '#')
+                    continue;
+                std::string path, why;
+                if (!SplitJustified(line, &path, &why)) {
+                    cfg.errors.push_back(
+                        "timing_quarantine.txt entry missing "
+                        "justification: " + line);
+                    continue;
+                }
+                cfg.timing_quarantine.emplace(path, why);
+            }
+        }
+    }
+
+    // allowlist.txt
+    {
+        std::ifstream in(dir / "allowlist.txt");
+        if (!in) {
+            cfg.errors.push_back(
+                "cannot read tools/analyze/allowlist.txt");
+        } else {
+            std::string line;
+            while (std::getline(in, line)) {
+                if (line.empty() || line[0] == '#')
+                    continue;
+                std::string head, why;
+                if (!SplitJustified(line, &head, &why)) {
+                    cfg.errors.push_back(
+                        "allowlist.txt entry missing justification: " +
+                        line);
+                    continue;
+                }
+                std::istringstream row(head);
+                std::string rule, path, extra;
+                if (!(row >> rule >> path) || (row >> extra)) {
+                    cfg.errors.push_back(
+                        "allowlist.txt entry is not '<rule> <path> -- "
+                        "<justification>': " + line);
+                    continue;
+                }
+                if (!KnownRule(rule)) {
+                    cfg.errors.push_back(
+                        "allowlist.txt names unknown rule '" + rule +
+                        "'");
+                    continue;
+                }
+                cfg.allowlist.emplace(std::make_pair(rule, path), why);
+            }
+        }
+    }
+
+    return cfg;
+}
+
+} // namespace analyze
+} // namespace sinan

@@ -1,0 +1,13 @@
+// lint-expect: no-raw-assert
+#include <cassert>
+
+namespace sinan {
+
+inline int
+AssertBad(int v)
+{
+    assert(v > 0);
+    return v;
+}
+
+} // namespace sinan

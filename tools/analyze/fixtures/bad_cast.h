@@ -1,0 +1,16 @@
+// lint-expect: narrowing-cast-in-header
+#ifndef SINAN_TOOLS_ANALYZE_FIXTURES_BAD_CAST_H
+#define SINAN_TOOLS_ANALYZE_FIXTURES_BAD_CAST_H
+
+namespace sinan {
+
+inline int
+CastBad(double x)
+{
+    int v = (int)x;
+    return v;
+}
+
+} // namespace sinan
+
+#endif

@@ -1,0 +1,20 @@
+// Namespace-qualified C-style cast: the satellite case the legacy
+// linter's HasCStyleNumericCast missed.
+// lint-expect: narrowing-cast-in-header
+#ifndef SINAN_TOOLS_ANALYZE_FIXTURES_BAD_CAST_STD_H
+#define SINAN_TOOLS_ANALYZE_FIXTURES_BAD_CAST_STD_H
+
+#include <cstddef>
+
+namespace sinan {
+
+inline std::size_t
+CastStdBad(long x)
+{
+    std::size_t v = (std::size_t)x;
+    return v;
+}
+
+} // namespace sinan
+
+#endif

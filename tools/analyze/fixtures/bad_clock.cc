@@ -1,0 +1,14 @@
+// Flat fixtures run through the per-file passes only, so this fires
+// regardless of the quarantine; the tree fixture covers suppression.
+// lint-expect: wall-clock-read
+#include <chrono>
+
+namespace sinan {
+
+inline long long
+ClockBad()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace sinan

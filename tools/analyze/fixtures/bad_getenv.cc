@@ -1,0 +1,12 @@
+// lint-expect: getenv-outside-config
+#include <cstdlib>
+
+namespace sinan {
+
+inline bool
+GetenvBad()
+{
+    return std::getenv("SINAN_FIXTURE") != nullptr;
+}
+
+} // namespace sinan

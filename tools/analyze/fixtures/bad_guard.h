@@ -1,0 +1,9 @@
+// lint-expect: missing-include-guard
+
+namespace sinan {
+
+struct Unguarded {
+    int value = 0;
+};
+
+} // namespace sinan

@@ -1,0 +1,9 @@
+// lint-expect: missing-namespace-sinan
+#ifndef SINAN_TOOLS_ANALYZE_FIXTURES_BAD_NAMESPACE_H
+#define SINAN_TOOLS_ANALYZE_FIXTURES_BAD_NAMESPACE_H
+
+struct Orphan {
+    int value = 0;
+};
+
+#endif

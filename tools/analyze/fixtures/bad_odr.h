@@ -1,0 +1,15 @@
+// lint-expect: header-non-inline-definition
+#ifndef SINAN_TOOLS_ANALYZE_FIXTURES_BAD_ODR_H
+#define SINAN_TOOLS_ANALYZE_FIXTURES_BAD_ODR_H
+
+namespace sinan {
+
+int
+OdrViolation(int v)
+{
+    return v + 1;
+}
+
+} // namespace sinan
+
+#endif

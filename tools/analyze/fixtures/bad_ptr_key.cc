@@ -1,0 +1,15 @@
+// lint-expect: pointer-keyed-container
+#include <map>
+
+namespace sinan {
+
+struct Node;
+
+inline int
+PtrKeyBad()
+{
+    std::map<Node*, int> by_address;
+    return static_cast<int>(by_address.size());
+}
+
+} // namespace sinan

@@ -1,0 +1,13 @@
+// lint-expect: no-std-rand
+#include <cstdlib>
+
+namespace sinan {
+
+inline int
+RandBad()
+{
+    std::srand(42);
+    return std::rand();
+}
+
+} // namespace sinan

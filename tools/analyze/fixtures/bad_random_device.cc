@@ -1,0 +1,13 @@
+// lint-expect: no-random-device
+#include <random>
+
+namespace sinan {
+
+inline unsigned
+RandomDeviceBad()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace sinan

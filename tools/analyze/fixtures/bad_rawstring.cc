@@ -1,0 +1,24 @@
+// Regression for the raw-string handling bug in the legacy linter's
+// StripCommentsAndStrings: the `/*`, `*/` and `//` inside the raw
+// strings must not derail scanning, the multi-line raw string must
+// advance the line counter, and the std::rand() below must be flagged
+// on exactly the right line.
+// lint-expect: no-std-rand
+// lint-expect-line: 21
+namespace sinan {
+
+inline const char*
+RawPayload()
+{
+    return R"sql(SELECT 1 /* not a comment */ -- // also not
+FROM t WHERE s = ")still-inside"
+)sql";
+}
+
+inline int
+RawBad()
+{
+    return std::rand();
+}
+
+} // namespace sinan

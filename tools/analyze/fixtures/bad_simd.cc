@@ -1,0 +1,14 @@
+// lint-expect: raw-simd-intrinsic
+#include <immintrin.h>
+
+namespace sinan {
+
+inline float
+SimdBad(const float* p)
+{
+    __m256 v = _mm256_loadu_ps(p);
+    (void)v;
+    return p[0];
+}
+
+} // namespace sinan

@@ -1,0 +1,15 @@
+// Phase-2 line splicing: the backslash-newline inside the identifier
+// below must be spliced away so `std::rand()` is recognized, and the
+// finding must land on the line where the token started.
+// lint-expect: no-std-rand
+// lint-expect-line: 11
+namespace sinan {
+
+inline int
+SpliceBad()
+{
+    return std::ra\
+nd();
+}
+
+} // namespace sinan

@@ -1,0 +1,13 @@
+// lint-expect: no-raw-thread
+#include <thread>
+
+namespace sinan {
+
+inline void
+ThreadBad(void (*fn)())
+{
+    std::thread worker(fn);
+    worker.join();
+}
+
+} // namespace sinan

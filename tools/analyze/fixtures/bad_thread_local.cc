@@ -1,0 +1,13 @@
+// lint-expect: thread-local-outside-pool
+
+namespace sinan {
+
+thread_local int per_worker_counter = 0;
+
+inline int
+ThreadLocalBad()
+{
+    return ++per_worker_counter;
+}
+
+} // namespace sinan

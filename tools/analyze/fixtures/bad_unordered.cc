@@ -1,0 +1,13 @@
+// lint-expect: no-unordered-container
+#include <unordered_map>
+
+namespace sinan {
+
+inline int
+UnorderedBad()
+{
+    std::unordered_map<int, int> m;
+    return static_cast<int>(m.size());
+}
+
+} // namespace sinan

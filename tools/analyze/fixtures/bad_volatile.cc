@@ -1,0 +1,13 @@
+// lint-expect: volatile-outside-pool
+
+namespace sinan {
+
+volatile int spin_flag = 0;
+
+inline int
+VolatileBad()
+{
+    return spin_flag;
+}
+
+} // namespace sinan

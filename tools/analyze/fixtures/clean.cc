@@ -1,0 +1,41 @@
+// Tricky-but-legal constructs that must not produce findings: rule
+// patterns inside strings, chars, and comments; digit separators;
+// encoding-prefixed and raw literals; the blessed
+// std::thread::hardware_concurrency query; static_assert (which is
+// not assert); static_cast (which is not a C cast).
+// lint-expect: none
+#include <string>
+#include <thread>
+
+namespace sinan {
+
+// std::rand() assert( steady_clock unordered_map — comment, ignored.
+
+inline constexpr long long kBigCount = 1'000'000'000LL;
+inline constexpr double kScaled = 0x1.8p3;
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+inline std::string
+CleanPayload()
+{
+    std::string s = "std::rand() assert(1) volatile thread_local";
+    s += u8"getenv(\"HOME\") std::random_device";
+    s += R"(unordered_map<int,int> steady_clock::now() __m256)";
+    s += 'x';
+    return s;
+}
+
+inline unsigned
+CleanWorkers()
+{
+    return std::thread::hardware_concurrency();
+}
+
+inline int
+CleanCast(double v)
+{
+    return static_cast<int>(v);
+}
+
+} // namespace sinan

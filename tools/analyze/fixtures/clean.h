@@ -1,0 +1,54 @@
+// Header constructs the hygiene passes must accept: inline, template,
+// and constexpr definitions; in-class member definitions; enums;
+// aliases; namespace-scope constants. None of these are ODR hazards.
+// lint-expect: none
+#ifndef SINAN_TOOLS_ANALYZE_FIXTURES_CLEAN_H
+#define SINAN_TOOLS_ANALYZE_FIXTURES_CLEAN_H
+
+namespace sinan {
+
+inline constexpr int kThree = 3;
+
+template <typename T>
+T
+TwiceT(T v)
+{
+    return v + v;
+}
+
+inline int
+Twice(int v)
+{
+    return 2 * v;
+}
+
+constexpr int
+Thrice(int v)
+{
+    return 3 * v;
+}
+
+struct Holder {
+    int Get() const { return value; }
+    void Set(int v) { value = v; }
+    // Default braced argument: the `{}` inside the parameter list must
+    // not unbalance the scope stack...
+    void Fill(int v = {}) { value = v; }
+    // ...or this in-class definition would look namespace-scoped.
+    int Tail() const { return value; }
+    int value = 0;
+};
+
+enum class Mode { kFast, kExact };
+
+using HolderAlias = Holder;
+
+inline double
+Halve(double v) noexcept
+{
+    return v / 2.0;
+}
+
+} // namespace sinan
+
+#endif

@@ -1,0 +1,14 @@
+// Allowlisted finding: the std::rand() here is suppressed by the
+// tree's allowlist.txt entry (and keeps that entry non-stale).
+// lint-expect: none
+#include <cstdlib>
+
+namespace sinan {
+
+inline int
+RngAppDraw()
+{
+    return std::rand();
+}
+
+} // namespace sinan

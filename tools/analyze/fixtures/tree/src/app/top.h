@@ -1,0 +1,15 @@
+// lint-expect: none
+#ifndef SINAN_ANALYZE_TREE_FIXTURE_APP_TOP_H
+#define SINAN_ANALYZE_TREE_FIXTURE_APP_TOP_H
+
+namespace sinan {
+
+inline int
+TopValue()
+{
+    return 7;
+}
+
+} // namespace sinan
+
+#endif

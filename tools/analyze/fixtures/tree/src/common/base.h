@@ -1,0 +1,13 @@
+// lint-expect: none
+#ifndef SINAN_ANALYZE_TREE_FIXTURE_COMMON_BASE_H
+#define SINAN_ANALYZE_TREE_FIXTURE_COMMON_BASE_H
+
+namespace sinan {
+
+struct Base {
+    int value = 0;
+};
+
+} // namespace sinan
+
+#endif

@@ -1,0 +1,17 @@
+// Half of an include cycle; the finding is anchored here because this
+// is the lexicographically smallest member.
+// lint-expect: include-cycle
+#ifndef SINAN_ANALYZE_TREE_FIXTURE_COMMON_CYCLE_A_H
+#define SINAN_ANALYZE_TREE_FIXTURE_COMMON_CYCLE_A_H
+
+#include "common/cycle_b.h"
+
+namespace sinan {
+
+struct CycleA {
+    int a = 0;
+};
+
+} // namespace sinan
+
+#endif

@@ -1,0 +1,17 @@
+// Other half of the include cycle: reported once, at the anchor, so
+// this file must stay clean.
+// lint-expect: none
+#ifndef SINAN_ANALYZE_TREE_FIXTURE_COMMON_CYCLE_B_H
+#define SINAN_ANALYZE_TREE_FIXTURE_COMMON_CYCLE_B_H
+
+#include "common/cycle_a.h"
+
+namespace sinan {
+
+struct CycleB {
+    int b = 0;
+};
+
+} // namespace sinan
+
+#endif

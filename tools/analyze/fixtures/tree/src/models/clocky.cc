@@ -1,0 +1,13 @@
+// Unquarantined wall-clock read: must fire.
+// lint-expect: wall-clock-read
+#include <chrono>
+
+namespace sinan {
+
+inline long long
+ClockyNs()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace sinan

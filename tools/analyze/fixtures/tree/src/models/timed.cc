@@ -1,0 +1,17 @@
+// Quarantined measurement file: the steady_clock reads below must be
+// suppressed by the tree's timing_quarantine.txt entry (and keep that
+// entry non-stale).
+// lint-expect: none
+#include <chrono>
+
+namespace sinan {
+
+inline long long
+TimedNs()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();
+    return (t1 - t0).count();
+}
+
+} // namespace sinan

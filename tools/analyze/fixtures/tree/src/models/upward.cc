@@ -1,0 +1,14 @@
+// models (layer 1) reaching up into app (layer 2): the dependency
+// inversion the layering pass exists to catch.
+// lint-expect: layering-upward-include
+#include "app/top.h"
+
+namespace sinan {
+
+inline int
+UpwardBad()
+{
+    return TopValue();
+}
+
+} // namespace sinan

@@ -1,0 +1,14 @@
+// src/rogue is not declared in the tree's layers.txt: new subsystems
+// must declare a layer before they can include anything.
+// lint-expect: layering-unknown-dir
+#include "common/base.h"
+
+namespace sinan {
+
+inline int
+RogueValue()
+{
+    return Base{}.value;
+}
+
+} // namespace sinan

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Include-graph passes of sinan_analyze. The project's `#include
+ * "dir/file.h"` sites inside src/ form two graphs:
+ *
+ *  - a directory-level graph checked against the layer spec
+ *    (tools/analyze/layers.txt, bottom layer first): an include whose
+ *    target directory sits in a *higher* layer than the including
+ *    directory is an upward edge — the dependency inversion the layer
+ *    architecture forbids. Directories missing from the spec are
+ *    their own finding so new subsystems must declare a layer.
+ *
+ *  - a file-level graph searched for cycles. Each strongly connected
+ *    component with more than one file (or a self-include) is reported
+ *    once, anchored at its lexicographically smallest member so the
+ *    report is deterministic.
+ */
+#include "analyze.h"
+
+#include <algorithm>
+
+namespace sinan {
+namespace analyze {
+
+namespace {
+
+std::string
+DirOf(const std::string& src_rel)
+{
+    const size_t slash = src_rel.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : src_rel.substr(0, slash);
+}
+
+/**
+ * Tarjan's strongly-connected-components over the file graph,
+ * iterative so fixture trees with deep chains cannot overflow the
+ * stack. Nodes and adjacency are index-based over @p names.
+ */
+std::vector<std::vector<int>>
+StronglyConnected(const std::vector<std::vector<int>>& adj)
+{
+    const int n = static_cast<int>(adj.size());
+    std::vector<int> index(static_cast<size_t>(n), -1);
+    std::vector<int> low(static_cast<size_t>(n), 0);
+    std::vector<bool> on_stack(static_cast<size_t>(n), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int next_index = 0;
+
+    struct Frame {
+        int v;
+        size_t edge;
+    };
+    for (int root = 0; root < n; ++root) {
+        if (index[static_cast<size_t>(root)] != -1)
+            continue;
+        std::vector<Frame> frames;
+        frames.push_back({root, 0});
+        index[static_cast<size_t>(root)] =
+            low[static_cast<size_t>(root)] = next_index++;
+        stack.push_back(root);
+        on_stack[static_cast<size_t>(root)] = true;
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            const size_t v = static_cast<size_t>(f.v);
+            if (f.edge < adj[v].size()) {
+                const int w = adj[v][f.edge++];
+                const size_t wu = static_cast<size_t>(w);
+                if (index[wu] == -1) {
+                    index[wu] = low[wu] = next_index++;
+                    stack.push_back(w);
+                    on_stack[wu] = true;
+                    frames.push_back({w, 0});
+                } else if (on_stack[wu]) {
+                    low[v] = std::min(low[v], index[wu]);
+                }
+                continue;
+            }
+            if (low[v] == index[v]) {
+                std::vector<int> scc;
+                int w = -1;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    on_stack[static_cast<size_t>(w)] = false;
+                    scc.push_back(w);
+                } while (w != f.v);
+                sccs.push_back(std::move(scc));
+            }
+            const int done = f.v;
+            frames.pop_back();
+            if (!frames.empty()) {
+                const size_t p = static_cast<size_t>(frames.back().v);
+                low[p] = std::min(low[p],
+                                  low[static_cast<size_t>(done)]);
+            }
+        }
+    }
+    return sccs;
+}
+
+} // namespace
+
+std::vector<Finding>
+RunGraphPasses(const Config& cfg, const std::vector<IncludeEdge>& edges)
+{
+    std::vector<Finding> out;
+    auto add = [&](const char* rule, const std::string& src_rel,
+                   int line, std::string message) {
+        Finding f;
+        f.rule = rule;
+        f.path = "src/" + src_rel;
+        f.line = line;
+        f.message = std::move(message);
+        out.push_back(std::move(f));
+    };
+
+    // --- Directory layering against the spec. ---
+    std::set<std::string> reported_unknown;
+    for (const IncludeEdge& e : edges) {
+        const std::string from_dir = DirOf(e.from);
+        const std::string to_dir = DirOf(e.to);
+        const auto from_it = cfg.layer_of.find(from_dir);
+        const auto to_it = cfg.layer_of.find(to_dir);
+        if (from_it == cfg.layer_of.end()) {
+            if (reported_unknown.insert(from_dir).second)
+                add("layering-unknown-dir", e.from, e.line,
+                    "src/" + from_dir + " is not declared in "
+                    "tools/analyze/layers.txt");
+            continue;
+        }
+        if (to_it == cfg.layer_of.end()) {
+            if (reported_unknown.insert(to_dir).second)
+                add("layering-unknown-dir", e.from, e.line,
+                    "src/" + to_dir + " is not declared in "
+                    "tools/analyze/layers.txt");
+            continue;
+        }
+        if (to_it->second > from_it->second)
+            add("layering-upward-include", e.from, e.line,
+                "src/" + from_dir + " (layer " +
+                    std::to_string(from_it->second) + ") includes \"" +
+                    e.to + "\" from higher layer src/" + to_dir +
+                    " (layer " + std::to_string(to_it->second) + ")");
+    }
+
+    // --- File-level include cycles. ---
+    std::vector<std::string> names;
+    std::map<std::string, int> id_of;
+    auto intern = [&](const std::string& name) {
+        const auto it = id_of.find(name);
+        if (it != id_of.end())
+            return it->second;
+        const int id = static_cast<int>(names.size());
+        names.push_back(name);
+        id_of.emplace(name, id);
+        return id;
+    };
+    for (const IncludeEdge& e : edges) {
+        (void)intern(e.from);
+        (void)intern(e.to);
+    }
+    std::vector<std::vector<int>> adj(names.size());
+    std::set<std::pair<int, int>> seen_edges;
+    bool self_loop_possible = false;
+    for (const IncludeEdge& e : edges) {
+        const int a = intern(e.from), b = intern(e.to);
+        if (a == b)
+            self_loop_possible = true;
+        if (seen_edges.emplace(a, b).second)
+            adj[static_cast<size_t>(a)].push_back(b);
+    }
+    (void)self_loop_possible;
+
+    for (std::vector<int>& scc : StronglyConnected(adj)) {
+        const bool self_cycle =
+            scc.size() == 1 &&
+            seen_edges.count({scc.front(), scc.front()}) != 0;
+        if (scc.size() < 2 && !self_cycle)
+            continue;
+        std::vector<std::string> members;
+        members.reserve(scc.size());
+        for (int v : scc)
+            members.push_back(names[static_cast<size_t>(v)]);
+        std::sort(members.begin(), members.end());
+        const std::string& anchor = members.front();
+        // Anchor line: the first include in the anchor file that stays
+        // inside the component.
+        int line = 1;
+        const std::set<std::string> in_scc(members.begin(),
+                                           members.end());
+        for (const IncludeEdge& e : edges) {
+            if (e.from == anchor && in_scc.count(e.to) != 0) {
+                line = e.line;
+                break;
+            }
+        }
+        std::string chain;
+        for (const std::string& m : members)
+            chain += (chain.empty() ? "" : " <-> ") + m;
+        add("include-cycle", anchor, line,
+            "include cycle among: " + chain);
+    }
+
+    std::sort(out.begin(), out.end(), FindingLess);
+    return out;
+}
+
+} // namespace analyze
+} // namespace sinan

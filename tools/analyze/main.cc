@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CLI entry point of sinan_analyze.
+ *
+ * Usage:
+ *   sinan_analyze <repo_root> [--sarif <out.json>]
+ *       analyze the tree; exit 0 only with zero findings, zero stale
+ *       exception entries, and a well-formed config. The SARIF log is
+ *       written in both outcomes so CI can upload it as an artifact.
+ *
+ *   sinan_analyze --self-test <fixtures_dir>
+ *       run the fixture self-test (every rule must fire).
+ */
+#include "analyze.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+int
+main(int argc, char** argv)
+{
+    using namespace sinan::analyze;
+
+    if (argc == 3 && std::string(argv[1]) == "--self-test")
+        return SelfTest(argv[2]) == 0 ? 0 : 1;
+
+    std::string root, sarif_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--sarif" && i + 1 < argc) {
+            sarif_path = argv[++i];
+        } else if (!arg.empty() && arg[0] != '-' && root.empty()) {
+            root = arg;
+        } else {
+            root.clear();
+            break;
+        }
+    }
+    if (root.empty()) {
+        std::fprintf(stderr,
+                     "usage: sinan_analyze <repo_root> "
+                     "[--sarif <out.json>] | "
+                     "sinan_analyze --self-test <fixtures_dir>\n");
+        return 2;
+    }
+
+    const Report report = AnalyzeTree(root);
+    for (const Finding& f : report.findings)
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.path.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+    for (const std::string& err : report.errors)
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write SARIF to %s\n",
+                         sarif_path.c_str());
+            return 2;
+        }
+        out << ToSarif(report);
+    }
+    std::fprintf(stderr,
+                 "sinan_analyze: %d files, %zu findings, %zu errors\n",
+                 report.files_scanned, report.findings.size(),
+                 report.errors.size());
+    return report.Clean() ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering of an analysis report, for the CI `analyze`
+ * job's artifact upload and any SARIF-consuming code-scanning UI.
+ *
+ * The output is a deterministic byte-for-byte function of the report:
+ * one run, the full rule table in registry order, results in
+ * (path, line, rule) order, repo-relative URIs, no timestamps. The
+ * exact bytes are pinned by tests/analyze_sarif_test against
+ * tests/golden/analyze.sarif.
+ *
+ * Config errors (stale exceptions, malformed entries) have no source
+ * location; they are emitted as toolExecutionNotifications on the
+ * run's invocation, which also carries executionSuccessful.
+ */
+#include "analyze.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sinan {
+namespace analyze {
+
+namespace {
+
+/** JSON string escaping (control chars, quote, backslash). */
+std::string
+Escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+ToSarif(const Report& report)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-"
+           "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"sinan_analyze\",\n"
+        << "          \"version\": \"1.0.0\",\n"
+        << "          \"rules\": [\n";
+    const std::vector<RuleInfo>& rules = Rules();
+    for (size_t i = 0; i < rules.size(); ++i) {
+        out << "            {\n"
+            << "              \"id\": \"" << rules[i].id << "\",\n"
+            << "              \"shortDescription\": { \"text\": \""
+            << Escape(rules[i].description) << "\" }\n"
+            << "            }" << (i + 1 < rules.size() ? "," : "")
+            << "\n";
+    }
+    out << "          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"columnKind\": \"utf16CodeUnits\",\n"
+        << "      \"invocations\": [\n"
+        << "        {\n"
+        << "          \"executionSuccessful\": "
+        << (report.Clean() ? "true" : "false");
+    if (!report.errors.empty()) {
+        out << ",\n          \"toolExecutionNotifications\": [\n";
+        for (size_t i = 0; i < report.errors.size(); ++i) {
+            out << "            { \"level\": \"error\", \"message\": "
+                   "{ \"text\": \""
+                << Escape(report.errors[i]) << "\" } }"
+                << (i + 1 < report.errors.size() ? "," : "") << "\n";
+        }
+        out << "          ]";
+    }
+    out << "\n        }\n"
+        << "      ],\n"
+        << "      \"results\": [\n";
+    for (size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding& f = report.findings[i];
+        out << "        {\n"
+            << "          \"ruleId\": \"" << Escape(f.rule) << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": { \"text\": \""
+            << Escape(f.message) << "\" },\n"
+            << "          \"locations\": [\n"
+            << "            {\n"
+            << "              \"physicalLocation\": {\n"
+            << "                \"artifactLocation\": { \"uri\": \""
+            << Escape(f.path) << "\" },\n"
+            << "                \"region\": { \"startLine\": "
+            << f.line << " }\n"
+            << "              }\n"
+            << "            }\n"
+            << "          ]\n"
+            << "        }"
+            << (i + 1 < report.findings.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.str();
+}
+
+} // namespace analyze
+} // namespace sinan

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Fixture self-test of sinan_analyze: proves every rule actually
+ * fires, so a silently-disabled pass fails CI.
+ *
+ * Three fixture shapes live under tools/analyze/fixtures/:
+ *
+ *  - flat files (.cc / .h) declaring `// lint-expect: <rule>` — the
+ *    per-file passes must report exactly that rule on the file, posed
+ *    as `src/<name>` so src-scoped rules apply. An optional
+ *    `// lint-expect-line: <n>` additionally pins the finding's line,
+ *    which is how the raw-string and line-splice regressions assert
+ *    the tokenizer resynchronized correctly;
+ *  - flat files declaring `// lint-expect: none` — tricky-but-legal
+ *    constructs that must stay clean (no false positives);
+ *  - a mini repository under fixtures/tree/ with its own
+ *    tools/analyze/ configs, run through the full AnalyzeTree
+ *    pipeline: its files carry the same annotations, covering the
+ *    layering, cycle, and timing-quarantine passes end to end
+ *    (`none` there asserts quarantine suppression worked).
+ *
+ * Finally, the union of expected rules across all fixtures must cover
+ * the entire rule registry.
+ */
+#include "analyze.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sinan {
+namespace analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+ReadFile(const fs::path& p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Extracts the value after @p tag on its line, or "" when absent. */
+std::string
+Annotation(const std::string& contents, const std::string& tag)
+{
+    const size_t at = contents.find(tag);
+    if (at == std::string::npos)
+        return "";
+    size_t end = contents.find('\n', at);
+    if (end == std::string::npos)
+        end = contents.size();
+    std::string value = contents.substr(at + tag.size(),
+                                        end - at - tag.size());
+    while (!value.empty() &&
+           (value.back() == ' ' || value.back() == '\r'))
+        value.pop_back();
+    return value;
+}
+
+bool
+FixtureFile(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp";
+}
+
+struct Expectation {
+    std::string file; // display name
+    std::string rule; // "none" = must be clean
+    int line = 0;     // 0 = any line
+};
+
+/** Checks one expectation against the findings for its file. */
+bool
+Check(const Expectation& e, const std::vector<Finding>& findings)
+{
+    if (e.rule == "none") {
+        if (findings.empty())
+            return true;
+        std::fprintf(stderr,
+                     "%s: expected no findings, got %zu:\n",
+                     e.file.c_str(), findings.size());
+        for (const Finding& f : findings)
+            std::fprintf(stderr, "  fired: %s at line %d (%s)\n",
+                         f.rule.c_str(), f.line, f.message.c_str());
+        return false;
+    }
+    const bool hit = std::any_of(
+        findings.begin(), findings.end(), [&](const Finding& f) {
+            return f.rule == e.rule &&
+                   (e.line == 0 || f.line == e.line);
+        });
+    if (!hit) {
+        const std::string where =
+            e.line ? " at line " + std::to_string(e.line) : "";
+        std::fprintf(stderr,
+                     "%s: expected rule '%s'%s did not fire "
+                     "(%zu findings)\n",
+                     e.file.c_str(), e.rule.c_str(), where.c_str(),
+                     findings.size());
+        for (const Finding& f : findings)
+            std::fprintf(stderr, "  fired: %s at line %d\n",
+                         f.rule.c_str(), f.line);
+    }
+    return hit;
+}
+
+} // namespace
+
+int
+SelfTest(const fs::path& fixtures_dir)
+{
+    int failures = 0;
+    std::set<std::string> covered;
+
+    // --- Flat fixtures through the per-file passes. ---
+    std::vector<fs::path> flat;
+    for (const auto& ent : fs::directory_iterator(fixtures_dir)) {
+        if (ent.is_regular_file() && FixtureFile(ent.path()))
+            flat.push_back(ent.path());
+    }
+    std::sort(flat.begin(), flat.end());
+    int checked = 0;
+    for (const fs::path& p : flat) {
+        const std::string contents = ReadFile(p);
+        const std::string name = p.filename().string();
+        Expectation e;
+        e.file = name;
+        e.rule = Annotation(contents, "// lint-expect: ");
+        const std::string line_s =
+            Annotation(contents, "// lint-expect-line: ");
+        if (!line_s.empty())
+            e.line = std::atoi(line_s.c_str());
+        if (e.rule.empty()) {
+            std::fprintf(stderr, "%s: missing lint-expect header\n",
+                         name.c_str());
+            ++failures;
+            continue;
+        }
+        FileContext ctx;
+        ctx.rel = "src/" + name; // pose as src/ so scoped rules apply
+        ctx.is_header = name.size() > 2 &&
+                        name.compare(name.size() - 2, 2, ".h") == 0;
+        const std::vector<Finding> findings =
+            RunFilePasses(ctx, Tokenize(contents));
+        ++checked;
+        if (!Check(e, findings))
+            ++failures;
+        covered.insert(e.rule);
+    }
+
+    // --- The mini tree through the full pipeline. ---
+    const fs::path tree = fixtures_dir / "tree";
+    int tree_checked = 0;
+    if (fs::exists(tree)) {
+        const Report report = AnalyzeTree(tree);
+        for (const std::string& err : report.errors) {
+            std::fprintf(stderr, "tree fixture: unexpected error: %s\n",
+                         err.c_str());
+            ++failures;
+        }
+        std::vector<fs::path> files;
+        for (const auto& ent :
+             fs::recursive_directory_iterator(tree)) {
+            if (ent.is_regular_file() && FixtureFile(ent.path()))
+                files.push_back(ent.path());
+        }
+        std::sort(files.begin(), files.end());
+        for (const fs::path& p : files) {
+            const std::string contents = ReadFile(p);
+            const std::string rel =
+                fs::relative(p, tree).generic_string();
+            const std::string rule =
+                Annotation(contents, "// lint-expect: ");
+            if (rule.empty())
+                continue;
+            Expectation e;
+            e.file = "tree/" + rel;
+            e.rule = rule;
+            std::vector<Finding> file_findings;
+            for (const Finding& f : report.findings) {
+                if (f.path == rel)
+                    file_findings.push_back(f);
+            }
+            ++tree_checked;
+            if (!Check(e, file_findings))
+                ++failures;
+            covered.insert(rule);
+        }
+    } else {
+        std::fprintf(stderr, "missing mini-tree fixture at %s\n",
+                     tree.string().c_str());
+        ++failures;
+    }
+
+    // --- Every registered rule must have a firing fixture. ---
+    for (const RuleInfo& r : Rules()) {
+        if (covered.count(r.id) == 0) {
+            std::fprintf(stderr, "no fixture covers rule '%s'\n",
+                         r.id);
+            ++failures;
+        }
+    }
+
+    std::fprintf(stderr,
+                 "sinan_analyze self-test: %d flat + %d tree fixtures, "
+                 "%d failures\n",
+                 checked, tree_checked, failures);
+    return failures;
+}
+
+} // namespace analyze
+} // namespace sinan

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Token model for sinan_analyze. The tokenizer (tokenizer.cc) turns a
+ * C++ source file into a flat token stream with physical line numbers,
+ * so analysis passes match real identifiers and punctuation instead of
+ * line substrings. The lexer understands exactly the constructs that
+ * broke the old line-regex linter:
+ *
+ *  - raw string literals, including delimited forms R"xy(...)xy" whose
+ *    bodies may contain `//`, `* /`, and quotes;
+ *  - encoding prefixes (u8/u/U/L) on string and character literals;
+ *  - digit separators (1'000'000), which are not char literals;
+ *  - line splices (backslash-newline), joined before lexing while
+ *    physical line numbers are preserved;
+ *  - preprocessor directives: the directive name and #include targets
+ *    are lifted into dedicated token kinds (the layering pass consumes
+ *    kIncludePath), while macro bodies and #if conditions are lexed
+ *    normally so the rule passes see them.
+ *
+ * Comment and literal *contents* never reach the identifier/punct
+ * stream, so the analyzer's own sources can spell out rule patterns in
+ * string literals without flagging themselves — the string-splice
+ * hacks of the old linter are gone.
+ */
+#ifndef SINAN_TOOLS_ANALYZE_TOKEN_H
+#define SINAN_TOOLS_ANALYZE_TOKEN_H
+
+#include <string>
+#include <vector>
+
+namespace sinan {
+namespace analyze {
+
+enum class TokenKind {
+    /** Identifier or keyword. */
+    kIdent,
+    /** pp-number (integer or floating literal, separators included). */
+    kNumber,
+    /** String literal (raw or not); text is not preserved. */
+    kString,
+    /** Character literal; text is not preserved. */
+    kChar,
+    /** Punctuation. "::" and "->" are fused; all others are single. */
+    kPunct,
+    /** Directive name at the start of a preprocessor line ("include",
+     *  "ifndef", "pragma", ...), without the '#'. */
+    kDirective,
+    /** The target of an #include directive, without quotes/brackets.
+     *  `angled` distinguishes <...> from "...". */
+    kIncludePath,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::kPunct;
+    std::string text;
+    /** 1-based physical line of the token's first character. */
+    int line = 0;
+    /** Only meaningful for kIncludePath: true for <...> includes. */
+    bool angled = false;
+};
+
+/** Lexes @p source into tokens. Never fails: unterminated literals and
+ *  comments are consumed to end-of-line or end-of-file. */
+std::vector<Token> Tokenize(const std::string& source);
+
+} // namespace analyze
+} // namespace sinan
+
+#endif // SINAN_TOOLS_ANALYZE_TOKEN_H

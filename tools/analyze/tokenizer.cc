@@ -1,0 +1,379 @@
+/**
+ * @file
+ * The sinan_analyze lexer. See token.h for the contract. Two stages:
+ * a splice pass joins backslash-newline pairs while recording each
+ * character's physical line, then a single-pass scanner produces the
+ * token stream. The scanner is deliberately forgiving — analysis runs
+ * on sources that may not compile (fixtures), so nothing here throws.
+ */
+#include "token.h"
+
+#include <cctype>
+
+namespace sinan {
+namespace analyze {
+
+namespace {
+
+bool
+IsIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+IsIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+IsDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/** Spliced source: logical characters plus their physical lines. */
+struct Spliced {
+    std::string text;
+    std::vector<int> line;
+};
+
+/**
+ * Phase-2 splicing: `\` immediately followed by a newline (optionally
+ * `\r\n`) joins the two physical lines. Raw-string bodies are lexed
+ * from this joined text too; their *content* is discarded by the
+ * scanner, so reverting the splice (as a real compiler must) would
+ * change nothing the analyzer looks at.
+ */
+Spliced
+SpliceLines(const std::string& src)
+{
+    Spliced out;
+    out.text.reserve(src.size());
+    out.line.reserve(src.size());
+    int line = 1;
+    for (size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        if (c == '\\') {
+            size_t j = i + 1;
+            if (j < src.size() && src[j] == '\r')
+                ++j;
+            if (j < src.size() && src[j] == '\n') {
+                i = j;
+                ++line;
+                continue;
+            }
+        }
+        out.text.push_back(c);
+        out.line.push_back(line);
+        if (c == '\n')
+            ++line;
+    }
+    return out;
+}
+
+class Scanner {
+  public:
+    explicit Scanner(const Spliced& s) : s_(s) {}
+
+    std::vector<Token>
+    Run()
+    {
+        while (!AtEnd()) {
+            const char c = Peek();
+            if (c == '\n') {
+                at_line_start_ = true;
+                Advance();
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+                c == '\v') {
+                Advance();
+                continue;
+            }
+            if (c == '/' && Peek(1) == '/') {
+                SkipLineComment();
+                continue;
+            }
+            if (c == '/' && Peek(1) == '*') {
+                SkipBlockComment();
+                continue;
+            }
+            if (c == '#' && at_line_start_) {
+                LexDirective();
+                continue;
+            }
+            at_line_start_ = false;
+            if (IsIdentStart(c)) {
+                LexIdentOrPrefixedLiteral();
+                continue;
+            }
+            if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+                LexNumber();
+                continue;
+            }
+            if (c == '"') {
+                LexString();
+                continue;
+            }
+            if (c == '\'') {
+                LexChar();
+                continue;
+            }
+            LexPunct();
+        }
+        return std::move(tokens_);
+    }
+
+  private:
+    bool AtEnd() const { return i_ >= s_.text.size(); }
+
+    char
+    Peek(size_t ahead = 0) const
+    {
+        const size_t j = i_ + ahead;
+        return j < s_.text.size() ? s_.text[j] : '\0';
+    }
+
+    int Line() const
+    {
+        return i_ < s_.line.size() ? s_.line[i_]
+                                   : (s_.line.empty() ? 1 : s_.line.back());
+    }
+
+    void Advance(size_t n = 1) { i_ += n; }
+
+    void
+    Emit(TokenKind kind, std::string text, int line, bool angled = false)
+    {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line;
+        t.angled = angled;
+        tokens_.push_back(std::move(t));
+    }
+
+    void
+    SkipLineComment()
+    {
+        while (!AtEnd() && Peek() != '\n')
+            Advance();
+    }
+
+    void
+    SkipBlockComment()
+    {
+        Advance(2);
+        while (!AtEnd()) {
+            if (Peek() == '*' && Peek(1) == '/') {
+                Advance(2);
+                return;
+            }
+            Advance();
+        }
+    }
+
+    /** `#  name ...` — emits kDirective(name); #include additionally
+     *  emits the target as kIncludePath. The rest of the directive is
+     *  then lexed normally so rules see macro bodies and conditions. */
+    void
+    LexDirective()
+    {
+        const int line = Line();
+        Advance(); // '#'
+        while (Peek() == ' ' || Peek() == '\t')
+            Advance();
+        std::string name;
+        while (IsIdentChar(Peek())) {
+            name.push_back(Peek());
+            Advance();
+        }
+        Emit(TokenKind::kDirective, name, line);
+        at_line_start_ = false;
+        if (name != "include" && name != "include_next")
+            return;
+        while (Peek() == ' ' || Peek() == '\t')
+            Advance();
+        const char open = Peek();
+        if (open != '<' && open != '"')
+            return; // computed include (#include MACRO): lexed normally
+        const char close = open == '<' ? '>' : '"';
+        const int path_line = Line();
+        Advance();
+        std::string path;
+        while (!AtEnd() && Peek() != close && Peek() != '\n') {
+            path.push_back(Peek());
+            Advance();
+        }
+        if (Peek() == close)
+            Advance();
+        Emit(TokenKind::kIncludePath, path, path_line, open == '<');
+    }
+
+    /**
+     * An identifier — unless it is a literal prefix glued to a quote
+     * (R"...", u8"...", L'x', ...), in which case the whole thing is
+     * one literal token.
+     */
+    void
+    LexIdentOrPrefixedLiteral()
+    {
+        const int line = Line();
+        std::string text;
+        while (IsIdentChar(Peek())) {
+            text.push_back(Peek());
+            Advance();
+        }
+        const bool raw_prefix = text == "R" || text == "u8R" ||
+                                text == "uR" || text == "UR" ||
+                                text == "LR";
+        const bool enc_prefix =
+            text == "u8" || text == "u" || text == "U" || text == "L";
+        if (Peek() == '"' && raw_prefix) {
+            LexRawString(line);
+            return;
+        }
+        if (Peek() == '"' && enc_prefix) {
+            LexString();
+            return;
+        }
+        if (Peek() == '\'' && enc_prefix) {
+            LexChar();
+            return;
+        }
+        Emit(TokenKind::kIdent, std::move(text), line);
+    }
+
+    /** Ordinary "..." literal with escape handling; unterminated
+     *  literals end at the newline. Content is discarded. */
+    void
+    LexString()
+    {
+        const int line = Line();
+        Advance(); // opening quote
+        while (!AtEnd() && Peek() != '\n') {
+            if (Peek() == '\\') {
+                Advance(2);
+                continue;
+            }
+            if (Peek() == '"') {
+                Advance();
+                break;
+            }
+            Advance();
+        }
+        Emit(TokenKind::kString, "", line);
+    }
+
+    /** R"delim( ... )delim" — no escapes; the body may span lines and
+     *  contain comment markers and quotes. This is the construct the
+     *  old linter's StripCommentsAndStrings corrupted. */
+    void
+    LexRawString(int line)
+    {
+        Advance(); // opening quote
+        std::string delim;
+        while (!AtEnd() && Peek() != '(' && Peek() != '\n' &&
+               delim.size() < 16) {
+            delim.push_back(Peek());
+            Advance();
+        }
+        if (Peek() != '(') { // malformed; treat as ordinary string tail
+            Emit(TokenKind::kString, "", line);
+            return;
+        }
+        Advance(); // '('
+        const std::string closer = ")" + delim + "\"";
+        const size_t at = s_.text.find(closer, i_);
+        i_ = at == std::string::npos ? s_.text.size() : at + closer.size();
+        Emit(TokenKind::kString, "", line);
+    }
+
+    void
+    LexChar()
+    {
+        const int line = Line();
+        Advance(); // opening quote
+        while (!AtEnd() && Peek() != '\n') {
+            if (Peek() == '\\') {
+                Advance(2);
+                continue;
+            }
+            if (Peek() == '\'') {
+                Advance();
+                break;
+            }
+            Advance();
+        }
+        Emit(TokenKind::kChar, "", line);
+    }
+
+    /** pp-number: digits, identifier chars, '.', digit separators, and
+     *  signed exponents — one token for 1'000'000, 0x1.8p-3, 1e6f. */
+    void
+    LexNumber()
+    {
+        const int line = Line();
+        std::string text;
+        while (!AtEnd()) {
+            const char c = Peek();
+            if (IsIdentChar(c) || c == '.') {
+                text.push_back(c);
+                Advance();
+                if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+                    (Peek() == '+' || Peek() == '-')) {
+                    text.push_back(Peek());
+                    Advance();
+                }
+                continue;
+            }
+            if (c == '\'' && IsIdentChar(Peek(1))) { // digit separator
+                Advance();
+                continue;
+            }
+            break;
+        }
+        Emit(TokenKind::kNumber, std::move(text), line);
+    }
+
+    /** "::" and "->" are fused (rule patterns need them); everything
+     *  else is a single character, so template scans see '>' '>'
+     *  rather than a fused ">>". */
+    void
+    LexPunct()
+    {
+        const int line = Line();
+        const char c = Peek();
+        if (c == ':' && Peek(1) == ':') {
+            Advance(2);
+            Emit(TokenKind::kPunct, "::", line);
+            return;
+        }
+        if (c == '-' && Peek(1) == '>') {
+            Advance(2);
+            Emit(TokenKind::kPunct, "->", line);
+            return;
+        }
+        Advance();
+        Emit(TokenKind::kPunct, std::string(1, c), line);
+    }
+
+    const Spliced& s_;
+    size_t i_ = 0;
+    bool at_line_start_ = true;
+    std::vector<Token> tokens_;
+};
+
+} // namespace
+
+std::vector<Token>
+Tokenize(const std::string& source)
+{
+    const Spliced spliced = SpliceLines(source);
+    return Scanner(spliced).Run();
+}
+
+} // namespace analyze
+} // namespace sinan

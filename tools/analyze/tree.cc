@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The full-tree driver of sinan_analyze: walks the first-party roots,
+ * tokenizes every .cc/.h/.cpp, runs the per-file passes, collects the
+ * src/-internal include graph for the layering passes, then applies
+ * the two suppression layers —
+ *
+ *  1. the timing quarantine (wall-clock-read findings in blessed
+ *     files), and
+ *  2. the allowlist (any rule, scoped to one file) —
+ *
+ * tracking which entries matched. An exception that no longer matches
+ * any finding is stale and fails the run: exceptions must not outlive
+ * the code they excuse.
+ */
+#include "analyze.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace sinan {
+namespace analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+ReadFile(const fs::path& p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+AnalyzableFile(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp";
+}
+
+bool
+IsHeader(const std::string& rel)
+{
+    return rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+}
+
+/** Project include targets look like "dir/file.h" and resolve against
+ *  src/; system and third-party includes are angled or have no '/'. */
+bool
+ProjectInclude(const Token& t)
+{
+    return t.kind == TokenKind::kIncludePath && !t.angled &&
+           t.text.find('/') != std::string::npos;
+}
+
+} // namespace
+
+Report
+AnalyzeTree(const fs::path& root)
+{
+    Report report;
+    const Config cfg = LoadConfig(root);
+    report.errors = cfg.errors;
+
+    std::vector<Finding> raw;
+    std::vector<IncludeEdge> edges;
+
+    static const char* kRoots[] = {"src", "tools", "tests", "bench",
+                                   "examples"};
+    for (const char* dir : kRoots) {
+        const fs::path base = root / dir;
+        if (!fs::exists(base))
+            continue;
+        std::vector<fs::path> files;
+        for (const auto& ent : fs::recursive_directory_iterator(base)) {
+            if (ent.is_regular_file() && AnalyzableFile(ent.path()))
+                files.push_back(ent.path());
+        }
+        // Directory iteration order is filesystem-dependent; sort so
+        // the report (and the SARIF bytes) never depend on it.
+        std::sort(files.begin(), files.end());
+        for (const fs::path& p : files) {
+            const std::string rel =
+                fs::relative(p, root).generic_string();
+            // Fixtures violate rules on purpose (the self-test is
+            // their enforcement point).
+            if (rel.find("tools/analyze/fixtures") != std::string::npos)
+                continue;
+            ++report.files_scanned;
+            const std::vector<Token> tokens = Tokenize(ReadFile(p));
+            FileContext ctx;
+            ctx.rel = rel;
+            ctx.is_header = IsHeader(rel);
+            std::vector<Finding> fs_ = RunFilePasses(ctx, tokens);
+            raw.insert(raw.end(),
+                       std::make_move_iterator(fs_.begin()),
+                       std::make_move_iterator(fs_.end()));
+            if (rel.compare(0, 4, "src/") == 0) {
+                const std::string src_rel = rel.substr(4);
+                for (const Token& t : tokens) {
+                    if (!ProjectInclude(t))
+                        continue;
+                    IncludeEdge e;
+                    e.from = src_rel;
+                    e.to = t.text;
+                    e.line = t.line;
+                    edges.push_back(std::move(e));
+                }
+            }
+        }
+    }
+
+    {
+        std::vector<Finding> graph = RunGraphPasses(cfg, edges);
+        raw.insert(raw.end(),
+                   std::make_move_iterator(graph.begin()),
+                   std::make_move_iterator(graph.end()));
+    }
+
+    // Suppression layer 1: the timing quarantine.
+    std::set<std::string> quarantine_used;
+    // Suppression layer 2: the allowlist.
+    std::set<std::pair<std::string, std::string>> allowlist_used;
+    for (Finding& f : raw) {
+        if (f.rule == "wall-clock-read" &&
+            cfg.timing_quarantine.count(f.path) != 0) {
+            quarantine_used.insert(f.path);
+            continue;
+        }
+        const std::pair<std::string, std::string> key{f.rule, f.path};
+        if (cfg.allowlist.count(key) != 0) {
+            allowlist_used.insert(key);
+            continue;
+        }
+        report.findings.push_back(std::move(f));
+    }
+    std::sort(report.findings.begin(), report.findings.end(),
+              FindingLess);
+
+    for (const auto& [path, why] : cfg.timing_quarantine) {
+        (void)why;
+        if (quarantine_used.count(path) == 0)
+            report.errors.push_back(
+                "stale timing-quarantine entry (no wall-clock read "
+                "left in file): " + path);
+    }
+    for (const auto& [key, why] : cfg.allowlist) {
+        (void)why;
+        if (allowlist_used.count(key) == 0)
+            report.errors.push_back("stale allowlist entry: " +
+                                    key.first + " " + key.second);
+    }
+    return report;
+}
+
+} // namespace analyze
+} // namespace sinan
