@@ -176,8 +176,9 @@ namespace {
  *  CNN's forward caches). */
 class OwningSinan : public ResourceManager {
   public:
-    explicit OwningSinan(std::unique_ptr<HybridModel> model)
-        : model_(std::move(model)), sched_(*model_, SchedulerConfig{})
+    explicit OwningSinan(std::unique_ptr<HybridModel> model,
+                         const SchedulerConfig& cfg = SchedulerConfig{})
+        : model_(std::move(model)), sched_(*model_, cfg)
     {
     }
 
@@ -284,6 +285,15 @@ SweepManagersAcrossFaults(const Application& app,
         {"Sinan",
          [&] {
              return std::make_unique<OwningSinan>(trained.model->Clone());
+         }},
+        // Same model, uncertainty-aware decision policy: graded
+        // telemetry confidence instead of the binary ladder.
+        {"Sinan-U",
+         [&] {
+             SchedulerConfig cfg;
+             cfg.uncertainty.enabled = true;
+             return std::make_unique<OwningSinan>(trained.model->Clone(),
+                                                  cfg);
          }},
         {"AutoScaleCons",
          [] { return std::make_unique<AutoScaler>(MakeAutoScaleCons()); }},

@@ -81,12 +81,62 @@ ParseU64Arg(const char* flag, const std::string& v)
 [[noreturn]] void
 ListChaosScenarios()
 {
-    std::printf("named chaos scenarios (--faults chaos:NAME):\n");
-    for (const ChaosScenario& s : ChaosScenarios()) {
-        std::printf("  %-18s %-40s %s\n", s.name.c_str(),
-                    s.spec.c_str(), s.description.c_str());
-    }
+    std::fputs(FormatChaosCatalog().c_str(), stdout);
     std::exit(0);
+}
+
+/**
+ * Strict `--uncertainty` parser: "off" keeps the binary ladder;
+ * otherwise a comma-separated `margin=F,floor=F,decay=F` list (any
+ * subset, unknown keys rejected) enables the graded policy. Every
+ * value must parse as a number in [0, 1] — same exit-2 contract as
+ * --faults.
+ */
+UncertaintyConfig
+ParseUncertaintyArg(const std::string& v)
+{
+    UncertaintyConfig cfg;
+    if (v == "off")
+        return cfg;
+    if (v.empty())
+        SimUsage("--uncertainty expects 'off' or "
+                 "margin=F,floor=F,decay=F");
+    cfg.enabled = true;
+    size_t pos = 0;
+    for (;;) {
+        const size_t comma = v.find(',', pos);
+        const std::string item =
+            comma == std::string::npos ? v.substr(pos)
+                                       : v.substr(pos, comma - pos);
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= item.size())
+            SimUsage(("--uncertainty expects 'off' or "
+                      "margin=F,floor=F,decay=F, got '" +
+                      v + "'")
+                         .c_str());
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        double* field = nullptr;
+        if (key == "margin")
+            field = &cfg.margin_frac;
+        else if (key == "floor")
+            field = &cfg.floor;
+        else if (key == "decay")
+            field = &cfg.decay;
+        else
+            SimUsage(("--uncertainty: unknown key '" + key +
+                      "' (expected margin, floor, or decay)")
+                         .c_str());
+        *field = ParseDoubleArg(("--uncertainty " + key).c_str(), val);
+        if (*field < 0.0 || *field > 1.0)
+            SimUsage(("--uncertainty " + key + " must be in [0, 1]")
+                         .c_str());
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return cfg;
 }
 
 bool
@@ -121,6 +171,20 @@ TrainForCli(const Application& app, bool hotel, const SimOptions& opt)
 
 } // namespace
 
+std::string
+FormatChaosCatalog()
+{
+    std::string out = "named chaos scenarios (--faults chaos:NAME):\n";
+    for (const ChaosScenario& s : ChaosScenarios()) {
+        char line[512];
+        std::snprintf(line, sizeof line, "  %-18s %-40s %s\n",
+                      s.name.c_str(), s.spec.c_str(),
+                      s.description.c_str());
+        out += line;
+    }
+    return out;
+}
+
 [[noreturn]] void
 SimUsage(const char* msg)
 {
@@ -137,13 +201,21 @@ SimUsage(const char* msg)
         "                 [--simd on|off|auto]\n"
         "                 [--decision-log FILE] [--metrics FILE]\n"
         "                 [--faults SPEC]\n"
+        "                 [--uncertainty off|margin=F,floor=F,decay=F]\n"
         "                 [--fleet N] [--fleet-shard K:key=val[,...]]\n"
         "                 [--fleet-log FILE] [--fleet-report FILE]\n"
         "\n"
         "  --faults accepts 'kind@start[+dur][:tier=N,mag=X]' events\n"
         "  joined with ';' (kinds: stall caploss spike steal drop delay\n"
-        "  nan), a named scenario 'chaos:NAME', or 'list' to print the\n"
-        "  scenario catalog and exit.\n"
+        "  nan flash; correlated groups via tiers=A-B,jitter=N), a named\n"
+        "  scenario 'chaos:NAME', or 'list' to print the scenario\n"
+        "  catalog and exit.\n"
+        "\n"
+        "  --uncertainty grades telemetry confidence per tier and\n"
+        "  scales the sinan scheduler's caution with it (off keeps the\n"
+        "  binary fresh/degraded ladder; any of margin, floor, decay\n"
+        "  may be set, each in [0, 1]). Applies to the sinan manager in\n"
+        "  single-run and fleet mode alike.\n"
         "\n"
         "  --fleet N steps N clusters concurrently under one fleet\n"
         "  manager; --app/--manager/--users become fleet-wide shard\n"
@@ -252,6 +324,9 @@ ParseSimArgs(int argc, const char* const* argv)
             } catch (const std::exception& e) {
                 SimUsage(e.what());
             }
+        } else if (a == "--uncertainty") {
+            opt.uncertainty = ParseUncertaintyArg(need(i++));
+            opt.uncertainty_set = true;
         } else if (a == "--fleet") {
             opt.fleet = ParseIntArg("--fleet", need(i++));
             if (opt.fleet < 1)
@@ -356,6 +431,7 @@ BuildFleetConfig(const SimOptions& opt)
     cfg.duration_s = opt.duration_s;
     cfg.warmup_s = opt.warmup_s;
     cfg.seed = opt.seed;
+    cfg.scheduler.uncertainty = opt.uncertainty;
     return cfg;
 }
 

@@ -59,6 +59,10 @@ struct SimOptions {
     /** Fault-injection schedule (see sim/fault_injector.h). */
     FaultSchedule faults;
     bool faults_set = false;
+    /** Uncertainty-aware scheduling (--uncertainty; default off, which
+     *  reproduces the binary fresh/degraded ladder byte-for-byte). */
+    UncertaintyConfig uncertainty;
+    bool uncertainty_set = false;
 
     /** Fleet mode: number of clusters (0 = single-cluster mode). */
     int fleet = 0;
@@ -76,6 +80,13 @@ struct SimOptions {
  * convention every sinan_sim flag follows.
  */
 [[noreturn]] void SimUsage(const char* msg);
+
+/**
+ * Formats the chaos scenario catalog exactly as `--faults list` prints
+ * it (one header line plus one aligned row per scenario) — extracted so
+ * tests can golden-pin the listing without spawning the binary.
+ */
+std::string FormatChaosCatalog();
 
 /**
  * Parses and cross-validates argv. On any malformed or inconsistent

@@ -82,6 +82,19 @@ struct IntervalObservation {
     }
 };
 
+/** True when every numeric field of @p t is finite. Tier-targeted NaN
+ *  faults poison individual tiers, so graded telemetry assessment
+ *  (core/telemetry_guard.h) needs the per-tier check on its own. */
+inline bool
+TierMetricsFinite(const TierMetrics& t)
+{
+    return std::isfinite(t.cpu_limit) && std::isfinite(t.cpu_used) &&
+           std::isfinite(t.rss_mb) && std::isfinite(t.cache_mb) &&
+           std::isfinite(t.rx_pps) && std::isfinite(t.tx_pps) &&
+           std::isfinite(t.queue_len) && std::isfinite(t.active) &&
+           std::isfinite(t.queue_wait_s);
+}
+
 /** True when every numeric field of @p obs is finite. Fault injection
  *  (sim/fault_injector.h) can deliver NaN-poisoned observations; this
  *  is the check managers run before trusting one. */
@@ -96,11 +109,7 @@ ObservationFinite(const IntervalObservation& obs)
             return false;
     }
     for (const TierMetrics& t : obs.tiers) {
-        if (!std::isfinite(t.cpu_limit) || !std::isfinite(t.cpu_used) ||
-            !std::isfinite(t.rss_mb) || !std::isfinite(t.cache_mb) ||
-            !std::isfinite(t.rx_pps) || !std::isfinite(t.tx_pps) ||
-            !std::isfinite(t.queue_len) || !std::isfinite(t.active) ||
-            !std::isfinite(t.queue_wait_s))
+        if (!TierMetricsFinite(t))
             return false;
     }
     return true;

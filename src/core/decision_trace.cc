@@ -38,6 +38,8 @@ ToString(CandidateOutcome outcome)
         return "violation_prob";
     case CandidateOutcome::kRejectedDegradedTelemetry:
         return "degraded_telemetry";
+    case CandidateOutcome::kRejectedUncertaintyStep:
+        return "uncertainty_step";
     case CandidateOutcome::kNotCheapest:
         return "not_cheapest";
     }
@@ -66,6 +68,8 @@ ToString(DecisionKind kind)
         return "degraded_hold";
     case DecisionKind::kWatchdogUpscale:
         return "watchdog_upscale";
+    case DecisionKind::kUncertainModel:
+        return "uncertain_model";
     }
     return "unknown";
 }

@@ -66,6 +66,9 @@ enum class CandidateOutcome {
     /** Down-action rejected: deciding on degraded (last-known-good)
      *  telemetry, where reclaiming would be flying blind. */
     kRejectedDegradedTelemetry,
+    /** Down-action rejected on the uncertainty-aware path: its CPU
+     *  reduction exceeds the confidence-scaled step-down budget. */
+    kRejectedUncertaintyStep,
     /** Passed every filter but a cheaper candidate won. */
     kNotCheapest,
 };
@@ -93,6 +96,10 @@ enum class DecisionKind {
     /** Watchdog: telemetry silent for too many consecutive intervals,
      *  forced blanket scale-up. */
     kWatchdogUpscale,
+    /** Uncertainty-aware path: partially-trusted telemetry repaired
+     *  from the last-known-good observation, model consulted with a
+     *  widened margin and a confidence-scaled step-down budget. */
+    kUncertainModel,
 };
 
 const char* ToString(ActionKind kind);
@@ -154,6 +161,18 @@ struct DecisionTraceEntry {
     double margin_ms = -1.0;
     /** Whether hysteresis permitted reclaim this interval. */
     bool may_reclaim = false;
+
+    /** Scheduler's confidence in this interval's telemetry: 1 on the
+     *  fresh path, the graded scalar on the uncertainty-aware paths,
+     *  0 on the binary degraded ladder. */
+    double confidence = 1.0;
+    /** Extra latency margin (ms) the uncertainty policy derived for
+     *  this interval (margin_frac * QoS * (1 - confidence)); 0 outside
+     *  the uncertainty-aware path. */
+    double uncertainty_margin_ms = 0.0;
+    /** Per-tier confidence vector; empty when no per-tier assessment
+     *  ran (fresh path, or uncertainty policy disabled). */
+    std::vector<double> tier_confidence;
 
     /** Index of the chosen candidate, -1 when none was applied. */
     int chosen = -1;

@@ -207,9 +207,24 @@ SinanScheduler::Decide(const IntervalObservation& obs,
                            app.tiers[i].max_cpu + 1e-9);
     }
 
+    if (cfg_.uncertainty.enabled) {
+        const TelemetryAssessment assess =
+            guard_.Assess(obs, cfg_.uncertainty.decay);
+        if (assess.health == TelemetryHealth::kFresh)
+            return DecideFresh(obs, alloc, app);
+        // The graded path needs a repair reference and a full model
+        // window; below the confidence floor (or without either) the
+        // binary ladder handles the interval — the ladder is the
+        // limit case of zero confidence.
+        if (assess.confidence >= cfg_.uncertainty.floor &&
+            assess.confidence > 0.0 && guard_.HasLastGood() &&
+            window_.Ready())
+            return DecideUncertain(assess, obs, alloc, app);
+        return DecideDegraded(assess.health, alloc, app, &assess);
+    }
     const TelemetryHealth health = guard_.Classify(obs);
     if (health != TelemetryHealth::kFresh)
-        return DecideDegraded(health, alloc, app);
+        return DecideDegraded(health, alloc, app, nullptr);
     return DecideFresh(obs, alloc, app);
 }
 
@@ -533,7 +548,8 @@ SinanScheduler::DecideFresh(const IntervalObservation& obs,
 std::vector<double>
 SinanScheduler::DecideDegraded(TelemetryHealth health,
                                const std::vector<double>& alloc,
-                               const Application& app)
+                               const Application& app,
+                               const TelemetryAssessment* assess)
 {
     const double qos = model_->Features().qos_ms;
     const int n = static_cast<int>(alloc.size());
@@ -571,6 +587,12 @@ SinanScheduler::DecideDegraded(TelemetryHealth health,
             ent->mispredictions = mispredictions_;
             ent->healthy_streak = healthy_streak_;
             ent->consecutive_violations = consecutive_violations_;
+            // On the binary ladder the telemetry is not trusted at
+            // all; with the graded policy active the assessment that
+            // routed the interval here is recorded as-is.
+            ent->confidence = assess ? assess->confidence : 0.0;
+            if (assess)
+                ent->tier_confidence = assess->tier_confidence;
         }
         ++interval_idx_;
         count("sinan.scheduler.decisions");
@@ -729,6 +751,272 @@ SinanScheduler::DecideDegraded(TelemetryHealth health,
     count("sinan.scheduler.degraded_hold");
     age_victims();
     return alloc;
+}
+
+std::vector<double>
+SinanScheduler::DecideUncertain(const TelemetryAssessment& assess,
+                                const IntervalObservation& obs,
+                                const std::vector<double>& alloc,
+                                const Application& app)
+{
+    const double qos = model_->Features().qos_ms;
+    const int n = static_cast<int>(alloc.size());
+    // Including this interval; the guard advances in commit(), so a
+    // run of partially-trusted intervals keeps decaying the stale
+    // confidence until the ladder takes over.
+    const int silent = guard_.SilentIntervals() + 1;
+
+    // ---- analysis ----------------------------------------------------
+    // Zero-confidence channels are imputed from the last-known-good
+    // picture; everything else is the delivered frame.
+    const IntervalObservation repaired = guard_.Repair(obs, assess);
+    const double umargin = cfg_.uncertainty.margin_frac * qos *
+                           (1.0 - assess.confidence);
+    const double pv_widen =
+        cfg_.uncertainty.margin_frac * (1.0 - assess.confidence);
+
+    // The QoS channel is only actionable when the latency percentiles
+    // were genuinely delivered this interval (tier-targeted NaN leaves
+    // them real; a stale or imputed vector proves nothing).
+    const bool violated = assess.latency_fresh && repaired.P99() > qos;
+    const int healthy = (assess.latency_fresh &&
+                         repaired.P99() <= cfg_.healthy_frac * qos)
+                            ? healthy_streak_ + 1
+                            : 0;
+
+    auto count = [&](const char* name) {
+        if (metrics_)
+            metrics_->Inc(name);
+    };
+
+    // ---- commit ------------------------------------------------------
+    // Trust scoring freezes like the degraded path: predictions made
+    // on repaired data are never graded against later observations,
+    // and the repaired frame is never committed to the fresh-only
+    // history window. The healthy streak, unlike the blind ladder, may
+    // keep advancing — a real delivered latency below the comfort
+    // threshold is evidence, whatever the tier channels did.
+    auto commit = [&](DecisionKind kind) -> DecisionTraceEntry* {
+        guard_.CommitDegraded();
+        healthy_streak_ = healthy;
+        pending_pred_p99_ = -1.0;
+
+        DecisionTraceEntry* ent = nullptr;
+        if (trace_) {
+            trace_->intervals.emplace_back();
+            ent = &trace_->intervals.back();
+            ent->interval = interval_idx_;
+            ent->kind = kind;
+            ent->observed_p99_ms =
+                assess.latency_fresh ? repaired.P99() : -1.0;
+            ent->violated = violated;
+            ent->telemetry = assess.health;
+            ent->silent_intervals = silent;
+            ent->trust_reduced = trust_reduced_;
+            ent->mispredictions = mispredictions_;
+            ent->healthy_streak = healthy_streak_;
+            ent->consecutive_violations = consecutive_violations_;
+            ent->confidence = assess.confidence;
+            ent->tier_confidence = assess.tier_confidence;
+            ent->uncertainty_margin_ms = umargin;
+        }
+        ++interval_idx_;
+        count("sinan.scheduler.decisions");
+        count("sinan.scheduler.uncertain");
+        if (metrics_) {
+            metrics_->Inc(std::string("sinan.scheduler.telemetry.") +
+                          ToString(assess.health));
+            metrics_->Set("sinan.scheduler.silent_intervals", silent);
+            metrics_->Set("sinan.scheduler.healthy_streak",
+                          healthy_streak_);
+            metrics_->Set("sinan.scheduler.confidence",
+                          assess.confidence);
+            if (assess.latency_fresh) {
+                metrics_->Observe("sinan.scheduler.observed_p99_ms",
+                                  repaired.P99(), LatencyBounds());
+            }
+        }
+        return ent;
+    };
+
+    // Safety first: a genuinely observed violation gets the fresh
+    // path's blanket upscale. It never escalates here — escalation
+    // counts consecutive violations, and that counter only advances on
+    // the fresh path where the full observation backs it.
+    if (violated) {
+        std::vector<double> a = alloc;
+        for (int i = 0; i < n; ++i) {
+            const bool hot = repaired.tiers[i].Utilization() > 0.7;
+            const double factor = hot ? 1.5 : 1.0 + cfg_.up_all_ratio;
+            a[i] = std::min(app.tiers[i].max_cpu, a[i] * factor + 0.2);
+        }
+        recent_victims_.clear();
+        last_pred_p99_ = -1.0;
+        last_pred_pv_ = -1.0;
+        commit(DecisionKind::kFallback);
+        count("sinan.scheduler.fallbacks");
+        return a;
+    }
+
+    // Model path on the repaired observation. The evaluation window is
+    // the fresh-only history plus the repaired frame — except when the
+    // frame is stale, in which case it already *is* the newest
+    // committed picture and pushing it again would double-count it.
+    MetricWindow eval_window = window_;
+    if (assess.health != TelemetryHealth::kStale)
+        eval_window.Push(repaired);
+
+    const std::vector<Candidate> cands =
+        BuildCandidates(repaired, alloc, app);
+    eval_allocs_.resize(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i)
+        eval_allocs_[i] = cands[i].alloc;
+    const std::vector<Prediction> preds =
+        model_->Evaluate(eval_window, eval_allocs_);
+    SINAN_CHECK_EQ(preds.size(), cands.size());
+    for (const Prediction& p : preds) {
+        SINAN_CHECK_FINITE(p.P99());
+        SINAN_CHECK_BOUNDS(p.p_violation, 0.0, 1.0);
+    }
+
+    // The fresh path's margin, widened by the uncertainty margin: the
+    // less the frame is trusted, the more headroom a candidate must
+    // predict before it is acceptable.
+    const double margin =
+        std::min(model_->ValRmseSubQosMs(), cfg_.margin_cap_frac * qos) *
+            (trust_reduced_ ? 2.0 : 1.0) +
+        umargin;
+
+    const bool may_reclaim = healthy >= cfg_.reclaim_after_healthy;
+
+    // Aggressiveness proportional to confidence: the CPU reclaim on
+    // offer this interval is capped at confidence times the largest
+    // step-down among the candidates, so a half-trusted fleet reclaims
+    // in small steps instead of either fully or not at all.
+    const double cur_total =
+        std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    double max_down = 0.0;
+    for (const Candidate& c : cands) {
+        if (c.IsDown())
+            max_down = std::max(max_down, cur_total - c.total_cpu);
+    }
+    const double down_budget = assess.confidence * max_down;
+
+    int best = -1;
+    std::vector<CandidateOutcome> outcomes(
+        cands.size(), CandidateOutcome::kNotCheapest);
+    for (size_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].IsDown()) {
+            if (!may_reclaim) {
+                outcomes[i] = CandidateOutcome::kRejectedHysteresis;
+                continue;
+            }
+            if (cur_total - cands[i].total_cpu > down_budget + 1e-9) {
+                outcomes[i] =
+                    CandidateOutcome::kRejectedUncertaintyStep;
+                continue;
+            }
+            bool saturates = false;
+            for (int j = 0; j < n && !saturates; ++j) {
+                saturates = repaired.tiers[j].cpu_used >
+                            cfg_.post_down_util_cap * cands[i].alloc[j];
+            }
+            if (saturates) {
+                outcomes[i] =
+                    CandidateOutcome::kRejectedPostDownSaturation;
+                continue;
+            }
+        }
+        const bool latency_ok = preds[i].P99() <= qos - margin;
+        const double pv = preds[i].p_violation + pv_widen;
+        const bool prob_ok =
+            cands[i].IsDown() ? pv < cfg_.p_down : pv < cfg_.p_up;
+        if (!latency_ok) {
+            outcomes[i] = CandidateOutcome::kRejectedLatencyMargin;
+            continue;
+        }
+        if (!prob_ok) {
+            outcomes[i] = CandidateOutcome::kRejectedViolationProb;
+            continue;
+        }
+        if (best < 0 || cands[i].total_cpu < cands[best].total_cpu)
+            best = static_cast<int>(i);
+    }
+    if (best >= 0)
+        outcomes[best] = CandidateOutcome::kChosen;
+
+    // ---- commit (model path) ----------------------------------------
+    DecisionTraceEntry* ent = commit(
+        best >= 0 ? DecisionKind::kUncertainModel
+                  : DecisionKind::kNoFeasibleUpscale);
+
+    if (metrics_) {
+        metrics_->Inc("sinan.scheduler.candidates", cands.size());
+        for (size_t i = 0; i < cands.size(); ++i) {
+            metrics_->Inc(std::string("sinan.scheduler.outcome.") +
+                          ToString(outcomes[i]));
+            metrics_->Observe("sinan.scheduler.pred_p99_ms",
+                              preds[i].P99(), LatencyBounds());
+            metrics_->Observe("sinan.scheduler.pred_p_violation",
+                              preds[i].p_violation, ProbabilityBounds());
+        }
+        if (best >= 0) {
+            metrics_->Inc(std::string("sinan.scheduler.chosen.") +
+                          ToString(cands[best].kind));
+        }
+    }
+    if (ent) {
+        ent->margin_ms = margin;
+        ent->may_reclaim = may_reclaim;
+        ent->chosen = best;
+        ent->candidates.reserve(cands.size());
+        for (size_t i = 0; i < cands.size(); ++i) {
+            CandidateTrace ct;
+            ct.kind = cands[i].kind;
+            ct.total_cpu = cands[i].total_cpu;
+            ct.latency_ms = preds[i].latency_ms;
+            ct.p_violation = preds[i].p_violation;
+            ct.outcome = outcomes[i];
+            ent->candidates.push_back(std::move(ct));
+        }
+    }
+
+    std::vector<double> chosen;
+    if (best >= 0) {
+        chosen = cands[best].alloc;
+        last_pred_p99_ = preds[best].P99();
+        last_pred_pv_ = preds[best].p_violation;
+        count("sinan.scheduler.uncertain_model");
+    } else {
+        chosen.resize(n);
+        for (int i = 0; i < n; ++i) {
+            chosen[i] = std::min(app.tiers[i].max_cpu,
+                                 alloc[i] * (1.0 + cfg_.up_all_ratio) +
+                                     0.2);
+        }
+        last_pred_p99_ = -1.0;
+        last_pred_pv_ = -1.0;
+        count("sinan.scheduler.no_feasible");
+    }
+
+#ifndef SINAN_DISABLE_DCHECKS
+    for (int i = 0; i < n; ++i) {
+        SINAN_DCHECK_BOUNDS(chosen[i], app.tiers[i].min_cpu - 1e-9,
+                            app.tiers[i].max_cpu + 1e-9);
+    }
+#endif
+
+    // Record this interval's victims for Scale Up Victim.
+    std::vector<int> victims;
+    for (int i = 0; i < n; ++i) {
+        if (chosen[i] < alloc[i] - 1e-9)
+            victims.push_back(i);
+    }
+    recent_victims_.push_back(std::move(victims));
+    while (static_cast<int>(recent_victims_.size()) > cfg_.victim_window)
+        recent_victims_.pop_front();
+
+    return chosen;
 }
 
 } // namespace sinan

@@ -24,6 +24,37 @@
 
 namespace sinan {
 
+/**
+ * Graded telemetry-confidence policy (the ROADMAP's
+ * telemetry-uncertainty-aware scheduling). Disabled by default: the
+ * binary fresh/degraded ladder stays the baseline behaviour, and
+ * `--uncertainty=off` maps to enabled=false, so every pre-existing
+ * decision sequence is reproduced bit-for-bit unless a run opts in.
+ *
+ * When enabled, Decide() grades each observation with
+ * TelemetryGuard::Assess and, for confidence in [floor, 1):
+ *  - widens the latency filter by margin_frac * QoS * (1 - confidence)
+ *    and the violation-probability thresholds by
+ *    margin_frac * (1 - confidence),
+ *  - caps the per-interval CPU reclaim at confidence times the largest
+ *    step-down on offer (aggressiveness proportional to confidence),
+ *  - repairs zero-confidence tiers from the last-known-good picture.
+ * Below the floor the existing degradation ladder takes over — the
+ * ladder is the limit case of zero confidence, not a separate mode.
+ */
+struct UncertaintyConfig {
+    bool enabled = false;
+    /** Extra margin at zero confidence, as a fraction of QoS (latency
+     *  filter) and as an absolute probability widening (p_d / p_u). */
+    double margin_frac = 0.15;
+    /** Confidence floor below which the binary ladder handles the
+     *  interval (degraded model / heuristic / hold / watchdog). */
+    double floor = 0.35;
+    /** Per-silent-interval staleness decay: an observation stale by k
+     *  intervals has confidence decay^k. */
+    double decay = 0.6;
+};
+
 /** Scheduler thresholds and action-space knobs. */
 struct SchedulerConfig {
     /** Violation-probability threshold enabling scale-down actions. */
@@ -73,6 +104,8 @@ struct SchedulerConfig {
      *  resort against load shifting under a frozen allocation while
      *  the manager is blind. 0 disables the watchdog. */
     int watchdog_silent_after = 3;
+    /** Graded-confidence policy (off by default; see above). */
+    UncertaintyConfig uncertainty;
 };
 
 /** The Sinan resource manager. */
@@ -164,7 +197,23 @@ class SinanScheduler : public ResourceManager {
      */
     std::vector<double> DecideDegraded(TelemetryHealth health,
                                        const std::vector<double>& alloc,
-                                       const Application& app);
+                                       const Application& app,
+                                       const TelemetryAssessment* assess);
+
+    /**
+     * Uncertainty-aware path for partially-trusted telemetry
+     * (confidence in [floor, 1)): the observation is repaired from the
+     * last-known-good picture, the model is consulted with the filter
+     * margins widened by the uncertainty margin, and the step-down
+     * budget shrinks proportionally to confidence. Trust scoring stays
+     * frozen (predictions made on repaired data are never graded), and
+     * the guard's silent counter advances so persistent staleness
+     * decays into the binary ladder.
+     */
+    std::vector<double> DecideUncertain(const TelemetryAssessment& assess,
+                                        const IntervalObservation& obs,
+                                        const std::vector<double>& alloc,
+                                        const Application& app);
 
     /** AutoScaleCons-style utilization stepping (warm-up and the
      *  degraded heuristic); @p aggressive grows every tier. */

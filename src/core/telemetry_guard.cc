@@ -1,6 +1,9 @@
 #include "core/telemetry_guard.h"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace sinan {
 
@@ -25,6 +28,85 @@ TelemetryGuard::Classify(const IntervalObservation& obs) const
     if (has_last_good_ && obs.time_s <= last_good_.time_s)
         return TelemetryHealth::kStale;
     return TelemetryHealth::kFresh;
+}
+
+TelemetryAssessment
+TelemetryGuard::Assess(const IntervalObservation& obs,
+                       double stale_decay) const
+{
+    SINAN_CHECK_BOUNDS(stale_decay, 0.0, 1.0);
+    TelemetryAssessment a;
+    a.health = Classify(obs);
+    a.tier_confidence.assign(static_cast<size_t>(expected_tiers_), 0.0);
+
+    switch (a.health) {
+    case TelemetryHealth::kFresh:
+        for (double& c : a.tier_confidence)
+            c = 1.0;
+        a.latency_fresh = true;
+        a.confidence = 1.0;
+        break;
+    case TelemetryHealth::kStale: {
+        // Classify() already established a finite payload; the frame
+        // is a coherent old picture, stale by k intervals counting
+        // this one (the guard advances its counter at commit time).
+        const double c =
+            std::pow(stale_decay, static_cast<double>(silent_ + 1));
+        for (double& tc : a.tier_confidence)
+            tc = c;
+        a.latency_fresh = false;
+        a.confidence = c;
+        break;
+    }
+    case TelemetryHealth::kNonFinite: {
+        // Grade per channel: a NaN-poisoned global frame invalidates
+        // everything, but tier-targeted poisoning leaves the other
+        // tiers — and possibly the latency percentiles — usable.
+        if (!std::isfinite(obs.time_s) || !std::isfinite(obs.rps) ||
+            !std::isfinite(obs.completed_rps))
+            break;
+        double sum = 0.0;
+        for (int i = 0; i < expected_tiers_; ++i) {
+            const double c =
+                TierMetricsFinite(obs.tiers[static_cast<size_t>(i)])
+                    ? 1.0
+                    : 0.0;
+            a.tier_confidence[static_cast<size_t>(i)] = c;
+            sum += c;
+        }
+        bool lat_ok = true;
+        for (double v : obs.latency_ms)
+            lat_ok = lat_ok && std::isfinite(v);
+        a.latency_fresh = lat_ok;
+        a.confidence = ((lat_ok ? 1.0 : 0.0) + sum) /
+                       static_cast<double>(expected_tiers_ + 1);
+        break;
+    }
+    case TelemetryHealth::kAbsent:
+        break;
+    }
+    return a;
+}
+
+IntervalObservation
+TelemetryGuard::Repair(const IntervalObservation& obs,
+                       const TelemetryAssessment& a) const
+{
+    SINAN_CHECK(has_last_good_);
+    IntervalObservation out = obs;
+    if (a.health != TelemetryHealth::kNonFinite)
+        return out;
+    if (!std::isfinite(out.rps))
+        out.rps = last_good_.rps;
+    if (!std::isfinite(out.completed_rps))
+        out.completed_rps = last_good_.completed_rps;
+    for (size_t i = 0; i < out.tiers.size(); ++i) {
+        if (i < a.tier_confidence.size() && a.tier_confidence[i] <= 0.0)
+            out.tiers[i] = last_good_.tiers[i];
+    }
+    if (!a.latency_fresh)
+        out.latency_ms = last_good_.latency_ms;
+    return out;
 }
 
 void

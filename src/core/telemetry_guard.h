@@ -24,6 +24,33 @@
 
 namespace sinan {
 
+/**
+ * Graded, per-tier view of one observation's quality — the
+ * uncertainty-aware extension of the binary Classify() verdict.
+ *
+ * `health` is exactly what Classify() returns for the same
+ * observation, so the trace's telemetry column keeps its meaning.
+ * `tier_confidence[i]` grades tier i in [0,1]: 1 for a fresh finite
+ * tier, 0 for a non-finite or absent one, and decay^k for an
+ * observation that is stale by k intervals (k counts this interval,
+ * i.e. k = SilentIntervals() + 1 at assessment time). `confidence`
+ * aggregates the latency channel and the tiers with equal weight:
+ *   (latency_fresh + sum(tier_confidence)) / (n_tiers + 1),
+ * so a single NaN tier in a 6-tier observation with real latency
+ * scores 6/7, while a fully blind interval scores 0.
+ */
+struct TelemetryAssessment {
+    /** Binary classification (identical to Classify()). */
+    TelemetryHealth health = TelemetryHealth::kAbsent;
+    /** Per-tier confidence in [0,1]; size = expected tier count. */
+    std::vector<double> tier_confidence;
+    /** True when the latency percentiles were delivered this interval
+     *  and are finite (the QoS channel is trustworthy). */
+    bool latency_fresh = false;
+    /** Scalar confidence in [0,1] (see struct comment). */
+    double confidence = 0.0;
+};
+
 /** See file comment. One instance per scheduler. */
 class TelemetryGuard {
   public:
@@ -32,6 +59,27 @@ class TelemetryGuard {
 
     /** Classifies without mutating any state. */
     TelemetryHealth Classify(const IntervalObservation& obs) const;
+
+    /**
+     * Grades @p obs per tier without mutating any state.
+     * @param stale_decay per-interval staleness decay in [0,1]: a
+     *   stale-by-k observation's confidence is stale_decay^k, so runs
+     *   of redelivered telemetry sink toward 0 and (below the
+     *   scheduler's confidence floor) re-enter the binary ladder.
+     */
+    TelemetryAssessment Assess(const IntervalObservation& obs,
+                               double stale_decay) const;
+
+    /**
+     * Copy of @p obs with every zero-confidence piece imputed from the
+     * last known-good observation: non-finite tiers are replaced
+     * wholesale, and a missing/non-finite latency vector is replaced
+     * by the last good one. Requires HasLastGood(); stale or fresh
+     * observations pass through unchanged (a stale frame is a coherent
+     * old picture, not a corrupt one).
+     */
+    IntervalObservation Repair(const IntervalObservation& obs,
+                               const TelemetryAssessment& a) const;
 
     /** Records a fresh observation: new last-known-good, silent
      *  counter cleared. */

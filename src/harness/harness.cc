@@ -41,6 +41,7 @@ ManagedRun::ManagedRun(const Application& app, ResourceManager& manager,
             cfg.faults, cfg.sim.interval_s);
         injector_->AttachMetrics(&result_.metrics);
         injector_->ApplyClusterFaults(0, 0.0, cluster_);
+        gen_.SetRateMultiplier(injector_->RateMultiplierAt(0));
     }
 
     sim_.AddTickable(
@@ -114,8 +115,13 @@ ManagedRun::DecideAndApply()
     const std::vector<double> next =
         manager_.Decide(pending_managed_, pending_rec_.alloc, app_);
     cluster_.SetAllocation(next);
-    if (injector_)
+    if (injector_) {
         injector_->ApplyClusterFaults(interval + 1, now, cluster_);
+        // Flash-crowd events multiply the arrival rate for the coming
+        // interval (the cluster-side counterpart is applied above).
+        gen_.SetRateMultiplier(
+            injector_->RateMultiplierAt(interval + 1));
+    }
     // Stamp the simulation time onto whatever the manager traced
     // for this decision (the scheduler has no notion of time).
     for (size_t i = traced;

@@ -21,7 +21,15 @@ AppendEntryPrefix(std::ostringstream& out, const DecisionTraceEntry& e)
         << ',' << (e.trust_lost ? 1 : 0) << ','
         << (e.trust_restored ? 1 : 0) << ',' << ToString(e.telemetry)
         << ',' << e.silent_intervals << ',' << e.margin_ms << ','
-        << (e.may_reclaim ? 1 : 0);
+        << (e.may_reclaim ? 1 : 0) << ',' << e.confidence << ','
+        << e.uncertainty_margin_ms << ',';
+    // The per-tier confidence vector is one CSV cell: '|'-separated so
+    // the column count stays fixed across tier counts.
+    for (size_t i = 0; i < e.tier_confidence.size(); ++i) {
+        if (i)
+            out << '|';
+        out << e.tier_confidence[i];
+    }
 }
 
 bool
@@ -41,8 +49,9 @@ DecisionTraceToCsv(const DecisionTrace& trace)
     out << "time_s,interval,decision,observed_p99_ms,violated,"
            "trust_reduced,mispredictions,healthy_streak,"
            "consecutive_violations,trust_lost,trust_restored,telemetry,"
-           "silent_intervals,margin_ms,"
-           "may_reclaim,candidate,action,total_cpu";
+           "silent_intervals,margin_ms,may_reclaim,"
+           "confidence,uncertainty_margin_ms,tier_confidence,"
+           "candidate,action,total_cpu";
     for (int p = 0; p < kPercentiles; ++p)
         out << ",pred_p" << (95 + p) << "_ms";
     out << ",p_violation,outcome\n";
@@ -108,7 +117,12 @@ DecisionTraceToJson(const DecisionTrace& trace)
             << ", \"margin_ms\": " << e.margin_ms
             << ", \"may_reclaim\": "
             << (e.may_reclaim ? "true" : "false")
-            << ", \"chosen\": " << e.chosen << ",\n   \"candidates\": [";
+            << ", \"confidence\": " << e.confidence
+            << ", \"uncertainty_margin_ms\": " << e.uncertainty_margin_ms
+            << ", \"tier_confidence\": [";
+        for (size_t t = 0; t < e.tier_confidence.size(); ++t)
+            out << (t ? ", " : "") << e.tier_confidence[t];
+        out << "], \"chosen\": " << e.chosen << ",\n   \"candidates\": [";
         for (size_t c = 0; c < e.candidates.size(); ++c) {
             const CandidateTrace& ct = e.candidates[c];
             out << (c ? ",\n     " : "\n     ") << "{\"action\": \""
@@ -181,6 +195,8 @@ SummarizeTelemetry(const MetricsRegistry& reg)
         reg.Counter("sinan.scheduler.degraded_heuristic");
     s.degraded_hold = reg.Counter("sinan.scheduler.degraded_hold");
     s.watchdog_upscales = reg.Counter("sinan.scheduler.watchdog");
+    s.uncertain = reg.Counter("sinan.scheduler.uncertain");
+    s.uncertain_model = reg.Counter("sinan.scheduler.uncertain_model");
     return s;
 }
 

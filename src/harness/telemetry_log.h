@@ -25,8 +25,10 @@ namespace sinan {
  *   time_s, interval, decision, observed_p99_ms, violated,
  *   trust_reduced, mispredictions, healthy_streak,
  *   consecutive_violations, trust_lost, trust_restored, telemetry,
- *   silent_intervals, margin_ms, may_reclaim, candidate, action,
- *   total_cpu, pred_p95_ms..pred_p99_ms, p_violation, outcome
+ *   silent_intervals, margin_ms, may_reclaim, confidence,
+ *   uncertainty_margin_ms, tier_confidence ('|'-separated vector),
+ *   candidate, action, total_cpu, pred_p95_ms..pred_p99_ms,
+ *   p_violation, outcome
  */
 std::string DecisionTraceToCsv(const DecisionTrace& trace);
 
@@ -63,6 +65,11 @@ struct TelemetrySummary {
     uint64_t degraded_heuristic = 0;
     uint64_t degraded_hold = 0;
     uint64_t watchdog_upscales = 0;
+    /** Uncertainty-aware intervals (partially-trusted telemetry with
+     *  the graded policy enabled), and the subset decided by a
+     *  model-filtered candidate. */
+    uint64_t uncertain = 0;
+    uint64_t uncertain_model = 0;
 
     /** Fraction of evaluated predictions that proved out (1 when the
      *  manager made no predictions). */

@@ -72,6 +72,8 @@ ParseKind(const std::string& word, const std::string& ctx)
         return FaultKind::kTelemetryDelay;
     if (word == "nan")
         return FaultKind::kTelemetryNan;
+    if (word == "flash")
+        return FaultKind::kFlashCrowd;
     Bad("unknown fault kind '" + word + "'", ctx);
 }
 
@@ -84,6 +86,8 @@ DefaultMagnitude(FaultKind kind)
         return 0.5;
     case FaultKind::kLatencySpike:
         return 500.0; // ms
+    case FaultKind::kFlashCrowd:
+        return 2.0; // rate multiplier
     default:
         return 0.0;
     }
@@ -139,12 +143,32 @@ ParseEvent(const std::string& text)
                 tier > std::numeric_limits<int>::max())
                 Bad("tier out of range", t);
             ev.tier = static_cast<int>(tier);
+            ev.tier_hi = -1;
+        } else if (key == "tiers") {
+            const std::string range = Trim(val);
+            const size_t dash = range.find('-');
+            if (dash == std::string::npos || dash == 0)
+                Bad("tiers needs a 'lo-hi' range", t);
+            const int64_t lo = ParseInt(range.substr(0, dash), t);
+            const int64_t hi = ParseInt(range.substr(dash + 1), t);
+            if (lo < 0 || hi < lo ||
+                hi > std::numeric_limits<int>::max())
+                Bad("tiers range must satisfy 0 <= lo <= hi", t);
+            ev.tier = static_cast<int>(lo);
+            ev.tier_hi = static_cast<int>(hi);
+        } else if (key == "jitter") {
+            const int64_t jit = ParseInt(val, t);
+            if (jit < 0)
+                Bad("jitter must be >= 0", t);
+            ev.jitter = jit;
         } else if (key == "mag") {
             ev.magnitude = ParseDouble(val, t);
         } else {
             Bad("unknown parameter '" + key + "'", t);
         }
     }
+    if (ev.jitter != 0 && ev.tier_hi < 0)
+        Bad("jitter requires a tiers= group", t);
 
     switch (ev.kind) {
     case FaultKind::kCapacityLoss:
@@ -153,6 +177,7 @@ ParseEvent(const std::string& text)
             Bad("mag must be in (0, 1]", t);
         break;
     case FaultKind::kLatencySpike:
+    case FaultKind::kFlashCrowd:
         if (!(ev.magnitude > 0.0))
             Bad("mag must be > 0", t);
         break;
@@ -182,6 +207,8 @@ ToString(FaultKind kind)
         return "delay";
     case FaultKind::kTelemetryNan:
         return "nan";
+    case FaultKind::kFlashCrowd:
+        return "flash";
     }
     return "unknown";
 }
@@ -197,8 +224,17 @@ FormatFaultEvent(const FaultEvent& event)
         out += std::to_string(event.duration);
     }
     std::string params;
-    if (event.tier != -1)
+    if (event.tier_hi != -1) {
+        params += "tiers=" + std::to_string(event.tier) + "-" +
+                  std::to_string(event.tier_hi);
+    } else if (event.tier != -1) {
         params += "tier=" + std::to_string(event.tier);
+    }
+    if (event.jitter != 0) {
+        if (!params.empty())
+            params += ',';
+        params += "jitter=" + std::to_string(event.jitter);
+    }
     if (event.magnitude != DefaultMagnitude(event.kind)) {
         if (!params.empty())
             params += ',';
@@ -242,7 +278,7 @@ FaultSchedule::EndInterval() const
 {
     int64_t end = 0;
     for (const FaultEvent& e : events)
-        end = std::max(end, e.start + e.duration);
+        end = std::max(end, e.start + e.GroupSpan() + e.duration);
     return end;
 }
 
@@ -287,10 +323,11 @@ void
 ValidateFaultSchedule(const FaultSchedule& schedule, int n_tiers)
 {
     for (const FaultEvent& e : schedule.events) {
-        if (e.tier >= n_tiers) {
+        const int top = std::max(e.tier, e.tier_hi);
+        if (top >= n_tiers) {
             throw std::invalid_argument(
                 "FaultSchedule: event '" + std::string(ToString(e.kind)) +
-                "' targets tier " + std::to_string(e.tier) +
+                "' targets tier " + std::to_string(top) +
                 " but the application has " + std::to_string(n_tiers) +
                 " tiers");
         }
@@ -319,6 +356,13 @@ ChaosScenarios()
         {"rolling-outage", "drop@8+4;stall@8+4:tier=0;caploss@14+4:"
                            "tier=1,mag=0.5",
          "a blackout overlapping a stalled tier, then capacity loss"},
+        {"correlated-outage", "caploss@8+6:tiers=1-3,jitter=1,mag=0.5;"
+                              "nan@8+8:tiers=1-3,jitter=1",
+         "rolling 50% capacity loss across tiers 1-3 whose usage "
+         "telemetry turns NaN (graded-confidence stress)"},
+        {"flash-crowd", "flash@10+5:mag=2",
+         "arrival rate doubles for 5 intervals on top of the "
+         "configured load shape"},
     };
     return scenarios;
 }
@@ -354,12 +398,12 @@ FaultInjector::ApplyClusterFaults(int64_t interval, double now,
 {
     const int n = cluster.NumTiers();
     std::vector<double> factor(static_cast<size_t>(n), 1.0);
+    // Per-tier activity (rather than per-event) so a correlated group
+    // with jitter rolls across its members one stagger at a time.
     auto each_tier = [&](const FaultEvent& e, auto&& fn) {
-        if (e.tier < 0) {
-            for (int t = 0; t < n; ++t)
+        for (int t = 0; t < n; ++t) {
+            if (e.ActiveForTier(t, interval))
                 fn(t);
-        } else {
-            fn(e.tier);
         }
     };
     for (const FaultEvent& e : schedule_.events) {
@@ -377,6 +421,12 @@ FaultInjector::ApplyClusterFaults(int64_t interval, double now,
             each_tier(e, [&](int t) {
                 factor[static_cast<size_t>(t)] *= 1.0 - e.magnitude;
             });
+            Count(e.kind);
+            break;
+        case FaultKind::kFlashCrowd:
+            // Applied workload-side (RateMultiplierAt); counted here
+            // so the `sinan.faults.flash` counter advances once per
+            // active interval like the cluster-side kinds.
             Count(e.kind);
             break;
         default:
@@ -409,7 +459,7 @@ FaultInjector::FilterTelemetry(int64_t interval,
             // The thief's cycles show up in the cgroup accounting:
             // usage is inflated toward the configured limit.
             for (size_t t = 0; t < obs.tiers.size(); ++t) {
-                if (e.tier >= 0 && e.tier != static_cast<int>(t))
+                if (!e.ActiveForTier(static_cast<int>(t), interval))
                     continue;
                 TierMetrics& m = obs.tiers[t];
                 m.cpu_used = std::min(
@@ -420,10 +470,21 @@ FaultInjector::FilterTelemetry(int64_t interval,
         case FaultKind::kTelemetryNan: {
             const double nan =
                 std::numeric_limits<double>::quiet_NaN();
-            for (double& v : obs.latency_ms)
-                v = nan;
-            for (TierMetrics& m : obs.tiers)
-                m.cpu_used = nan;
+            if (e.tier >= 0) {
+                // Tier-targeted poisoning: only the targeted tiers'
+                // usage turns NaN; the latency percentiles stay real,
+                // so a graded scheduler can keep using the QoS channel
+                // while a binary one writes the frame off wholesale.
+                for (size_t t = 0; t < obs.tiers.size(); ++t) {
+                    if (e.ActiveForTier(static_cast<int>(t), interval))
+                        obs.tiers[t].cpu_used = nan;
+                }
+            } else {
+                for (double& v : obs.latency_ms)
+                    v = nan;
+                for (TierMetrics& m : obs.tiers)
+                    m.cpu_used = nan;
+            }
             Count(e.kind);
             break;
         }
@@ -443,6 +504,17 @@ FaultInjector::FilterTelemetry(int64_t interval,
     if (any && metrics_)
         metrics_->Inc("sinan.faults.active_intervals");
     return fate;
+}
+
+double
+FaultInjector::RateMultiplierAt(int64_t interval) const
+{
+    double mult = 1.0;
+    for (const FaultEvent& e : schedule_.events) {
+        if (e.kind == FaultKind::kFlashCrowd && e.ActiveAt(interval))
+            mult *= e.magnitude;
+    }
+    return mult;
 }
 
 } // namespace sinan

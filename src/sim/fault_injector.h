@@ -50,12 +50,21 @@ enum class FaultKind {
     /** The manager receives the previous interval's observation again
      *  (collection pipeline lag). */
     kTelemetryDelay,
-    /** Latency and cpu_used fields arrive as NaN (broken exporter). */
+    /** NaN poisoning (broken exporter). Untargeted, every latency and
+     *  cpu_used field turns NaN; targeted at a tier (or a correlated
+     *  tier group), only those tiers' cpu_used fields do — the latency
+     *  percentiles stay real, which is what makes graded telemetry
+     *  confidence observable. */
     kTelemetryNan,
+    /** Flash crowd: the workload's arrival rate is multiplied by the
+     *  magnitude while active (layered on whatever load shape the run
+     *  uses). Applied by the harness via RateMultiplierAt(); cluster
+     *  and telemetry are otherwise untouched. */
+    kFlashCrowd,
 };
 
 /** Spec keyword of the kind (stall, caploss, spike, steal, drop,
- *  delay, nan). */
+ *  delay, nan, flash). */
 const char* ToString(FaultKind kind);
 
 /** One timed fault. */
@@ -63,19 +72,56 @@ struct FaultEvent {
     FaultKind kind = FaultKind::kTierStall;
     /** First affected decision interval (0-based). */
     int64_t start = 0;
-    /** Number of consecutive affected intervals. */
+    /** Number of consecutive affected intervals (per tier for a
+     *  jittered correlated group). */
     int64_t duration = 1;
-    /** Affected tier index; -1 targets every tier. Ignored by the
-     *  whole-observation kinds (spike/drop/delay/nan). */
+    /** Affected tier index; -1 targets every tier. With tier_hi >= 0
+     *  this is the first tier of a correlated group. Ignored by the
+     *  whole-observation kinds (spike/drop/delay/flash). */
     int tier = -1;
+    /** Last tier of a correlated group [tier, tier_hi]; -1 means the
+     *  event targets `tier` alone (spec param `tiers=A-B`). */
+    int tier_hi = -1;
+    /** Per-tier activation stagger (intervals) within a correlated
+     *  group: the i-th member of the group activates at
+     *  start + i * jitter and stays active for `duration` intervals —
+     *  one spec entry fans out to a rolling multi-tier event, with no
+     *  randomness involved. */
+    int64_t jitter = 0;
     /** Kind-specific strength: capacity/steal fraction in (0, 1],
-     *  spike milliseconds. Unused by stall/drop/delay/nan. */
+     *  spike milliseconds, flash-crowd rate multiplier. Unused by
+     *  stall/drop/delay/nan. */
     double magnitude = 0.0;
 
+    /** Stagger span of the correlated group (0 without one). */
+    int64_t
+    GroupSpan() const
+    {
+        return tier >= 0 && tier_hi > tier
+                   ? jitter * static_cast<int64_t>(tier_hi - tier)
+                   : 0;
+    }
+
+    /** True when the event perturbs anything at @p interval. */
     bool
     ActiveAt(int64_t interval) const
     {
-        return interval >= start && interval < start + duration;
+        return interval >= start &&
+               interval < start + GroupSpan() + duration;
+    }
+
+    /** True when the event perturbs tier @p t at @p interval, honoring
+     *  the correlated group's per-tier stagger. */
+    bool
+    ActiveForTier(int t, int64_t interval) const
+    {
+        if (tier < 0)
+            return ActiveAt(interval);
+        if (t < tier || t > (tier_hi >= 0 ? tier_hi : tier))
+            return false;
+        const int64_t off = jitter * static_cast<int64_t>(t - tier);
+        return interval >= start + off &&
+               interval < start + off + duration;
     }
 };
 
@@ -94,20 +140,24 @@ struct FaultSchedule {
  *
  *   spec   := event (';' event)*  |  "chaos:" name
  *   event  := kind '@' start ['+' duration] [':' param (',' param)*]
- *   kind   := stall|caploss|spike|steal|drop|delay|nan
- *   param  := "tier=" index | "mag=" value
+ *   kind   := stall|caploss|spike|steal|drop|delay|nan|flash
+ *   param  := "tier=" index | "tiers=" lo '-' hi | "jitter=" n
+ *           | "mag=" value
  *
  * `start` and `duration` are decision-interval counts (duration
- * defaults to 1). `chaos:<name>` expands to the named scenario from
- * ChaosScenarios(). Throws std::invalid_argument with the offending
- * event text on any malformed input.
+ * defaults to 1). `tiers=A-B` targets the correlated group [A, B] and
+ * `jitter=N` staggers the members' activation by N intervals each
+ * (jitter requires a tiers= group). `chaos:<name>` expands to the
+ * named scenario from ChaosScenarios(). Throws std::invalid_argument
+ * with the offending event text on any malformed input.
  */
 FaultSchedule ParseFaultSpec(const std::string& spec);
 
 /**
  * Formats one event in the spec grammar, emitting only non-default
- * fields (duration when != 1, tier when != -1, mag when it differs
- * from the kind's default) with shortest-round-trip magnitudes, so
+ * fields (duration when != 1, tier/tiers when targeted, jitter when
+ * != 0, mag when it differs from the kind's default) with
+ * shortest-round-trip magnitudes, so
  * ParseFaultSpec(FormatFaultEvent(e)) reproduces @p e exactly.
  */
 std::string FormatFaultEvent(const FaultEvent& event);
@@ -179,6 +229,14 @@ class FaultInjector {
      */
     TelemetryFate FilterTelemetry(int64_t interval,
                                   IntervalObservation& obs);
+
+    /**
+     * Product of the rate multipliers of the flash-crowd events active
+     * at @p interval (1.0 when none). The harness forwards this to the
+     * workload generator before ticking the interval — a pure function
+     * of (schedule, interval), like every other perturbation.
+     */
+    double RateMultiplierAt(int64_t interval) const;
 
     const FaultSchedule& Schedule() const { return schedule_; }
 

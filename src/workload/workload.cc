@@ -22,6 +22,39 @@ DiurnalLoad::UsersAt(double t) const
     return low_ + 0.5 * (high_ - low_) * (1.0 - std::cos(phase));
 }
 
+FlashCrowdLoad::FlashCrowdLoad(const LoadShape& base,
+                               std::vector<FlashSpike> spikes)
+    : base_(base), spikes_(std::move(spikes))
+{
+    for (const FlashSpike& s : spikes_) {
+        if (s.duration_s <= 0.0)
+            throw std::invalid_argument(
+                "FlashCrowdLoad: non-positive spike duration");
+        if (s.multiplier < 1.0)
+            throw std::invalid_argument(
+                "FlashCrowdLoad: spike multiplier must be >= 1");
+    }
+}
+
+double
+FlashCrowdLoad::UsersAt(double t) const
+{
+    double mult = 1.0;
+    for (const FlashSpike& s : spikes_) {
+        if (t < s.start_s || t >= s.start_s + s.duration_s)
+            continue;
+        // Trapezoidal envelope: 20% ramp up, 60% hold, 20% ramp down.
+        const double x = (t - s.start_s) / s.duration_s;
+        double env = 1.0;
+        if (x < 0.2)
+            env = x / 0.2;
+        else if (x > 0.8)
+            env = (1.0 - x) / 0.2;
+        mult *= 1.0 + (s.multiplier - 1.0) * env;
+    }
+    return base_.UsersAt(t) * mult;
+}
+
 StepLoad::StepLoad(std::vector<std::pair<double, double>> steps)
     : steps_(std::move(steps))
 {
@@ -79,6 +112,15 @@ WorkloadGenerator::BuildMixTable()
 }
 
 void
+WorkloadGenerator::SetRateMultiplier(double mult)
+{
+    if (!std::isfinite(mult) || mult <= 0.0)
+        throw std::invalid_argument(
+            "WorkloadGenerator: rate multiplier must be finite and > 0");
+    rate_mult_ = mult;
+}
+
+void
 WorkloadGenerator::Tick(double now, double dt)
 {
     if (bursts_.enabled) {
@@ -95,7 +137,8 @@ WorkloadGenerator::Tick(double now, double dt)
         }
     }
     const double mult = in_burst_ ? burst_mult_ : 1.0;
-    const double rate = shape_.UsersAt(now) * rps_per_user_ * mult;
+    const double rate =
+        shape_.UsersAt(now) * rps_per_user_ * mult * rate_mult_;
     const int n = rng_.Poisson(rate * dt);
     const Application& app = cluster_.App();
     for (int i = 0; i < n; ++i) {

@@ -61,6 +61,37 @@ class StepLoad : public LoadShape {
     std::vector<std::pair<double, double>> steps_;
 };
 
+/** One deterministic flash-crowd spike (see FlashCrowdLoad). */
+struct FlashSpike {
+    /** Onset time, seconds. */
+    double start_s = 0.0;
+    /** Total spike duration, seconds (ramp up, hold, ramp down). */
+    double duration_s = 0.0;
+    /** Peak user multiplier relative to the base shape (>= 1). */
+    double multiplier = 1.0;
+};
+
+/**
+ * Flash-crowd spikes layered multiplicatively on a base shape —
+ * typically DiurnalLoad, reproducing the paper Sec. 2.3 transient that
+ * reactive autoscaling handles poorly. Each spike ramps linearly to
+ * its peak multiplier over the first 20% of its duration, holds, and
+ * ramps back down over the last 20%, so the population change is steep
+ * but not discontinuous. Overlapping spikes multiply. Everything is a
+ * pure function of time: no randomness, byte-identical replays.
+ */
+class FlashCrowdLoad : public LoadShape {
+  public:
+    /** @param base underlying shape (not owned; must outlive this). */
+    FlashCrowdLoad(const LoadShape& base,
+                   std::vector<FlashSpike> spikes);
+    double UsersAt(double t) const override;
+
+  private:
+    const LoadShape& base_;
+    std::vector<FlashSpike> spikes_;
+};
+
 /** Traffic micro-burst model layered on the Poisson arrivals. */
 struct BurstOptions {
     /** Enables short random bursts (flash-crowd behaviour). */
@@ -100,6 +131,14 @@ class WorkloadGenerator {
     /** Injects this tick's Poisson arrivals. */
     void Tick(double now, double dt);
 
+    /**
+     * External arrival-rate multiplier, composed with the load shape
+     * and the micro-burst multiplier. The harness sets this from the
+     * fault injector's flash-crowd events once per decision interval;
+     * it must be finite and > 0.
+     */
+    void SetRateMultiplier(double mult);
+
     /** Total requests injected so far. */
     int64_t Injected() const { return injected_; }
 
@@ -111,6 +150,7 @@ class WorkloadGenerator {
     const LoadShape& shape_;
     Rng rng_;
     double rps_per_user_;
+    double rate_mult_ = 1.0;
     BurstOptions bursts_;
     std::vector<double> mix_cdf_;
     int64_t injected_ = 0;

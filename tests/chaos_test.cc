@@ -109,7 +109,63 @@ SameEvent(const FaultEvent& a, const FaultEvent& b)
 {
     return a.kind == b.kind && a.start == b.start &&
            a.duration == b.duration && a.tier == b.tier &&
+           a.tier_hi == b.tier_hi && a.jitter == b.jitter &&
            a.magnitude == b.magnitude;
+}
+
+void
+ExpectSpecError(const std::string& spec, const std::string& needle)
+{
+    try {
+        ParseFaultSpec(spec);
+        FAIL() << "expected ParseFaultSpec to reject '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+}
+
+TEST(FaultSpecTest, ParsesCorrelatedGroupsAndFlashCrowds)
+{
+    const FaultSchedule s = ParseFaultSpec(
+        "caploss@8+6:tiers=1-3,jitter=2,mag=0.5;flash@10+5:mag=2");
+    ASSERT_EQ(s.events.size(), 2u);
+    const FaultEvent& grp = s.events[0];
+    EXPECT_EQ(grp.tier, 1);
+    EXPECT_EQ(grp.tier_hi, 3);
+    EXPECT_EQ(grp.jitter, 2);
+    // The group staggers: tier 1 active [8, 14), tier 2 [10, 16),
+    // tier 3 [12, 18); the event as a whole spans [8, 18).
+    EXPECT_EQ(grp.GroupSpan(), 4);
+    EXPECT_TRUE(grp.ActiveForTier(1, 8));
+    EXPECT_FALSE(grp.ActiveForTier(2, 8));
+    EXPECT_TRUE(grp.ActiveForTier(2, 10));
+    EXPECT_TRUE(grp.ActiveForTier(3, 17));
+    EXPECT_FALSE(grp.ActiveForTier(1, 14));
+    EXPECT_FALSE(grp.ActiveForTier(0, 10));
+    EXPECT_FALSE(grp.ActiveForTier(4, 10));
+    EXPECT_TRUE(grp.ActiveAt(17));
+    EXPECT_FALSE(grp.ActiveAt(18));
+    EXPECT_EQ(s.events[1].kind, FaultKind::kFlashCrowd);
+    EXPECT_DOUBLE_EQ(s.events[1].magnitude, 2.0);
+    EXPECT_EQ(s.EndInterval(), 18);
+
+    // A group is validated against its highest member.
+    EXPECT_THROW(ValidateFaultSchedule(s, 3), std::invalid_argument);
+    EXPECT_NO_THROW(ValidateFaultSchedule(s, 4));
+
+    // Round-trips through the formatter.
+    EXPECT_EQ(FormatFaultSpec(s),
+              "caploss@8+6:tiers=1-3,jitter=2;flash@10+5");
+
+    ExpectSpecError("stall@3:tiers=3-1",
+                    "tiers range must satisfy 0 <= lo <= hi");
+    ExpectSpecError("stall@3:tiers=x", "tiers needs a 'lo-hi' range");
+    ExpectSpecError("stall@3:jitter=2",
+                    "jitter requires a tiers= group");
+    ExpectSpecError("stall@3:tiers=1-2,jitter=-1",
+                    "jitter must be >= 0");
+    ExpectSpecError("flash@3:mag=0", "mag must be > 0");
 }
 
 bool
@@ -127,21 +183,36 @@ SameSchedule(const FaultSchedule& a, const FaultSchedule& b)
 std::string
 RandomEventSpec(Rng& rng)
 {
-    static const char* kKinds[] = {"stall", "caploss", "spike",
-                                   "steal", "drop",    "delay", "nan"};
-    const std::string kind = kKinds[rng.UniformInt(7u)];
+    static const char* kKinds[] = {"stall", "caploss", "spike", "steal",
+                                   "drop",  "delay",   "nan",   "flash"};
+    const std::string kind = kKinds[rng.UniformInt(8u)];
     std::string spec =
         kind + "@" + std::to_string(rng.UniformInt(int64_t{0}, 40));
     if (rng.Bernoulli(0.6))
         spec += "+" + std::to_string(rng.UniformInt(int64_t{1}, 12));
     std::vector<std::string> params;
-    if (rng.Bernoulli(0.5))
-        params.push_back(
-            "tier=" + std::to_string(rng.UniformInt(int64_t{-1}, 9)));
+    if (rng.Bernoulli(0.5)) {
+        if (rng.Bernoulli(0.4)) {
+            // Correlated group, optionally jittered (jitter is only
+            // legal with a tiers= range).
+            const int64_t lo = rng.UniformInt(int64_t{0}, 5);
+            const int64_t hi = rng.UniformInt(lo, int64_t{9});
+            params.push_back("tiers=" + std::to_string(lo) + "-" +
+                             std::to_string(hi));
+            if (rng.Bernoulli(0.6))
+                params.push_back(
+                    "jitter=" +
+                    std::to_string(rng.UniformInt(int64_t{0}, 3)));
+        } else {
+            params.push_back(
+                "tier=" +
+                std::to_string(rng.UniformInt(int64_t{-1}, 9)));
+        }
+    }
     if (rng.Bernoulli(0.5)) {
         // Magnitudes valid for every kind: caploss/steal need (0, 1],
-        // spike needs > 0; awkward decimals exercise the formatter's
-        // shortest-round-trip path.
+        // spike/flash need > 0; awkward decimals exercise the
+        // formatter's shortest-round-trip path.
         const double mag = rng.Uniform(0.05, kind == "spike" ? 900.0
                                                              : 1.0);
         char buf[40];
@@ -189,18 +260,6 @@ TEST(FaultSpecTest, FormatEmitsOnlyNonDefaultFields)
         const FaultSchedule direct = ParseFaultSpec(sc.spec);
         EXPECT_TRUE(SameSchedule(
             direct, ParseFaultSpec(FormatFaultSpec(direct))));
-    }
-}
-
-void
-ExpectSpecError(const std::string& spec, const std::string& needle)
-{
-    try {
-        ParseFaultSpec(spec);
-        FAIL() << "expected ParseFaultSpec to reject '" << spec << "'";
-    } catch (const std::invalid_argument& e) {
-        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
-            << "message '" << e.what() << "' lacks '" << needle << "'";
     }
 }
 
@@ -293,15 +352,24 @@ class ChaosFixture : public ::testing::Test {
 
     /** One managed Sinan run under @p faults at @p threads. */
     static RunResult
-    RunScenario(const FaultSchedule& faults, int threads)
+    RunScenario(const FaultSchedule& faults, int threads,
+                const SchedulerConfig& scfg = SchedulerConfig{})
     {
         SetNumThreads(threads);
-        SinanScheduler sched(*trained_->model, SchedulerConfig{});
+        SinanScheduler sched(*trained_->model, scfg);
         ConstantLoad load(100.0);
         const RunResult r =
             RunManaged(*app_, sched, load, FaultRunConfig(faults));
         SetNumThreads(0);
         return r;
+    }
+
+    static SchedulerConfig
+    UncertaintyOn()
+    {
+        SchedulerConfig cfg;
+        cfg.uncertainty.enabled = true;
+        return cfg;
     }
 
     static Application* app_;
@@ -395,6 +463,100 @@ TEST_F(ChaosFixture, BaselineHoldsThroughTelemetryFaults)
     for (int k = 7; k <= 9; ++k)
         EXPECT_EQ(r.timeline[k].alloc, r.timeline[6].alloc)
             << "interval " << k;
+}
+
+TEST_F(ChaosFixture, CorrelatedOutagePoisonsOnlyTargetedTiers)
+{
+    // correlated-outage NaNs the usage of tiers 1-3 (staggered) while
+    // their capacity rolls away; the latency channel stays real, so
+    // the observations are partially — not wholly — untrustworthy.
+    const RunResult r =
+        RunScenario(ParseFaultSpec("chaos:correlated-outage"), 1);
+    EXPECT_GE(r.metrics.Counter("sinan.scheduler.telemetry.non_finite"),
+              6u);
+    for (const IntervalRecord& rec : r.timeline)
+        EXPECT_TRUE(std::isfinite(rec.p99_ms));
+}
+
+TEST_F(ChaosFixture, FlashCrowdMultipliesTheArrivalRate)
+{
+    // flash@10+5:mag=2 — the recorded rps during the spike must sit
+    // well above the pre-spike level (records land one interval after
+    // the arrivals they measure).
+    const RunResult r =
+        RunScenario(ParseFaultSpec("chaos:flash-crowd"), 1);
+    double before = 0.0, during = 0.0;
+    int n_before = 0, n_during = 0;
+    for (const IntervalRecord& rec : r.timeline) {
+        if (rec.time_s > 4.0 && rec.time_s <= 10.0) {
+            before += rec.rps;
+            ++n_before;
+        } else if (rec.time_s > 10.0 && rec.time_s <= 15.0) {
+            during += rec.rps;
+            ++n_during;
+        }
+    }
+    ASSERT_GT(n_before, 0);
+    ASSERT_GT(n_during, 0);
+    EXPECT_GT(during / n_during, 1.5 * (before / n_before));
+}
+
+TEST_F(ChaosFixture, UncertaintyRunsByteIdenticalAcrossThreadCounts)
+{
+    // The determinism bar holds with the graded policy enabled, on the
+    // scenarios that exercise it hardest.
+    for (const char* name :
+         {"correlated-outage", "flash-crowd", "stale-telemetry"}) {
+        SCOPED_TRACE(name);
+        const FaultSchedule faults =
+            ParseFaultSpec(std::string("chaos:") + name);
+        RunResult serial, parallel;
+        ASSERT_NO_THROW(
+            serial = RunScenario(faults, 1, UncertaintyOn()));
+        ASSERT_NO_THROW(
+            parallel = RunScenario(faults, 8, UncertaintyOn()));
+        EXPECT_EQ(DecisionTraceToCsv(serial.decision_trace),
+                  DecisionTraceToCsv(parallel.decision_trace));
+        EXPECT_EQ(serial.metrics.ToCsv(), parallel.metrics.ToCsv());
+    }
+}
+
+TEST_F(ChaosFixture, UncertaintyTakesGradedPathUnderCorrelatedOutage)
+{
+    const RunResult r = RunScenario(
+        ParseFaultSpec("chaos:correlated-outage"), 1, UncertaintyOn());
+    // Partial NaN frames ride the graded path instead of the ladder.
+    EXPECT_GE(r.metrics.Counter("sinan.scheduler.uncertain"), 1u);
+    // The trace carries the confidence column: graded strictly between
+    // 0 and 1 on the uncertain intervals.
+    bool saw_graded = false;
+    for (const DecisionTraceEntry& e : r.decision_trace.intervals) {
+        if (e.kind == DecisionKind::kUncertainModel ||
+            e.kind == DecisionKind::kFallback) {
+            if (e.confidence > 0.0 && e.confidence < 1.0)
+                saw_graded = true;
+        }
+    }
+    EXPECT_TRUE(saw_graded);
+}
+
+TEST_F(ChaosFixture, UncertaintyRecoversNoSlowerThanLadder)
+{
+    // The graded policy keeps using the real latency channel while the
+    // ladder freezes on whole-observation NaN — it must not recover
+    // more slowly from the correlated outage.
+    const FaultSchedule faults =
+        ParseFaultSpec("chaos:correlated-outage");
+    const RunResult off = RunScenario(faults, 1);
+    const RunResult on = RunScenario(faults, 1, UncertaintyOn());
+    const double fault_end_s =
+        static_cast<double>(faults.EndInterval());
+    const int rec_off =
+        RecoveryIntervals(off, fault_end_s, app_->qos_ms);
+    const int rec_on = RecoveryIntervals(on, fault_end_s, app_->qos_ms);
+    const int never = static_cast<int>(off.timeline.size());
+    EXPECT_LE(rec_on < 0 ? never : rec_on,
+              rec_off < 0 ? never : rec_off);
 }
 
 TEST_F(ChaosFixture, CapacityLossDrivesSafetyUpscale)

@@ -9,7 +9,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <initializer_list>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -185,6 +188,99 @@ TEST(CliDeathTest, SingleRunFlagsRejectedInFleetMode)
                     "single-run");
     ExpectUsageExit({"--fleet", "4", "--faults", "drop@3"},
                     "use --fleet-shard");
+}
+
+TEST(CliTest, ParsesUncertaintyFlag)
+{
+    // Default: disabled, paper-default knobs.
+    const SimOptions def = Parse({});
+    EXPECT_FALSE(def.uncertainty_set);
+    EXPECT_FALSE(def.uncertainty.enabled);
+
+    // "off" is explicit and keeps the binary ladder.
+    const SimOptions off = Parse({"--uncertainty", "off"});
+    EXPECT_TRUE(off.uncertainty_set);
+    EXPECT_FALSE(off.uncertainty.enabled);
+
+    // Any key subset enables; unspecified knobs keep their defaults.
+    const SimOptions sub = Parse({"--uncertainty", "floor=0.5"});
+    EXPECT_TRUE(sub.uncertainty.enabled);
+    EXPECT_DOUBLE_EQ(sub.uncertainty.floor, 0.5);
+    EXPECT_DOUBLE_EQ(sub.uncertainty.margin_frac,
+                     UncertaintyConfig{}.margin_frac);
+    EXPECT_DOUBLE_EQ(sub.uncertainty.decay,
+                     UncertaintyConfig{}.decay);
+
+    const SimOptions full =
+        Parse({"--uncertainty=margin=0.2,floor=0.3,decay=0.7"});
+    EXPECT_TRUE(full.uncertainty.enabled);
+    EXPECT_DOUBLE_EQ(full.uncertainty.margin_frac, 0.2);
+    EXPECT_DOUBLE_EQ(full.uncertainty.floor, 0.3);
+    EXPECT_DOUBLE_EQ(full.uncertainty.decay, 0.7);
+
+    // Fleet mode forwards the policy to every sinan shard.
+    const SimOptions fleet =
+        Parse({"--fleet", "4", "--uncertainty", "margin=0.25"});
+    const FleetConfig cfg = BuildFleetConfig(fleet);
+    EXPECT_TRUE(cfg.scheduler.uncertainty.enabled);
+    EXPECT_DOUBLE_EQ(cfg.scheduler.uncertainty.margin_frac, 0.25);
+}
+
+TEST(CliDeathTest, MalformedUncertaintyExitsTwo)
+{
+    ExpectUsageExit({"--uncertainty"},
+                    "missing value for --uncertainty");
+    ExpectUsageExit({"--uncertainty", ""},
+                    "--uncertainty expects");
+    ExpectUsageExit({"--uncertainty", "on"},
+                    "--uncertainty expects");
+    ExpectUsageExit({"--uncertainty", "speed=0.5"},
+                    "unknown key 'speed'");
+    ExpectUsageExit({"--uncertainty", "margin="},
+                    "--uncertainty expects");
+    ExpectUsageExit({"--uncertainty", "margin=abc"},
+                    "expects a number");
+    ExpectUsageExit({"--uncertainty", "margin=+0.5"},
+                    "expects a number");
+    ExpectUsageExit({"--uncertainty", "margin=1.5"},
+                    "margin must be in \\[0, 1\\]");
+    ExpectUsageExit({"--uncertainty", "floor=-0.1"},
+                    "floor must be in \\[0, 1\\]");
+    ExpectUsageExit({"--uncertainty", "decay=2"},
+                    "decay must be in \\[0, 1\\]");
+    ExpectUsageExit({"--uncertainty", "margin=0.2,,decay=0.5"},
+                    "--uncertainty expects");
+    ExpectUsageExit({"--uncertainty", "margin=0.2,"},
+                    "--uncertainty expects");
+}
+
+TEST(CliTest, ChaosCatalogMatchesGoldenListing)
+{
+    // `--faults list` prints exactly this string; golden-pinning it
+    // means a scenario rename, reorder, or spec change shows up as a
+    // reviewed diff. Regenerate with SINAN_REGEN_GOLDEN=1.
+    const std::string path =
+        std::string(SINAN_REPO_ROOT) + "/tests/golden/chaos_catalog.txt";
+    const std::string rendered = FormatChaosCatalog();
+    if (std::getenv("SINAN_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << rendered;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path
+                    << " missing; regenerate with SINAN_REGEN_GOLDEN=1";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(rendered, golden.str())
+        << "chaos catalog drifted from the committed golden listing. "
+           "If intentional, rerun with SINAN_REGEN_GOLDEN=1 and commit "
+           "the diff.";
+
+    // The two PR-9 scenarios must be part of the catalog.
+    EXPECT_NE(rendered.find("correlated-outage"), std::string::npos);
+    EXPECT_NE(rendered.find("flash-crowd"), std::string::npos);
 }
 
 TEST(CliTest, ParsesSimdFlagAndAppliesDispatchMode)

@@ -187,13 +187,28 @@ HotelChaosConfig(uint64_t seed)
     return cfg;
 }
 
+/** Uncertainty-aware scheduling fleet-wide, with the correlated and
+ *  flash-crowd chaos scenarios on two shards. */
+FleetConfig
+UncertainChaosConfig(uint64_t seed)
+{
+    FleetConfig cfg = BaseConfig(6, seed);
+    cfg.scheduler.uncertainty.enabled = true;
+    cfg.overrides.push_back(
+        Override("1:faults=chaos:correlated-outage"));
+    cfg.overrides.push_back(Override("4:faults=chaos:flash-crowd"));
+    cfg.overrides.push_back(Override("5:faults=chaos:stale-telemetry"));
+    return cfg;
+}
+
 TEST_F(FleetFixture, TraceBytesIdenticalAcrossThreadCounts)
 {
     if (!HaveModels())
         GTEST_SKIP() << "bundled bench_cache models not present";
     const FleetConfig configs[] = {MixedSinanConfig(7),
                                    ManagersAndChaosConfig(21),
-                                   HotelChaosConfig(33)};
+                                   HotelChaosConfig(33),
+                                   UncertainChaosConfig(47)};
     for (const FleetConfig& cfg : configs) {
         const FleetBytes serial = RunAtThreads(cfg, Models(), Apps(), 1);
         const FleetBytes par3 = RunAtThreads(cfg, Models(), Apps(), 3);

@@ -9,8 +9,9 @@
  *
  * The fixture trace is hand-built to cover every serialization branch:
  * a warm-up interval with no candidates, a model interval with one
- * candidate per outcome, a fallback, and a degraded interval with
- * non-finite telemetry. Regenerate after an intentional format change
+ * candidate per outcome, a fallback, a degraded interval with
+ * non-finite telemetry, and an uncertainty-aware interval with graded
+ * confidence. Regenerate after an intentional format change
  * with:  SINAN_REGEN_GOLDEN=1 ./tests/golden_trace_test
  */
 #include <gtest/gtest.h>
@@ -117,6 +118,36 @@ FixtureTrace()
     degraded.trust_reduced = true;
     degraded.trust_restored = false;
     trace.intervals.push_back(degraded);
+
+    // Interval 4: uncertainty-aware path — partially-trusted telemetry,
+    // graded confidence, widened margin, and a candidate rejected by the
+    // confidence-scaled step-down budget.
+    DecisionTraceEntry uncertain;
+    uncertain.time_s = 5.0;
+    uncertain.interval = 4;
+    uncertain.kind = DecisionKind::kUncertainModel;
+    uncertain.observed_p99_ms = 98.0;
+    uncertain.telemetry = TelemetryHealth::kNonFinite;
+    uncertain.silent_intervals = 2;
+    uncertain.confidence = 0.8;
+    uncertain.uncertainty_margin_ms = 3.0;
+    uncertain.tier_confidence = {1.0, 0.0, 1.0, 0.25};
+    uncertain.chosen = 1;
+    CandidateTrace too_big;
+    too_big.kind = ActionKind::kScaleDown;
+    too_big.total_cpu = 9.0;
+    too_big.latency_ms = {90.0, 95.0, 100.0, 105.0, 110.0};
+    too_big.p_violation = 0.02;
+    too_big.outcome = CandidateOutcome::kRejectedUncertaintyStep;
+    uncertain.candidates.push_back(too_big);
+    CandidateTrace hold;
+    hold.kind = ActionKind::kHold;
+    hold.total_cpu = 10.0;
+    hold.latency_ms = {95.0, 100.0, 105.0, 110.0, 115.0};
+    hold.p_violation = 0.01;
+    hold.outcome = CandidateOutcome::kChosen;
+    uncertain.candidates.push_back(hold);
+    trace.intervals.push_back(uncertain);
 
     return trace;
 }

@@ -14,6 +14,7 @@
 #include "app/apps.h"
 #include "common/check.h"
 #include "core/scheduler.h"
+#include "core/telemetry_guard.h"
 #include "test_util.h"
 
 namespace sinan {
@@ -534,6 +535,272 @@ TEST_F(SchedulerFixture, DegradedBeforeAnyGoodTelemetryHolds)
               DecisionKind::kWatchdogUpscale);
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_GT(a[i], alloc[i]);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+TEST_F(SchedulerFixture, WatchdogFiresExactlyAtConfiguredSilence)
+{
+    // Pins the off-by-one: with watchdog_silent_after = 3 the blanket
+    // upscale fires on the 3rd consecutive blind interval (the silence
+    // count includes the interval being decided), not the 4th.
+    SchedulerConfig cfg;
+    cfg.watchdog_silent_after = 3;
+    SinanScheduler sched(*model_, cfg);
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    int t = 0;
+    for (; t < features_->history + 2; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.5, 100), alloc, *app_);
+    }
+    alloc = sched.Decide(BlankObs(static_cast<double>(t++)), alloc, *app_);
+    EXPECT_EQ(trace.intervals.back().kind, DecisionKind::kDegradedModel);
+    alloc = sched.Decide(BlankObs(static_cast<double>(t++)), alloc, *app_);
+    EXPECT_EQ(trace.intervals.back().kind, DecisionKind::kDegradedModel);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.watchdog"), 0u);
+    alloc = sched.Decide(BlankObs(static_cast<double>(t++)), alloc, *app_);
+    EXPECT_EQ(trace.intervals.back().kind,
+              DecisionKind::kWatchdogUpscale);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.watchdog"), 1u);
+    EXPECT_EQ(sched.SilentIntervals(), 3);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+// ---- graded telemetry confidence -------------------------------------
+
+TEST(TelemetryGuardTest, ResetClearsLastGoodAndSilentCounter)
+{
+    const FeatureConfig f = SmallFeatures(3, 2);
+    TelemetryGuard guard(3);
+    guard.CommitFresh(MakeObs(f, 10.0, 100, 2.0, 0.5, 90));
+    guard.CommitDegraded();
+    guard.CommitDegraded();
+    ASSERT_TRUE(guard.HasLastGood());
+    ASSERT_EQ(guard.SilentIntervals(), 2);
+    // An observation older than the last good one is stale...
+    const IntervalObservation older =
+        MakeObs(f, 5.0, 100, 2.0, 0.5, 90);
+    ASSERT_EQ(guard.Classify(older), TelemetryHealth::kStale);
+    guard.Reset();
+    EXPECT_FALSE(guard.HasLastGood());
+    EXPECT_EQ(guard.SilentIntervals(), 0);
+    // ...but after Reset() the staleness reference is gone too — the
+    // same observation classifies fresh, proving last_good_ was
+    // cleared along with the counter.
+    EXPECT_EQ(guard.Classify(older), TelemetryHealth::kFresh);
+}
+
+TEST(TelemetryGuardTest, AssessGradesObservationsPerTier)
+{
+    const FeatureConfig f = SmallFeatures(4, 2);
+    TelemetryGuard guard(4);
+
+    // Fresh: full confidence on every channel.
+    IntervalObservation obs = MakeObs(f, 1.0, 100, 2.0, 0.5, 90);
+    TelemetryAssessment a = guard.Assess(obs, 0.6);
+    EXPECT_EQ(a.health, TelemetryHealth::kFresh);
+    EXPECT_TRUE(a.latency_fresh);
+    EXPECT_DOUBLE_EQ(a.confidence, 1.0);
+
+    // One poisoned tier: that tier scores 0, the rest (and the real
+    // latency channel) keep full confidence — (1 + 3) / 5.
+    obs.tiers[1].cpu_used = std::numeric_limits<double>::quiet_NaN();
+    a = guard.Assess(obs, 0.6);
+    EXPECT_EQ(a.health, TelemetryHealth::kNonFinite);
+    ASSERT_EQ(a.tier_confidence.size(), 4u);
+    EXPECT_DOUBLE_EQ(a.tier_confidence[0], 1.0);
+    EXPECT_DOUBLE_EQ(a.tier_confidence[1], 0.0);
+    EXPECT_DOUBLE_EQ(a.tier_confidence[2], 1.0);
+    EXPECT_DOUBLE_EQ(a.tier_confidence[3], 1.0);
+    EXPECT_TRUE(a.latency_fresh);
+    EXPECT_DOUBLE_EQ(a.confidence, 0.8);
+
+    // Poisoned latency drops the QoS channel too: 3 / 5.
+    obs.latency_ms.back() = std::numeric_limits<double>::quiet_NaN();
+    a = guard.Assess(obs, 0.6);
+    EXPECT_FALSE(a.latency_fresh);
+    EXPECT_DOUBLE_EQ(a.confidence, 0.6);
+
+    // A non-finite global field invalidates the whole frame.
+    IntervalObservation bad_rps = MakeObs(f, 2.0, 100, 2.0, 0.5, 90);
+    bad_rps.rps = std::numeric_limits<double>::quiet_NaN();
+    a = guard.Assess(bad_rps, 0.6);
+    EXPECT_EQ(a.health, TelemetryHealth::kNonFinite);
+    EXPECT_DOUBLE_EQ(a.confidence, 0.0);
+
+    // Absent scores 0 across the board.
+    IntervalObservation blank;
+    blank.time_s = 3.0;
+    a = guard.Assess(blank, 0.6);
+    EXPECT_EQ(a.health, TelemetryHealth::kAbsent);
+    EXPECT_DOUBLE_EQ(a.confidence, 0.0);
+
+    // Staleness decays with the silent run length: decay^(k+1)
+    // counting the interval under assessment.
+    guard.CommitFresh(MakeObs(f, 10.0, 100, 2.0, 0.5, 90));
+    const IntervalObservation stale =
+        MakeObs(f, 10.0, 100, 2.0, 0.5, 90);
+    EXPECT_DOUBLE_EQ(guard.Assess(stale, 0.5).confidence, 0.5);
+    guard.CommitDegraded();
+    EXPECT_DOUBLE_EQ(guard.Assess(stale, 0.5).confidence, 0.25);
+}
+
+TEST(TelemetryGuardTest, RepairImputesZeroConfidencePieces)
+{
+    const FeatureConfig f = SmallFeatures(4, 2);
+    TelemetryGuard guard(4);
+    const IntervalObservation good =
+        MakeObs(f, 1.0, 100, 2.0, 0.5, 90);
+    guard.CommitFresh(good);
+
+    IntervalObservation obs = MakeObs(f, 2.0, 120, 2.0, 0.6, 95);
+    obs.tiers[2].queue_len = std::numeric_limits<double>::quiet_NaN();
+    obs.latency_ms[0] = std::numeric_limits<double>::quiet_NaN();
+    const TelemetryAssessment a = guard.Assess(obs, 0.6);
+    const IntervalObservation rep = guard.Repair(obs, a);
+
+    // The poisoned tier is replaced wholesale from the last good
+    // picture; untouched tiers keep this interval's values.
+    EXPECT_DOUBLE_EQ(rep.tiers[2].queue_len, good.tiers[2].queue_len);
+    EXPECT_DOUBLE_EQ(rep.tiers[2].cpu_used, good.tiers[2].cpu_used);
+    EXPECT_DOUBLE_EQ(rep.tiers[0].cpu_used, obs.tiers[0].cpu_used);
+    // A non-finite latency vector is replaced by the last good one.
+    EXPECT_EQ(rep.latency_ms, good.latency_ms);
+    // Repair copies; the input observation is not mutated.
+    EXPECT_TRUE(std::isnan(obs.tiers[2].queue_len));
+
+    // Stale frames pass through unchanged (a coherent old picture).
+    const IntervalObservation stale =
+        MakeObs(f, 0.5, 80, 2.0, 0.4, 85);
+    const TelemetryAssessment sa = guard.Assess(stale, 0.6);
+    ASSERT_EQ(sa.health, TelemetryHealth::kStale);
+    EXPECT_EQ(guard.Repair(stale, sa).latency_ms, stale.latency_ms);
+}
+
+TEST_F(SchedulerFixture, UncertaintyFreshPathMatchesBaseline)
+{
+    // With fresh telemetry the uncertainty-enabled scheduler routes
+    // through the exact same fresh path — decisions are identical.
+    SchedulerConfig on;
+    on.uncertainty.enabled = true;
+    SinanScheduler sched_on(*model_, on);
+    SinanScheduler sched_off(*model_, SchedulerConfig{});
+    std::vector<double> a_on(app_->tiers.size(), 4.0);
+    std::vector<double> a_off = a_on;
+    Rng rng(101);
+    for (int t = 0; t < features_->history + 8; ++t) {
+        const IntervalObservation obs =
+            MakeObs(*features_, t, rng.Uniform(50, 400), 4.0,
+                    rng.Uniform(0.2, 0.9), rng.Uniform(50, 450));
+        a_on = sched_on.Decide(obs, a_on, *app_);
+        a_off = sched_off.Decide(obs, a_off, *app_);
+        ASSERT_EQ(a_on, a_off) << "diverged at interval " << t;
+    }
+}
+
+TEST_F(SchedulerFixture, PartialNanRoutesThroughUncertainModel)
+{
+    SchedulerConfig cfg;
+    cfg.uncertainty.enabled = true;
+    SinanScheduler sched(*model_, cfg);
+    DecisionTrace trace;
+    MetricsRegistry metrics;
+    sched.AttachTelemetry(&trace, &metrics);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    int t = 0;
+    for (; t < features_->history + 2; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.4, 90), alloc, *app_);
+    }
+
+    // One NaN tier, real latency: confidence (1 + 3) / 5 = 0.8, above
+    // the floor — the graded path consults the model on the repaired
+    // observation instead of freezing in the binary ladder.
+    IntervalObservation obs =
+        MakeObs(*features_, t, 100, 2.0, 0.4, 90);
+    obs.tiers[1].cpu_used = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> before = alloc;
+    alloc = sched.Decide(obs, before, *app_);
+
+    ASSERT_FALSE(trace.intervals.empty());
+    const DecisionTraceEntry& e = trace.intervals.back();
+    EXPECT_EQ(e.telemetry, TelemetryHealth::kNonFinite);
+    EXPECT_EQ(e.kind, DecisionKind::kUncertainModel);
+    EXPECT_DOUBLE_EQ(e.confidence, 0.8);
+    ASSERT_EQ(e.tier_confidence.size(), app_->tiers.size());
+    EXPECT_DOUBLE_EQ(e.tier_confidence[1], 0.0);
+    EXPECT_DOUBLE_EQ(e.uncertainty_margin_ms,
+                     cfg.uncertainty.margin_frac * app_->qos_ms * 0.2);
+    EXPECT_EQ(metrics.Counter("sinan.scheduler.uncertain"), 1u);
+    // The graded path is still a degraded interval for the guard.
+    EXPECT_EQ(sched.SilentIntervals(), 1);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+TEST_F(SchedulerFixture, ZeroConfidenceFallsBackToLadder)
+{
+    SchedulerConfig cfg;
+    cfg.uncertainty.enabled = true;
+    SinanScheduler sched(*model_, cfg);
+    DecisionTrace trace;
+    sched.AttachTelemetry(&trace, nullptr);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    int t = 0;
+    for (; t < features_->history + 2; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.4, 90), alloc, *app_);
+    }
+
+    // Every channel poisoned: confidence 0, strictly below any
+    // positive floor — the binary ladder is the limit case.
+    IntervalObservation obs =
+        MakeObs(*features_, t, 100, 2.0, 0.4, 90);
+    for (TierMetrics& m : obs.tiers)
+        m.cpu_used = std::numeric_limits<double>::quiet_NaN();
+    obs.latency_ms.back() = std::numeric_limits<double>::quiet_NaN();
+    alloc = sched.Decide(obs, alloc, *app_);
+
+    const DecisionTraceEntry& e = trace.intervals.back();
+    EXPECT_EQ(e.telemetry, TelemetryHealth::kNonFinite);
+    EXPECT_EQ(e.kind, DecisionKind::kDegradedModel);
+    EXPECT_DOUBLE_EQ(e.confidence, 0.0);
+    sched.AttachTelemetry(nullptr, nullptr);
+}
+
+TEST_F(SchedulerFixture, StaleDecaySinksBelowFloorIntoLadder)
+{
+    // Redelivered telemetry decays geometrically: with decay 0.6 and
+    // floor 0.35 the first two stale intervals ride the graded path
+    // (0.6, then 0.36) and the third (0.216) drops into the ladder.
+    SchedulerConfig cfg;
+    cfg.uncertainty.enabled = true;
+    cfg.watchdog_silent_after = 5; // keep the watchdog out of the way
+    SinanScheduler sched(*model_, cfg);
+    DecisionTrace trace;
+    sched.AttachTelemetry(&trace, nullptr);
+    std::vector<double> alloc(app_->tiers.size(), 2.0);
+    int t = 0;
+    for (; t < features_->history + 2; ++t) {
+        alloc = sched.Decide(
+            MakeObs(*features_, t, 100, 2.0, 0.4, 90), alloc, *app_);
+    }
+
+    const IntervalObservation stale =
+        MakeObs(*features_, 0, 100, 2.0, 0.4, 90); // time goes back
+    alloc = sched.Decide(stale, alloc, *app_);
+    EXPECT_EQ(trace.intervals.back().kind,
+              DecisionKind::kUncertainModel);
+    EXPECT_NEAR(trace.intervals.back().confidence, 0.6, 1e-12);
+    alloc = sched.Decide(stale, alloc, *app_);
+    EXPECT_EQ(trace.intervals.back().kind,
+              DecisionKind::kUncertainModel);
+    EXPECT_NEAR(trace.intervals.back().confidence, 0.36, 1e-12);
+    alloc = sched.Decide(stale, alloc, *app_);
+    EXPECT_EQ(trace.intervals.back().kind,
+              DecisionKind::kDegradedModel);
+    EXPECT_NEAR(trace.intervals.back().confidence, 0.216, 1e-12);
     sched.AttachTelemetry(nullptr, nullptr);
 }
 

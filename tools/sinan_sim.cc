@@ -91,8 +91,10 @@ main(int argc, char** argv)
         std::printf("CNN val RMSE %.1f ms, BT val acc %.1f%%\n",
                     trained->report.cnn.val_rmse_ms,
                     100.0 * trained->report.bt_val_accuracy);
+        SchedulerConfig scfg;
+        scfg.uncertainty = opt.uncertainty;
         manager = std::make_unique<SinanScheduler>(*trained->model,
-                                                   SchedulerConfig{});
+                                                   scfg);
     } else {
         manager = MakeBaselineManager(opt.manager);
     }
@@ -136,6 +138,12 @@ main(int argc, char** argv)
         std::printf("  trust events      : %llu lost, %llu restored\n",
                     static_cast<unsigned long long>(tel.trust_lost),
                     static_cast<unsigned long long>(tel.trust_restored));
+        if (tel.uncertain > 0) {
+            std::printf("  uncertain decis.  : %llu (%llu model)\n",
+                        static_cast<unsigned long long>(tel.uncertain),
+                        static_cast<unsigned long long>(
+                            tel.uncertain_model));
+        }
     }
     if (!opt.faults.Empty()) {
         std::printf("  fault intervals   : %llu injected\n",
