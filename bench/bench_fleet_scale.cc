@@ -12,8 +12,9 @@
  * produced byte-identical fleet traces (the determinism contract; they
  * must). Results go to stdout and to BENCH_fleet.json (which records
  * both the requested and the effective thread count next to the
- * detected hardware concurrency) for the CI artifact and the README
- * throughput table.
+ * detected hardware concurrency, plus "degraded_env": true — with a
+ * stdout WARNING — whenever the runner clamped the thread count below
+ * the request) for the CI artifact and the README throughput table.
  *
  * CI gate (SINAN_BENCH_CHECK=1): trace bytes must match at every fleet
  * size, and — only on machines with >= 4 hardware threads, since the
@@ -114,6 +115,12 @@ WriteFleetBenchJson(const std::string& path, double duration_s,
     out << "  \"duration_s\": " << duration_s << ",\n";
     out << "  \"threads_requested\": " << threads_requested << ",\n";
     out << "  \"threads_effective\": " << threads_effective << ",\n";
+    // Machine-readable "the runner clamped the thread count" marker so
+    // downstream consumers (CI dashboards, the README table) can tell a
+    // real scaling number from a 1-core-runner artifact at a glance.
+    out << "  \"degraded_env\": "
+        << (threads_effective < threads_requested ? "true" : "false")
+        << ",\n";
     out << "  \"hardware_concurrency\": " << hardware_concurrency
         << ",\n";
     out << "  \"sweep\": [\n";
@@ -203,8 +210,17 @@ Run()
     const int threads = std::min(threads_requested,
                                  static_cast<int>(cores));
     std::printf("hardware threads: %u (threaded leg uses %d of %d "
-                "requested)\n\n",
+                "requested)\n",
                 cores, threads, threads_requested);
+    if (threads < threads_requested) {
+        std::printf("WARNING: degraded environment — only %d of %d "
+                    "requested threads available; throughput and "
+                    "speedup numbers are not representative "
+                    "(BENCH_fleet.json is marked \"degraded_env\": "
+                    "true)\n",
+                    threads, threads_requested);
+    }
+    std::printf("\n");
 
     std::printf("%9s %10s %11s %9s %13s %10s\n", "clusters", "serial_s",
                 "thread_s", "speedup", "intervals/s", "decide_p99");

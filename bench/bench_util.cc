@@ -122,8 +122,15 @@ GetTrainedSinan(const Application& app, const PipelineConfig& cfg,
         std::ifstream in(path, std::ios::binary);
         try {
             out.model->Load(in);
-            std::printf("[cache] loaded %s\n", path.c_str());
-            return out;
+            if (out.model->Int8Calibrated()) {
+                std::printf("[cache] loaded %s\n", path.c_str());
+                return out;
+            }
+            // Pre-quantization legacy file: retrain so the cache picks
+            // up activation scales (the int8 benches and parity tests
+            // need a calibrated model).
+            std::printf("[cache] %s lacks quant calibration; retraining\n",
+                        path.c_str());
         } catch (const std::exception&) {
             std::printf("[cache] %s corrupt; retraining\n", path.c_str());
         }
@@ -345,6 +352,7 @@ SocialLoads()
 void
 WriteInferenceJson(const std::string& path, const std::string& model_name,
                    const std::string& kernel_id,
+                   const std::string& int8_kernel_id, bool int8_measured,
                    double interval_budget_ms,
                    const std::vector<InferenceBenchRow>& rows)
 {
@@ -352,11 +360,14 @@ WriteInferenceJson(const std::string& path, const std::string& model_name,
     if (!out)
         throw std::runtime_error("WriteInferenceJson: cannot open " + path);
 
-    char buf[384];
+    char buf[512];
     out << "{\n";
-    out << "  \"schema\": 2,\n";
+    out << "  \"schema\": 3,\n";
     out << "  \"model\": \"" << model_name << "\",\n";
     out << "  \"kernel_id\": \"" << kernel_id << "\",\n";
+    out << "  \"int8_kernel_id\": \"" << int8_kernel_id << "\",\n";
+    out << "  \"int8_measured\": " << (int8_measured ? "true" : "false")
+        << ",\n";
     std::snprintf(buf, sizeof(buf), "  \"interval_budget_ms\": %.3f,\n",
                   interval_budget_ms);
     out << buf;
@@ -370,9 +381,12 @@ WriteInferenceJson(const std::string& path, const std::string& model_name,
             "    {\"candidates\": %d, \"legacy_ms\": %.6f, "
             "\"cached_ms\": %.6f, \"speedup\": %.3f, \"stages_ms\": "
             "{\"feature_build\": %.6f, \"trunk\": %.6f, \"head\": %.6f, "
-            "\"bt\": %.6f}, \"scalar_trunk_ms\": %.6f}%s\n",
+            "\"bt\": %.6f}, \"scalar_trunk_ms\": %.6f, \"int8\": "
+            "{\"cached_ms\": %.6f, \"trunk_ms\": %.6f, "
+            "\"scalar_trunk_ms\": %.6f}}%s\n",
             r.candidates, r.legacy_ms, r.cached_ms, speedup, r.feature_ms,
             r.trunk_ms, r.head_ms, r.bt_ms, r.scalar_trunk_ms,
+            r.int8_cached_ms, r.int8_trunk_ms, r.int8_scalar_trunk_ms,
             i + 1 < rows.size() ? "," : "");
         out << buf;
     }

@@ -198,7 +198,7 @@ SimUsage(const char* msg)
         "                 [--duration S] [--warmup S] [--seed N]\n"
         "                 [--collect S] [--epochs N] [--mix W,W,...]\n"
         "                 [--log FILE] [--threads N]\n"
-        "                 [--simd on|off|auto]\n"
+        "                 [--simd on|off|auto] [--quant off|int8]\n"
         "                 [--decision-log FILE] [--metrics FILE]\n"
         "                 [--faults SPEC]\n"
         "                 [--uncertainty off|margin=F,floor=F,decay=F]\n"
@@ -216,6 +216,11 @@ SimUsage(const char* msg)
         "  binary fresh/degraded ladder; any of margin, floor, decay\n"
         "  may be set, each in [0, 1]). Applies to the sinan manager in\n"
         "  single-run and fleet mode alike.\n"
+        "\n"
+        "  --quant int8 runs the sinan scheduler's model inference on\n"
+        "  the calibrated int8 path (faster, separately validated for\n"
+        "  prediction and decision agreement); off (default) keeps the\n"
+        "  bit-exact fp32 path. Other managers are unaffected.\n"
         "\n"
         "  --fleet N steps N clusters concurrently under one fleet\n"
         "  manager; --app/--manager/--users become fleet-wide shard\n"
@@ -312,6 +317,12 @@ ParseSimArgs(int argc, const char* const* argv)
             const std::string v = need(i++);
             if (!ParseSimdMode(v.c_str(), &opt.simd))
                 SimUsage(("--simd expects on, off, or auto, got '" + v +
+                          "'")
+                             .c_str());
+        } else if (a == "--quant") {
+            const std::string v = need(i++);
+            if (!ParseQuantMode(v.c_str(), &opt.quant))
+                SimUsage(("--quant expects off or int8, got '" + v +
                           "'")
                              .c_str());
         } else if (a == "--faults") {
@@ -432,6 +443,7 @@ BuildFleetConfig(const SimOptions& opt)
     cfg.warmup_s = opt.warmup_s;
     cfg.seed = opt.seed;
     cfg.scheduler.uncertainty = opt.uncertainty;
+    cfg.scheduler.quant = opt.quant;
     return cfg;
 }
 

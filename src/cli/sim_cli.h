@@ -24,6 +24,7 @@
 
 #include "common/cpu_features.h"
 #include "fleet/fleet.h"
+#include "nn/quant.h"
 #include "sim/fault_injector.h"
 
 namespace sinan {
@@ -56,6 +57,11 @@ struct SimOptions {
     /** Microkernel dispatch override (--simd on|off|auto); applied via
      *  SetSimdMode() once the whole argv has validated. */
     SimdMode simd = SimdMode::kAuto;
+    /** Inference precision (--quant off|int8) of every sinan-managed
+     *  scheduler, single-run and fleet alike. int8 evaluates the CNN
+     *  on the calibrated quantized path (separately validated; see
+     *  DESIGN.md §5k), off is the byte-identical fp32 default. */
+    QuantMode quant = QuantMode::kOff;
     /** Fault-injection schedule (see sim/fault_injector.h). */
     FaultSchedule faults;
     bool faults_set = false;

@@ -272,6 +272,10 @@ TrainSinanForApp(const Application& app, const PipelineConfig& cfg)
     out.model = std::make_unique<HybridModel>(out.features, cfg.hybrid,
                                               cfg.seed ^ 0xcafe);
     out.report = out.model->Train(out.train, out.valid);
+    // Calibrate unconditionally (a few ms on the training set) so
+    // every trained model can serve int8 and every Save carries the
+    // activation scales; the mode itself stays off until requested.
+    out.model->CalibrateInt8(out.train);
     return out;
 }
 

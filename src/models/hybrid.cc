@@ -1,8 +1,11 @@
 #include "models/hybrid.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "common/check.h"
 #include "common/cpu_features.h"
@@ -239,8 +242,16 @@ HybridModel::EvaluateTimed(const MetricWindow& window,
     auto t1 = Clock::now();
 
     // Trunk once per interval, head once per candidate batch.
-    cnn_.ForwardTrunk(ws_);
+    const bool int8 = quant_ == QuantMode::kInt8;
+    if (int8)
+        cnn_.ForwardTrunkInt8(ws_);
+    else
+        cnn_.ForwardTrunk(ws_);
     auto t2 = Clock::now();
+    // The head runs fp32 in both modes: quantizing it perturbs the
+    // latent rows the tree ensemble thresholds on and flips decisions
+    // (see SinanCnn::ForwardTrunkInt8), while the trunk carries the
+    // fixed per-interval cost int8 is after.
     cnn_.ForwardHead(ws_);
     auto t3 = Clock::now();
     SINAN_CHECK_EQ(ws_.pred.Dim(0), n_cands);
@@ -257,7 +268,7 @@ HybridModel::EvaluateTimed(const MetricWindow& window,
         stages->trunk_s = Seconds(t1, t2);
         stages->head_s = Seconds(t2, t3);
         stages->bt_s = Seconds(t3, t4);
-        stages->kernel_id = ActiveKernelId();
+        stages->kernel_id = int8 ? ActiveInt8KernelId() : ActiveKernelId();
     }
     return out;
 }
@@ -304,7 +315,44 @@ HybridModel::Clone() const
 }
 
 void
-HybridModel::Save(std::ostream& out) const
+HybridModel::CalibrateInt8(const Dataset& calib, int max_samples)
+{
+    SINAN_CHECK_MSG(!calib.samples.empty(),
+                    "CalibrateInt8: empty calibration set");
+    const int count = std::min(
+        max_samples, static_cast<int>(calib.samples.size()));
+    CnnCalibration cal;
+    for (int i = 0; i < count; ++i) {
+        const Sample& s = calib.samples[static_cast<size_t>(i)];
+        ws_.xrh.EnsureShape({1, s.xrh.Dim(0), s.xrh.Dim(1), s.xrh.Dim(2)});
+        std::copy(s.xrh.Data(), s.xrh.Data() + s.xrh.Size(),
+                  ws_.xrh.Data());
+        ws_.xlh.EnsureShape({1, s.xlh.Dim(0)});
+        std::copy(s.xlh.Data(), s.xlh.Data() + s.xlh.Size(),
+                  ws_.xlh.Data());
+        ws_.xrc.EnsureShape({1, s.xrc.Dim(0)});
+        std::copy(s.xrc.Data(), s.xrc.Data() + s.xrc.Size(),
+                  ws_.xrc.Data());
+        cnn_.ForwardTrunk(ws_);
+        cnn_.ForwardHead(ws_);
+        SinanCnn::ObserveCalibration(ws_, cal);
+    }
+    cnn_.FinalizeInt8(cal);
+}
+
+void
+HybridModel::SetQuantMode(QuantMode mode)
+{
+    if (mode == QuantMode::kInt8 && !cnn_.Int8Ready())
+        throw std::runtime_error(
+            "SetQuantMode: int8 requested but the model is not "
+            "calibrated — run CalibrateInt8 or load a model with a "
+            "quant section");
+    quant_ = mode;
+}
+
+void
+HybridModel::SaveLegacy(std::ostream& out) const
 {
     cnn_.Save(out);
     bt_.Save(out);
@@ -315,7 +363,25 @@ HybridModel::Save(std::ostream& out) const
 }
 
 void
-HybridModel::Load(std::istream& in)
+HybridModel::Save(std::ostream& out) const
+{
+    out.write(reinterpret_cast<const char*>(&kModelMagic),
+              sizeof(kModelMagic));
+    out.write(reinterpret_cast<const char*>(&kModelVersion),
+              sizeof(kModelVersion));
+    SaveLegacy(out);
+    const int32_t has_quant = cnn_.Int8Ready() ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&has_quant),
+              sizeof(has_quant));
+    if (has_quant) {
+        const auto scales = cnn_.Int8ActScales();
+        out.write(reinterpret_cast<const char*>(scales.data()),
+                  sizeof(float) * scales.size());
+    }
+}
+
+void
+HybridModel::LoadLegacyPayload(std::istream& in)
 {
     cnn_.Load(in);
     bt_.Load(in);
@@ -324,6 +390,48 @@ HybridModel::Load(std::istream& in)
             sizeof(val_rmse_subqos_ms_));
     if (!in)
         throw std::runtime_error("HybridModel::Load: truncated stream");
+}
+
+void
+HybridModel::Load(std::istream& in)
+{
+    // Sniff the first word: versioned containers start with the magic,
+    // legacy streams with a small tensor rank. Rewind for the latter.
+    const std::istream::pos_type start = in.tellg();
+    int32_t first = 0;
+    in.read(reinterpret_cast<char*>(&first), sizeof(first));
+    if (!in)
+        throw std::runtime_error("HybridModel::Load: truncated stream");
+    if (first != kModelMagic) {
+        in.seekg(start);
+        LoadLegacyPayload(in);
+        return;
+    }
+    int32_t version = 0;
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!in)
+        throw std::runtime_error("HybridModel::Load: truncated stream");
+    if (version != kModelVersion)
+        throw std::runtime_error(
+            "HybridModel::Load: unsupported model format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(kModelVersion) +
+            " and legacy pre-container files)");
+    LoadLegacyPayload(in);
+    int32_t has_quant = 0;
+    in.read(reinterpret_cast<char*>(&has_quant), sizeof(has_quant));
+    if (!in)
+        throw std::runtime_error(
+            "HybridModel::Load: truncated quant section");
+    if (has_quant) {
+        std::array<float, kCnnInt8NumScales> scales{};
+        in.read(reinterpret_cast<char*>(scales.data()),
+                sizeof(float) * scales.size());
+        if (!in)
+            throw std::runtime_error(
+                "HybridModel::Load: truncated quant section");
+        cnn_.LoadInt8Scales(scales);
+    }
 }
 
 } // namespace sinan

@@ -53,12 +53,24 @@ struct EvalStageTimes {
     double trunk_s = 0.0;
     double head_s = 0.0;
     double bt_s = 0.0;
-    /** Microkernel that produced these bytes ("scalar-v1"/"avx2-v1",
-     *  see common/cpu_features.h); ids sharing a version suffix are
-     *  bit-compatible, so a changed id with changed bytes marks a
-     *  deliberate kernel revision, not nondeterminism. */
+    /** Microkernel that produced these bytes ("scalar-v1"/"avx2-v1" on
+     *  the fp32 path, "int8-scalar-v1"/"int8-avx2-v1" when quant mode
+     *  is int8; see common/cpu_features.h); ids sharing a version
+     *  suffix are bit-compatible, so a changed id with changed bytes
+     *  marks a deliberate kernel revision, not nondeterminism. */
     const char* kernel_id = "";
 };
+
+/**
+ * Versioned model-container header. Legacy files (any stream whose
+ * first int32 is a plausible tensor rank, i.e. written before the
+ * container existed) remain loadable: Load sniffs the first word and
+ * rewinds. The magic is deliberately > 8 so an old reader handed a new
+ * file fails its Tensor rank check with a clear "corrupt header" error
+ * instead of misparsing the payload.
+ */
+constexpr int32_t kModelMagic = 0x4e4e4953;   // "SINN" little-endian
+constexpr int32_t kModelVersion = 2;          // v2: + quant section
 
 /** The CNN + Boosted-Trees hybrid model. */
 class HybridModel {
@@ -125,8 +137,43 @@ class HybridModel {
     SinanCnn& Cnn() { return cnn_; }
     const BoostedTrees& Bt() const { return bt_; }
 
-    /** Serializes CNN weights, BT trees, and the feature config core. */
+    /**
+     * Runs up to @p max_samples calibration samples through the fp32
+     * fast path, observing per-tensor activation ranges, then
+     * quantizes the CNN weights (per-output-channel symmetric int8)
+     * and fixes the activation scales. Must run before SetQuantMode
+     * (kInt8); TrainSinan* harnesses call it unconditionally after
+     * training so every saved model carries scales.
+     */
+    void CalibrateInt8(const Dataset& calib, int max_samples = 256);
+
+    /**
+     * Selects the inference path used by Evaluate/EvaluateTimed.
+     * kInt8 requires a calibrated model (throws std::runtime_error
+     * otherwise); kOff restores the fp32 path, byte-identical to a
+     * model that never had quantization enabled.
+     */
+    void SetQuantMode(QuantMode mode);
+    QuantMode GetQuantMode() const { return quant_; }
+
+    /** True once CalibrateInt8 has run (or a model with a quant
+     *  section was loaded). */
+    bool Int8Calibrated() const { return cnn_.Int8Ready(); }
+
+    /**
+     * Serializes the versioned container: magic, version, the legacy
+     * payload (CNN weights, BT trees, RMSE floats), then the quant
+     * section (flag + activation scales when calibrated).
+     */
     void Save(std::ostream& out) const;
+
+    /** Writes the pre-container legacy layout (format round-trip
+     *  tests; old readers parse this directly). */
+    void SaveLegacy(std::ostream& out) const;
+
+    /** Loads either a versioned container or a legacy stream
+     *  (auto-detected). Rejects unknown future versions with a clear
+     *  error. */
     void Load(std::istream& in);
 
     /**
@@ -167,10 +214,15 @@ class HybridModel {
     void TrainBt(const Dataset& train, const Dataset& valid,
                  HybridReport& report);
 
+    /** Reads the legacy payload (shared by the legacy and versioned
+     *  Load paths). */
+    void LoadLegacyPayload(std::istream& in);
+
     FeatureConfig fcfg_;
     HybridConfig cfg_;
     SinanCnn cnn_;
     BoostedTrees bt_;
+    QuantMode quant_ = QuantMode::kOff;
     double val_rmse_ms_ = 0.0;
     double val_rmse_subqos_ms_ = 0.0;
 

@@ -1,6 +1,7 @@
 #include "models/sinan_cnn.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -124,22 +125,12 @@ SinanCnn::ForwardTrunk(CnnEvalWorkspace& ws) const
 }
 
 void
-SinanCnn::ForwardHead(CnnEvalWorkspace& ws) const
+SinanCnn::BroadcastConcat(CnnEvalWorkspace& ws) const
 {
-    SINAN_CHECK_EQ(ws.xrc.Rank(), 2);
-    SINAN_CHECK_MSG(ws.rh_embed.Size() ==
-                            static_cast<size_t>(rh_out_) &&
-                        ws.lh_embed.Size() == static_cast<size_t>(lh_out_),
-                    "ForwardHead: trunk embeddings missing — call "
-                    "ForwardTrunk first");
-    const int batch = ws.xrc.Dim(0);
-
-    rc_fc_.ForwardInto(ws.xrc, ws.rc_embed);
-    ReluInPlace(ws.rc_embed);
-
     // Broadcast-concat: every candidate row is [ha | hb | hc_i] with
     // the shared trunk embeddings ha/hb — exactly the rows the
     // full-batch ConcatCols would build from B identical trunk inputs.
+    const int batch = ws.xrc.Dim(0);
     const int na = rh_out_, nb = lh_out_, nc = rc_out_;
     const int width = na + nb + nc;
     ws.concat.EnsureShape({batch, width});
@@ -153,20 +144,193 @@ SinanCnn::ForwardHead(CnnEvalWorkspace& ws) const
             ws.rc_embed.Data() + static_cast<size_t>(i) * nc;
         std::copy(hc, hc + nc, row + na + nb);
     }
+}
 
-    fc_latent_.ForwardInto(ws.concat, ws.latent);
-    ReluInPlace(ws.latent);
-    fc_out_.ForwardInto(ws.latent, ws.pred);
-
+void
+SinanCnn::AddPersistence(CnnEvalWorkspace& ws) const
+{
     // Persistence residual, broadcast from the shared window row: the
     // full-batch path adds batch.xlh.At(i, base + p), and every row i
     // carries the same latency history here.
+    const int batch = ws.pred.Dim(0);
     const int m = fcfg_.n_percentiles;
     const int base = (fcfg_.history - 1) * m;
     for (int i = 0; i < batch; ++i) {
         for (int p = 0; p < m; ++p)
             ws.pred.At(i, p) += ws.xlh.At(0, base + p);
     }
+}
+
+void
+SinanCnn::ForwardHead(CnnEvalWorkspace& ws) const
+{
+    SINAN_CHECK_EQ(ws.xrc.Rank(), 2);
+    SINAN_CHECK_MSG(ws.rh_embed.Size() ==
+                            static_cast<size_t>(rh_out_) &&
+                        ws.lh_embed.Size() == static_cast<size_t>(lh_out_),
+                    "ForwardHead: trunk embeddings missing — call "
+                    "ForwardTrunk first");
+    rc_fc_.ForwardInto(ws.xrc, ws.rc_embed);
+    ReluInPlace(ws.rc_embed);
+    BroadcastConcat(ws);
+    fc_latent_.ForwardInto(ws.concat, ws.latent);
+    ReluInPlace(ws.latent);
+    fc_out_.ForwardInto(ws.latent, ws.pred);
+    AddPersistence(ws);
+}
+
+namespace {
+
+float
+MaxAbs(const Tensor& t)
+{
+    float m = 0.0f;
+    const float* p = t.Data();
+    const size_t n = t.Size();
+    for (size_t i = 0; i < n; ++i)
+        m = std::max(m, std::fabs(p[i]));
+    return m;
+}
+
+std::vector<float>
+BiasVector(const Tensor& b)
+{
+    return std::vector<float>(b.Data(), b.Data() + b.Size());
+}
+
+} // namespace
+
+void
+SinanCnn::ForwardTrunkInt8(CnnEvalWorkspace& ws) const
+{
+    SINAN_CHECK_MSG(int8_.ready,
+                    "ForwardTrunkInt8: model not calibrated — run "
+                    "FinalizeInt8 or load a model with a quant section");
+    SINAN_CHECK_EQ(ws.xrh.Rank(), 4);
+    SINAN_CHECK_EQ(ws.xrh.Dim(0), 1);
+    SINAN_CHECK_EQ(ws.xlh.Rank(), 2);
+    SINAN_CHECK_EQ(ws.xlh.Dim(0), 1);
+    // Fully fused conv stack: the activations stay u8 from the input
+    // image until rh_fc's accumulators — relu and the next layer's
+    // quantization are folded into each requantize pass, which is
+    // byte-identical to the unfused int8 sequence (see nn/quant.h) and
+    // skips two fp32 round trips.
+    const int in_c = ws.xrh.Dim(1);
+    const int h = ws.xrh.Dim(2);
+    const int w = ws.xrh.Dim(3);
+    const int64_t hw = static_cast<int64_t>(h) * w;
+    const int64_t oc1 = int8_.conv1.lin.n;
+    const int64_t flat = int8_.rh_fc.lin.k;
+    SINAN_CHECK_EQ(flat, int8_.conv2.lin.n * hw);
+    uint8_t* xq = ws.i8.Act(static_cast<size_t>(in_c) * hw);
+    QuantizeImageChannelLast(ws.xrh.Data(), in_c, hw,
+                             int8_.conv1.lin.inv_act_scale, xq);
+    uint8_t* u1 = ws.i8.Out(static_cast<size_t>(oc1) * hw);
+    QuantizedConvForwardU8(int8_.conv1.lin, int8_.conv1.bias,
+                           conv1_.Kernel(), xq, in_c, h, w,
+                           int8_.conv2.lin.inv_act_scale, u1, ws.i8);
+    // Reuses the image buffer (dead once conv1 has consumed it), sized
+    // up to rh_fc's lda so the GEMM may read its zero-weight tail.
+    // conv2's output stays channel-last; rh_fc's weights are packed in
+    // that row order (QuantizeDenseWeightsChannelLast), so no
+    // transpose happens between the conv stack and the dense trunk.
+    const int64_t lda2 = Int8KGroups(flat) * 4;
+    uint8_t* u2 = ws.i8.Act(static_cast<size_t>(
+        std::max(static_cast<int64_t>(in_c) * hw, lda2)));
+    QuantizedConvForwardU8(int8_.conv2.lin, int8_.conv2.bias,
+                           conv2_.Kernel(), u1, static_cast<int>(oc1),
+                           h, w, int8_.rh_fc.lin.inv_act_scale, u2,
+                           ws.i8);
+    QuantizedDenseForwardU8(int8_.rh_fc.lin, int8_.rh_fc.bias, u2,
+                            ws.rh_embed, ws.i8);
+    ReluInPlace(ws.rh_embed);
+    QuantizedDenseForward(int8_.lh_fc.lin, int8_.lh_fc.bias, ws.xlh,
+                          ws.lh_embed, ws.i8);
+    ReluInPlace(ws.lh_embed);
+}
+
+void
+SinanCnn::ObserveCalibration(const CnnEvalWorkspace& ws,
+                             CnnCalibration& cal)
+{
+    cal.xrh = std::max(cal.xrh, MaxAbs(ws.xrh));
+    cal.conv1_out = std::max(cal.conv1_out, MaxAbs(ws.conv1_out));
+    cal.conv2_out = std::max(cal.conv2_out, MaxAbs(ws.conv2_out));
+    cal.xlh = std::max(cal.xlh, MaxAbs(ws.xlh));
+    cal.xrc = std::max(cal.xrc, MaxAbs(ws.xrc));
+    cal.concat = std::max(cal.concat, MaxAbs(ws.concat));
+    cal.latent = std::max(cal.latent, MaxAbs(ws.latent));
+}
+
+void
+SinanCnn::FinalizeInt8(const CnnCalibration& cal)
+{
+    // Convs are consumed transposed — positions x output channels, in
+    // the channel-last patch order — so the per-output-channel scales
+    // sit on GEMM columns (see QuantizeConvWeights).
+    auto quant_conv = [](const Conv2D& src, QuantLayer& dst) {
+        const Tensor& w = src.Weight(); // [OC, C, K, K]
+        QuantizeConvWeights(dst.lin, w.Data(), w.Dim(1), w.Dim(0),
+                            w.Dim(2));
+        dst.bias = BiasVector(src.Bias());
+    };
+    auto quant_dense = [](const Dense& src, QuantLayer& dst) {
+        const Tensor& w = src.Weight(); // [in, out]
+        dst.lin.QuantizeWeights(w.Data(), w.Dim(0), w.Dim(1),
+                                /*row_stride=*/w.Dim(1),
+                                /*col_stride=*/1);
+        dst.bias = BiasVector(src.Bias());
+    };
+    quant_conv(conv1_, int8_.conv1);
+    quant_conv(conv2_, int8_.conv2);
+    // rh_fc consumes the fused conv stack's channel-last u8 output, so
+    // its input rows are permuted to that order at pack time (results
+    // are identical — see QuantizeDenseWeightsChannelLast).
+    {
+        const Tensor& w = rh_fc_.Weight(); // [in, out]
+        QuantizeDenseWeightsChannelLast(int8_.rh_fc.lin, w.Data(),
+                                        w.Dim(0), w.Dim(1),
+                                        cfg_.conv_channels2);
+        int8_.rh_fc.bias = BiasVector(rh_fc_.Bias());
+    }
+    quant_dense(lh_fc_, int8_.lh_fc);
+
+    int8_.conv1.lin.SetActivationScale(cal.xrh);
+    int8_.conv2.lin.SetActivationScale(cal.conv1_out);
+    int8_.rh_fc.lin.SetActivationScale(cal.conv2_out);
+    int8_.lh_fc.lin.SetActivationScale(cal.xlh);
+    // The head observations are retained verbatim for serialization
+    // even though the head runs fp32 (see ForwardTrunkInt8's doc).
+    int8_.cal = cal;
+    int8_.ready = true;
+}
+
+void
+SinanCnn::LoadInt8Scales(const std::array<float, kCnnInt8NumScales>& s)
+{
+    // The serialized scales are the max-|x| observations (not the
+    // derived s_a), so FinalizeInt8 reproduces the calibrated state
+    // exactly from weights + these seven numbers.
+    CnnCalibration cal;
+    cal.xrh = s[0];
+    cal.conv1_out = s[1];
+    cal.conv2_out = s[2];
+    cal.xlh = s[3];
+    cal.xrc = s[4];
+    cal.concat = s[5];
+    cal.latent = s[6];
+    FinalizeInt8(cal);
+}
+
+std::array<float, kCnnInt8NumScales>
+SinanCnn::Int8ActScales() const
+{
+    SINAN_CHECK_MSG(int8_.ready, "Int8ActScales: model not calibrated");
+    // The serialized form is the raw max-|x| record, so a save/load
+    // round trip feeds FinalizeInt8 exactly the same inputs.
+    const CnnCalibration& c = int8_.cal;
+    return {c.xrh, c.conv1_out, c.conv2_out, c.xlh,
+            c.xrc, c.concat,    c.latent};
 }
 
 void

@@ -23,8 +23,11 @@
 #ifndef SINAN_MODELS_SINAN_CNN_H
 #define SINAN_MODELS_SINAN_CNN_H
 
+#include <array>
+
 #include "models/latency_model.h"
 #include "nn/layers.h"
+#include "nn/quant.h"
 
 namespace sinan {
 
@@ -69,7 +72,31 @@ struct CnnEvalWorkspace {
     Tensor concat;   // [B, rh_embed + lh_embed + rc_embed]
     Tensor latent;   // [B, latent]
     Tensor pred;     // [B, M]
+    // Quantized-path scratch (u8 activations, int32 accumulators);
+    // grows once on first int8 use, then stays allocation-free.
+    Int8Workspace i8;
 };
+
+/** Running per-tensor max-|x| observations of every quantization
+ *  candidate's input, accumulated over a calibration set by
+ *  ObserveCalibration and turned into activation scales by
+ *  SinanCnn::FinalizeInt8. The head observations (xrc, concat,
+ *  latent) are recorded and serialized like the rest even though the
+ *  head currently runs fp32 (see ForwardTrunkInt8): the format stays
+ *  stable if the int8/fp32 boundary ever moves. */
+struct CnnCalibration {
+    float xrh = 0.0f;       // conv1 input
+    float conv1_out = 0.0f; // conv2 input (post-ReLU)
+    float conv2_out = 0.0f; // rh_fc input (post-ReLU, flattened)
+    float xlh = 0.0f;       // lh_fc input
+    float xrc = 0.0f;       // rc_fc input
+    float concat = 0.0f;    // fc_latent input
+    float latent = 0.0f;    // fc_out input (post-ReLU)
+};
+
+/** Number of per-tensor activation scales in the serialized quant
+ *  section (one per CnnCalibration field, in declaration order). */
+constexpr int kCnnInt8NumScales = 7;
 
 /** The hybrid model's CNN component. */
 class SinanCnn : public LatencyModel {
@@ -106,6 +133,49 @@ class SinanCnn : public LatencyModel {
      */
     void ForwardHead(CnnEvalWorkspace& ws) const;
 
+    /**
+     * Int8 counterpart of ForwardTrunk: the same layer sequence with
+     * every conv/dense matmul running on quantized operands
+     * (nn/quant.h). Requires FinalizeInt8 (or LoadInt8Scales) first.
+     * Bit-identical against itself across thread counts and
+     * scalar/AVX2 dispatch; close to — but not bit-identical with —
+     * the fp32 trunk.
+     *
+     * The head deliberately has no int8 counterpart: quantizing
+     * fc_latent perturbs the L_f rows the Boosted Trees threshold on,
+     * and a flipped tree split jumps p_violation discretely — measured
+     * decision agreement vs fp32 dropped from 100% to 97% on the
+     * bundled models when the head ran int8. The head is also cheap
+     * (its per-candidate cost is dominated by the fp32 tree ensemble
+     * next to it), so int8 mode runs the quantized trunk and the fp32
+     * head/ForwardHead.
+     */
+    void ForwardTrunkInt8(CnnEvalWorkspace& ws) const;
+
+    /** Folds one fp32-evaluated workspace (after ForwardTrunk +
+     *  ForwardHead) into the running calibration maxima. */
+    static void ObserveCalibration(const CnnEvalWorkspace& ws,
+                                   CnnCalibration& cal);
+
+    /**
+     * Post-training quantization: derives per-output-channel symmetric
+     * weight scales from the fp32 weights (a pure function of the
+     * weights), fixes the per-tensor activation scales from @p cal,
+     * and packs the int8 panels. Idempotent; call again after weight
+     * updates (e.g. FineTune) to refresh.
+     */
+    void FinalizeInt8(const CnnCalibration& cal);
+
+    /** Rebuilds the quantized state from serialized activation scales
+     *  (model-load path; weight scales are re-derived). */
+    void LoadInt8Scales(const std::array<float, kCnnInt8NumScales>& s);
+
+    /** Activation scales in serialization order (requires Int8Ready). */
+    std::array<float, kCnnInt8NumScales> Int8ActScales() const;
+
+    /** True once FinalizeInt8/LoadInt8Scales has run. */
+    bool Int8Ready() const { return int8_.ready; }
+
     /** Latent representation L_f [B, latent] of the last Forward. */
     const Tensor& Latent() const { return latent_; }
 
@@ -138,6 +208,32 @@ class SinanCnn : public LatencyModel {
     int rh_out_ = 0;
     int lh_out_ = 0;
     int rc_out_ = 0;
+
+    /** Broadcast-concat of the cached trunk embeddings with ws.rc_embed
+     *  into ws.concat. */
+    void BroadcastConcat(CnnEvalWorkspace& ws) const;
+
+    /** Adds the persistence residual to ws.pred from ws.xlh. */
+    void AddPersistence(CnnEvalWorkspace& ws) const;
+
+    /** One quantized conv/dense layer: packed weights + fp32 bias. */
+    struct QuantLayer {
+        QuantizedLinear lin;
+        std::vector<float> bias;
+    };
+
+    /** Quantized mirror of the trunk layers (empty until FinalizeInt8;
+     *  copied with the model, so clones stay calibrated). The head
+     *  layers are never quantized — see ForwardTrunkInt8 — but the
+     *  full calibration record is kept for serialization, so the
+     *  on-disk format is independent of where the int8/fp32 boundary
+     *  sits. */
+    struct Int8State {
+        bool ready = false;
+        QuantLayer conv1, conv2, rh_fc, lh_fc;
+        CnnCalibration cal;
+    };
+    Int8State int8_;
 };
 
 } // namespace sinan

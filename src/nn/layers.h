@@ -34,6 +34,11 @@ class Dense : public Layer {
     int InFeatures() const { return w_.value.Dim(0); }
     int OutFeatures() const { return w_.value.Dim(1); }
 
+    /** Read-only weight/bias views (int8 post-training quantization
+     *  reads them; never used to mutate). */
+    const Tensor& Weight() const { return w_.value; }
+    const Tensor& Bias() const { return b_.value; }
+
   private:
     Param w_; // [in, out]
     Param b_; // [out]
@@ -81,6 +86,12 @@ class Conv2D : public Layer {
      * of the thread count.
      */
     void ForwardInto(const Tensor& x, Tensor& y, Tensor& col) const;
+
+    /** Read-only weight/bias views (int8 post-training quantization
+     *  reads them; never used to mutate). */
+    const Tensor& Weight() const { return w_.value; }
+    const Tensor& Bias() const { return b_.value; }
+    int Kernel() const { return kernel_; }
 
   private:
     Param w_; // [OC, C, K, K]

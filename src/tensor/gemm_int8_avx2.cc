@@ -1,0 +1,283 @@
+/**
+ * @file
+ * AVX2 int8 row-panel GEMM microkernel (see gemm_int8_kernels.h for
+ * the packed-operand contract). Compiled only under SINAN_HAVE_AVX2 in
+ * its own -mavx2 translation unit — with gemm_avx2.cc, the only files
+ * allowed to use vector intrinsics (sinan_analyze raw-simd-intrinsic).
+ *
+ * The inner step is _mm256_maddubs_epi16(activations, weights): each
+ * 32-byte weight load covers 8 output columns x 4 k positions of the
+ * K4-packed panel, multiplied by a 4-byte activation group broadcast
+ * to every 32-bit lane. maddubs produces per-pair int16 sums — exact,
+ * never saturated, because weights are clamped to +/-kInt8WeightMax —
+ * and _mm256_madd_epi16 against ones widens them into the int32 lane
+ * accumulators. All arithmetic is exact integer arithmetic, so the
+ * result equals GemmInt8RowsScalar byte-for-byte regardless of
+ * blocking: the panels below exist purely for speed.
+ *
+ * Blocking: 4 rows x 8 columns (weight loads shared across four row
+ * accumulators), a 1-row x 16-column panel for single-row products
+ * (the trunk's [1, k] dense layers), and a scalar column tail.
+ */
+#include "tensor/gemm_int8_kernels.h"
+
+#ifdef SINAN_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sinan {
+
+namespace {
+
+/** Broadcasts the 4-byte activation group at @p p to all epi32 lanes. */
+inline __m256i
+BroadcastA4(const uint8_t* p)
+{
+    int32_t quad;
+    std::memcpy(&quad, p, sizeof(quad));
+    return _mm256_set1_epi32(quad);
+}
+
+/** Scalar column tail [j0, n): same exact integer sums. */
+inline void
+TailColsInt8(const uint8_t* arow, const int8_t* bpack, int32_t* crow,
+             int64_t j0, int64_t n, int64_t groups)
+{
+    for (int64_t g = 0; g < groups; ++g) {
+        const uint8_t* ag = arow + g * 4;
+        const int8_t* bg = bpack + g * n * 4;
+        const int32_t a0 = ag[0], a1 = ag[1], a2 = ag[2], a3 = ag[3];
+        for (int64_t j = j0; j < n; ++j) {
+            const int8_t* bj = bg + j * 4;
+            crow[j] += a0 * bj[0] + a1 * bj[1] + a2 * bj[2] + a3 * bj[3];
+        }
+    }
+}
+
+/** One row, 16 columns (two weight loads per broadcast). */
+inline void
+Panel1x16(const uint8_t* arow, const int8_t* bpack, int32_t* crow,
+          int64_t j, int64_t n, int64_t groups)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    for (int64_t g = 0; g < groups; ++g) {
+        const int8_t* bg = bpack + g * n * 4 + j * 4;
+        const __m256i av = BroadcastA4(arow + g * 4);
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bg));
+        const __m256i b1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bg + 32));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    }
+    __m256i* c0 = reinterpret_cast<__m256i*>(crow + j);
+    __m256i* c1 = reinterpret_cast<__m256i*>(crow + j + 8);
+    _mm256_storeu_si256(c0, _mm256_add_epi32(_mm256_loadu_si256(c0),
+                                             acc0));
+    _mm256_storeu_si256(c1, _mm256_add_epi32(_mm256_loadu_si256(c1),
+                                             acc1));
+}
+
+/** One row, 8 columns. */
+inline void
+Panel1x8(const uint8_t* arow, const int8_t* bpack, int32_t* crow,
+         int64_t j, int64_t n, int64_t groups)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i acc = _mm256_setzero_si256();
+    for (int64_t g = 0; g < groups; ++g) {
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bpack + g * n * 4 + j * 4));
+        const __m256i av = BroadcastA4(arow + g * 4);
+        acc = _mm256_add_epi32(
+            acc, _mm256_madd_epi16(_mm256_maddubs_epi16(av, bv), ones));
+    }
+    __m256i* cj = reinterpret_cast<__m256i*>(crow + j);
+    _mm256_storeu_si256(cj, _mm256_add_epi32(_mm256_loadu_si256(cj),
+                                             acc));
+}
+
+/** Four rows, 8 columns: weight loads shared across the four rows. */
+inline void
+Panel4x8(const uint8_t* a, int64_t lda, const int8_t* bpack, int32_t* c,
+         int64_t ldc, int64_t r, int64_t j, int64_t n, int64_t groups)
+{
+    const uint8_t* a0 = a + r * lda;
+    const uint8_t* a1 = a0 + lda;
+    const uint8_t* a2 = a1 + lda;
+    const uint8_t* a3 = a2 + lda;
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    for (int64_t g = 0; g < groups; ++g) {
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bpack + g * n * 4 + j * 4));
+        const int64_t p = g * 4;
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(BroadcastA4(a0 + p), bv),
+                      ones));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(BroadcastA4(a1 + p), bv),
+                      ones));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(BroadcastA4(a2 + p), bv),
+                      ones));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(BroadcastA4(a3 + p), bv),
+                      ones));
+    }
+    int32_t* c0 = c + r * ldc + j;
+    int32_t* c1 = c0 + ldc;
+    int32_t* c2 = c1 + ldc;
+    int32_t* c3 = c2 + ldc;
+    __m256i* v0 = reinterpret_cast<__m256i*>(c0);
+    __m256i* v1 = reinterpret_cast<__m256i*>(c1);
+    __m256i* v2 = reinterpret_cast<__m256i*>(c2);
+    __m256i* v3 = reinterpret_cast<__m256i*>(c3);
+    _mm256_storeu_si256(v0, _mm256_add_epi32(_mm256_loadu_si256(v0),
+                                             acc0));
+    _mm256_storeu_si256(v1, _mm256_add_epi32(_mm256_loadu_si256(v1),
+                                             acc1));
+    _mm256_storeu_si256(v2, _mm256_add_epi32(_mm256_loadu_si256(v2),
+                                             acc2));
+    _mm256_storeu_si256(v3, _mm256_add_epi32(_mm256_loadu_si256(v3),
+                                             acc3));
+}
+
+} // namespace
+
+void
+QuantizeU8Avx2(const float* x, int64_t count, float inv_scale,
+               uint8_t* out)
+{
+    // Vector image of QuantizeU8One: mul, clamp (max/min, second
+    // operand wins on NaN — matching the scalar compare direction),
+    // ties-away-from-zero rounding via sign-copied 0.5 and truncation,
+    // +128, then saturating packs to u8. Identical bytes to the scalar
+    // quantizer for every input.
+    const __m256 inv = _mm256_set1_ps(inv_scale);
+    const __m256 lo = _mm256_set1_ps(-kQuantClamp);
+    const __m256 hi = _mm256_set1_ps(kQuantClamp);
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 signmask = _mm256_set1_ps(-0.0f);
+    const __m256i zp = _mm256_set1_epi32(128);
+    int64_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), inv);
+        v = _mm256_min_ps(_mm256_max_ps(v, lo), hi);
+        const __m256 signed_half =
+            _mm256_or_ps(_mm256_and_ps(v, signmask), half);
+        const __m256i q = _mm256_add_epi32(
+            _mm256_cvttps_epi32(_mm256_add_ps(v, signed_half)), zp);
+        // 128-bit packs keep element order (no lane interleave): the
+        // saturating pack chain is exactly the scalar [0, 255] clamp.
+        const __m128i lo128 = _mm256_castsi256_si128(q);
+        const __m128i hi128 = _mm256_extracti128_si256(q, 1);
+        const __m128i words = _mm_packs_epi32(lo128, hi128);
+        const __m128i bytes = _mm_packus_epi16(words, words);
+        std::memcpy(out + i, &bytes, 8);
+    }
+    for (; i < count; ++i)
+        out[i] = QuantizeU8One(x[i], inv_scale);
+}
+
+void
+RequantReluU8Avx2(const int32_t* acc, int64_t rows, int64_t oc,
+                  const float* bias, const float* rscale,
+                  const int32_t* zp128, float inv_next, uint8_t* out)
+{
+    // Same pipeline as QuantizeU8Avx2 with the dequantize expression
+    // v = bias + rscale * float(acc - zp128) prepended (explicit mul
+    // then add — no FMA contraction — to match the scalar TU, which
+    // cannot emit FMA) and the relu fused as max(q, 128) before the
+    // packs.
+    const __m256 inv = _mm256_set1_ps(inv_next);
+    const __m256 lo = _mm256_set1_ps(-kQuantClamp);
+    const __m256 hi = _mm256_set1_ps(kQuantClamp);
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 signmask = _mm256_set1_ps(-0.0f);
+    const __m256i zpq = _mm256_set1_epi32(128);
+    const int64_t oc8 = oc & ~int64_t{7};
+    for (int64_t i = 0; i < rows; ++i) {
+        const int32_t* arow = acc + i * oc;
+        uint8_t* orow = out + i * oc;
+        int64_t c = 0;
+        for (; c < oc8; c += 8) {
+            const __m256i ai = _mm256_sub_epi32(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(arow + c)),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(zp128 + c)));
+            __m256 v = _mm256_add_ps(
+                _mm256_loadu_ps(bias + c),
+                _mm256_mul_ps(_mm256_loadu_ps(rscale + c),
+                              _mm256_cvtepi32_ps(ai)));
+            v = _mm256_mul_ps(v, inv);
+            v = _mm256_min_ps(_mm256_max_ps(v, lo), hi);
+            const __m256 signed_half =
+                _mm256_or_ps(_mm256_and_ps(v, signmask), half);
+            __m256i q = _mm256_add_epi32(
+                _mm256_cvttps_epi32(_mm256_add_ps(v, signed_half)),
+                zpq);
+            q = _mm256_max_epi32(q, zpq);
+            const __m128i words =
+                _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                _mm256_extracti128_si256(q, 1));
+            const __m128i bytes = _mm_packus_epi16(words, words);
+            std::memcpy(orow + c, &bytes, 8);
+        }
+        for (; c < oc; ++c) {
+            const float v =
+                bias[c] +
+                rscale[c] * static_cast<float>(arow[c] - zp128[c]);
+            const uint8_t q = QuantizeU8One(v, inv_next);
+            orow[c] = q < 128 ? uint8_t{128} : q;
+        }
+    }
+}
+
+void
+GemmInt8RowsAvx2(const uint8_t* a, int64_t lda, const int8_t* bpack,
+                 int32_t* c, int64_t ldc, int64_t r0, int64_t r1,
+                 int64_t k, int64_t n)
+{
+    const int64_t groups = Int8KGroups(k);
+    int64_t r = r0;
+    for (; r + 4 <= r1; r += 4) {
+        int64_t j = 0;
+        for (; j + 8 <= n; j += 8)
+            Panel4x8(a, lda, bpack, c, ldc, r, j, n, groups);
+        if (j < n) {
+            for (int64_t rr = r; rr < r + 4; ++rr)
+                TailColsInt8(a + rr * lda, bpack, c + rr * ldc, j, n,
+                             groups);
+        }
+    }
+    for (; r < r1; ++r) {
+        const uint8_t* arow = a + r * lda;
+        int32_t* crow = c + r * ldc;
+        int64_t j = 0;
+        for (; j + 16 <= n; j += 16)
+            Panel1x16(arow, bpack, crow, j, n, groups);
+        for (; j + 8 <= n; j += 8)
+            Panel1x8(arow, bpack, crow, j, n, groups);
+        if (j < n)
+            TailColsInt8(arow, bpack, crow, j, n, groups);
+    }
+}
+
+} // namespace sinan
+
+#endif // SINAN_HAVE_AVX2

@@ -1,0 +1,101 @@
+#include "tensor/gemm_int8_kernels.h"
+
+#include "common/cpu_features.h"
+
+namespace sinan {
+
+void
+PackInt8B(const int8_t* b, int64_t ldb, int64_t k, int64_t n,
+          int8_t* packed)
+{
+    const int64_t groups = Int8KGroups(k);
+    for (int64_t g = 0; g < groups; ++g) {
+        int8_t* dst = packed + g * n * 4;
+        for (int64_t j = 0; j < n; ++j) {
+            for (int64_t t = 0; t < 4; ++t) {
+                const int64_t p = g * 4 + t;
+                dst[j * 4 + t] = p < k ? b[p * ldb + j] : int8_t{0};
+            }
+        }
+    }
+}
+
+void
+GemmInt8RowsScalar(const uint8_t* a, int64_t lda, const int8_t* bpack,
+                   int32_t* c, int64_t ldc, int64_t r0, int64_t r1,
+                   int64_t k, int64_t n)
+{
+    const int64_t groups = Int8KGroups(k);
+    for (int64_t r = r0; r < r1; ++r) {
+        const uint8_t* arow = a + r * lda;
+        int32_t* crow = c + r * ldc;
+        for (int64_t g = 0; g < groups; ++g) {
+            const uint8_t* ag = arow + g * 4;
+            const int8_t* bg = bpack + g * n * 4;
+            const int32_t a0 = ag[0], a1 = ag[1], a2 = ag[2], a3 = ag[3];
+            for (int64_t j = 0; j < n; ++j) {
+                const int8_t* bj = bg + j * 4;
+                crow[j] += a0 * bj[0] + a1 * bj[1] + a2 * bj[2] +
+                           a3 * bj[3];
+            }
+        }
+    }
+}
+
+GemmInt8RowsFn
+ActiveGemmInt8Rows()
+{
+#ifdef SINAN_HAVE_AVX2
+    if (SimdActive())
+        return GemmInt8RowsAvx2;
+#endif
+    return GemmInt8RowsScalar;
+}
+
+void
+QuantizeU8Scalar(const float* x, int64_t count, float inv_scale,
+                 uint8_t* out)
+{
+    for (int64_t i = 0; i < count; ++i)
+        out[i] = QuantizeU8One(x[i], inv_scale);
+}
+
+QuantizeU8Fn
+ActiveQuantizeU8()
+{
+#ifdef SINAN_HAVE_AVX2
+    if (SimdActive())
+        return QuantizeU8Avx2;
+#endif
+    return QuantizeU8Scalar;
+}
+
+void
+RequantReluU8Scalar(const int32_t* acc, int64_t rows, int64_t oc,
+                    const float* bias, const float* rscale,
+                    const int32_t* zp128, float inv_next, uint8_t* out)
+{
+    for (int64_t i = 0; i < rows; ++i) {
+        const int32_t* arow = acc + i * oc;
+        uint8_t* orow = out + i * oc;
+        for (int64_t c = 0; c < oc; ++c) {
+            const float v =
+                bias[c] +
+                rscale[c] * static_cast<float>(arow[c] - zp128[c]);
+            const uint8_t q = QuantizeU8One(v, inv_next);
+            orow[c] = q < 128 ? uint8_t{128} : q;
+        }
+    }
+}
+
+RequantReluU8Fn
+ActiveRequantReluU8()
+{
+#ifdef SINAN_HAVE_AVX2
+    if (SimdActive())
+        return RequantReluU8Avx2;
+#endif
+    return RequantReluU8Scalar;
+}
+
+} // namespace sinan

@@ -1,0 +1,18 @@
+// lint-expect: raw-simd-intrinsic
+// Extending the raw-simd-intrinsic allowlist to gemm_int8_avx2.cc must
+// not blanket-allow the int8 intrinsics anywhere else.
+#include <immintrin.h>
+
+namespace sinan {
+
+inline int
+SimdInt8Bad(const void* p)
+{
+    __m256i v = _mm256_maddubs_epi16(_mm256_setzero_si256(),
+                                     _mm256_loadu_si256(
+                                         static_cast<const __m256i*>(p)));
+    (void)v;
+    return 0;
+}
+
+} // namespace sinan

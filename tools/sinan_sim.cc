@@ -93,6 +93,7 @@ main(int argc, char** argv)
                     100.0 * trained->report.bt_val_accuracy);
         SchedulerConfig scfg;
         scfg.uncertainty = opt.uncertainty;
+        scfg.quant = opt.quant;
         manager = std::make_unique<SinanScheduler>(*trained->model,
                                                    scfg);
     } else {
